@@ -1,0 +1,126 @@
+//! Layered-induction load profiles.
+//!
+//! Every `ln ln n / ln d` bound in this literature rests on the layered
+//! induction: if a `β` fraction of bins has load ≥ ℓ, then a ball needs
+//! all `d` choices inside that fraction to reach height ℓ+1, so the
+//! fraction at ℓ+1 is ≈ `β^d` — doubly exponential decay, giving
+//! `log_d ln n` non-empty layers. This module extracts the empirical
+//! layer profile from a finished game and checks the decay.
+
+use bnb_core::prelude::*;
+
+/// The fraction of bins with (integer-floored) load at least `ℓ`, for
+/// `ℓ = 0, 1, 2, …` up to the maximum observed.
+#[must_use]
+pub fn layer_profile(bins: &BinArray) -> Vec<f64> {
+    let n = bins.n() as f64;
+    let max = bins.max_load().as_f64().floor() as usize;
+    let mut profile = Vec::with_capacity(max + 2);
+    for level in 0..=(max as u64) {
+        let count = (0..bins.n())
+            .filter(|&i| bins.load(i).at_least_int(level))
+            .count();
+        profile.push(count as f64 / n);
+    }
+    profile
+}
+
+/// Measures whether the profile decays at least `power`-exponentially
+/// beyond `start_level`: `profile[ℓ+1] ≤ slack · profile[ℓ]^power` for
+/// every applicable level. Returns the first violating level, if any.
+#[must_use]
+pub fn check_decay(
+    profile: &[f64],
+    start_level: usize,
+    power: f64,
+    slack: f64,
+) -> Option<usize> {
+    for level in start_level..profile.len().saturating_sub(1) {
+        let beta = profile[level];
+        let next = profile[level + 1];
+        if beta > 0.0 && next > slack * beta.powf(power) {
+            return Some(level);
+        }
+    }
+    None
+}
+
+/// Convenience: number of non-trivial layers (levels with at least one
+/// bin) — the quantity the theory says is `ln ln n / ln d + O(1)`.
+#[must_use]
+pub fn layer_count(profile: &[f64]) -> usize {
+    profile.iter().filter(|&&f| f > 0.0).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn standard_game(n: usize, d: usize, seed: u64) -> BinArray {
+        let caps = CapacityVector::uniform(n, 1);
+        run_game(&caps, n as u64, &GameConfig::with_d(d), seed)
+    }
+
+    #[test]
+    fn profile_starts_at_one_and_decreases() {
+        let bins = standard_game(10_000, 2, 1);
+        let p = layer_profile(&bins);
+        assert_eq!(p[0], 1.0, "every bin has load >= 0");
+        assert!(p.windows(2).all(|w| w[1] <= w[0]), "profile must decrease");
+        assert!(*p.last().unwrap() > 0.0, "last layer holds the max bin");
+    }
+
+    #[test]
+    fn two_choice_profile_decays_superexponentially() {
+        // Average the check over seeds: beyond level 2 the layer fraction
+        // should drop at least quadratically (d = 2), up to constant slack.
+        let mut violations = 0;
+        let seeds = 10;
+        for seed in 0..seeds {
+            let bins = standard_game(20_000, 2, 100 + seed);
+            let p = layer_profile(&bins);
+            if check_decay(&p, 2, 2.0, 30.0).is_some() {
+                violations += 1;
+            }
+        }
+        assert!(
+            violations <= 1,
+            "{violations}/{seeds} seeds violated the doubly-exponential decay"
+        );
+    }
+
+    #[test]
+    fn one_choice_decays_only_geometrically() {
+        // With d = 1 the tail is Poisson-like: p[l+1]/p[l] ≈ 1/(l+1),
+        // which is *much* fatter than p[l]^2 at small p. The quadratic
+        // check must fail well before the end.
+        let bins = standard_game(20_000, 1, 7);
+        let p = layer_profile(&bins);
+        assert!(
+            check_decay(&p, 2, 2.0, 1.0).is_some(),
+            "one-choice profile unexpectedly decayed quadratically: {p:?}"
+        );
+    }
+
+    #[test]
+    fn layer_count_tracks_max_load() {
+        let bins = standard_game(10_000, 2, 3);
+        let p = layer_profile(&bins);
+        assert_eq!(layer_count(&p), p.len(), "all listed layers non-empty");
+        assert_eq!(p.len() as f64 - 1.0, bins.max_load().as_f64().floor());
+    }
+
+    #[test]
+    fn heterogeneous_bins_have_few_layers_too() {
+        // Theorem 3: heterogeneous capacities keep the layer count small.
+        let caps = CapacityVector::two_class(5_000, 1, 5_000, 10);
+        let bins = run_game(&caps, caps.total(), &GameConfig::with_d(2), 9);
+        let p = layer_profile(&bins);
+        let bound = bnb_core::theory::theorem3_bound(caps.n(), 2, 3.0);
+        assert!(
+            (layer_count(&p) as f64) <= bound + 1.0,
+            "layer count {} vs bound {bound}",
+            layer_count(&p)
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Lemma 2, executable.
+//!
+//! The lemma controls the two random quantities behind every "constant
+//! maximum load" case of Theorem 1:
+//!
+//! 1. `X_s = |B_s|`, the number of balls whose `d` choices all land in
+//!    *small* bins: `P(X_s ≥ k) ≤ (e·C_s²/(k·C))^k` (for `d ≥ 2`),
+//! 2. `Y`, the number of those balls that collide (land in a non-empty
+//!    bin): `P(Y ≥ λ | X_s = k) ≤ (e·k³/(λ·C_s²))^λ`.
+//!
+//! This module provides the closed forms *and* empirical estimators of
+//! both quantities from instrumented games, so the tests can check the
+//! bounds really dominate the simulated distributions.
+
+use bnb_core::prelude::*;
+use bnb_distributions::{AliasTable, WeightedSampler, Xoshiro256PlusPlus};
+
+/// Closed form of Lemma 2(1): upper bound on `P(X_s ≥ k)`.
+///
+/// # Panics
+/// Panics if `k == 0` or `c == 0`.
+#[must_use]
+pub fn small_ball_bound(k: u64, c_small: u64, c_total: u64) -> f64 {
+    assert!(k > 0, "k must be positive");
+    assert!(c_total > 0, "total capacity must be positive");
+    let base =
+        std::f64::consts::E * (c_small as f64).powi(2) / (k as f64 * c_total as f64);
+    base.powf(k as f64).min(1.0)
+}
+
+/// Closed form of Lemma 2(2): upper bound on `P(Y ≥ λ | X_s = k)`.
+///
+/// # Panics
+/// Panics if `lambda == 0` or `c_small == 0`.
+#[must_use]
+pub fn collision_bound(lambda: u64, k: u64, c_small: u64) -> f64 {
+    assert!(lambda > 0, "lambda must be positive");
+    assert!(c_small > 0, "small capacity must be positive");
+    let base = std::f64::consts::E * (k as f64).powi(3)
+        / (lambda as f64 * (c_small as f64).powi(2));
+    base.powf(lambda as f64).min(1.0)
+}
+
+/// Empirical statistics of one instrumented game: how many balls probed
+/// only small bins, and how many of those collided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmallBallStats {
+    /// `X_s`: balls whose d choices were all small bins.
+    pub xs: u64,
+    /// `Y`: small-ball events landing in an already non-empty bin
+    /// (measured over the unit-bin dominating process, as in the proof).
+    pub collisions: u64,
+    /// Total balls thrown (= C).
+    pub m: u64,
+}
+
+/// Runs one `m = C` game with `d` proportional choices over the given
+/// capacities and counts `X_s` and `Y` with small bins defined as
+/// capacity < `small_threshold`.
+///
+/// The collision count follows the proof's accounting: the `X_s` balls
+/// are replayed into `C_s` unit slots chosen uniformly (the dominating
+/// process of Lemma 1), counting arrivals into non-empty slots.
+#[must_use]
+pub fn measure_small_balls(
+    caps: &CapacityVector,
+    d: usize,
+    small_threshold: u64,
+    seed: u64,
+) -> SmallBallStats {
+    let weights: Vec<f64> = caps.as_slice().iter().map(|&c| c as f64).collect();
+    let sampler = AliasTable::new(&weights);
+    let small: Vec<bool> = caps
+        .as_slice()
+        .iter()
+        .map(|&c| c < small_threshold)
+        .collect();
+    let c_small: u64 = caps
+        .as_slice()
+        .iter()
+        .filter(|&&c| c < small_threshold)
+        .sum();
+    let m = caps.total();
+    let mut rng = Xoshiro256PlusPlus::from_u64_seed(seed);
+    let mut xs = 0u64;
+    let mut collisions = 0u64;
+    let mut slot_occupied = vec![false; c_small.max(1) as usize];
+    for _ in 0..m {
+        let mut all_small = true;
+        for _ in 0..d {
+            if !small[sampler.sample(&mut rng)] {
+                all_small = false;
+            }
+        }
+        if all_small {
+            xs += 1;
+            if c_small > 0 {
+                // Dominating unit-bin process: one uniform slot.
+                let slot = rng.next_below(c_small) as usize;
+                if slot_occupied[slot] {
+                    collisions += 1;
+                } else {
+                    slot_occupied[slot] = true;
+                }
+            }
+        }
+    }
+    SmallBallStats { xs, collisions, m }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_probabilities_and_monotone() {
+        // The bound caps at 1 and decreases in k once e·Cs²/(k·C) < 1.
+        let c_small = 100u64;
+        let c_total = 100_000u64;
+        let mut prev = f64::INFINITY;
+        for k in 1..=10 {
+            let b = small_ball_bound(k, c_small, c_total);
+            assert!((0.0..=1.0).contains(&b));
+            assert!(b <= prev, "bound not monotone at k={k}");
+            prev = b;
+        }
+        let mut prev = f64::INFINITY;
+        for lambda in 1..=10 {
+            let b = collision_bound(lambda, 20, 500);
+            assert!((0.0..=1.0).contains(&b));
+            assert!(b <= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn expected_small_balls_matches_probability() {
+        // E[X_s] = m · (C_s/C)^d exactly; the measured mean over seeds
+        // must agree.
+        let caps = CapacityVector::two_class(200, 1, 200, 20);
+        let c_small = 200f64;
+        let c = caps.total() as f64;
+        let d = 2;
+        let expected = c * (c_small / c).powi(d as i32);
+        let reps = 200;
+        let mean_xs: f64 = (0..reps)
+            .map(|s| measure_small_balls(&caps, d, 2, s).xs as f64)
+            .sum::<f64>()
+            / reps as f64;
+        // sd of Xs ≈ sqrt(E) ≈ 3; se over 200 reps ≈ 0.2.
+        assert!(
+            (mean_xs - expected).abs() < 1.0,
+            "mean X_s {mean_xs} vs E[X_s] {expected}"
+        );
+    }
+
+    #[test]
+    fn lemma2_part1_bound_dominates_empirical_tail() {
+        // P(X_s >= k) measured over seeds must lie below the closed form
+        // wherever the closed form is informative (< 1).
+        let caps = CapacityVector::two_class(100, 1, 300, 25);
+        let c_small = 100u64;
+        let c_total = caps.total();
+        let reps = 400u64;
+        let samples: Vec<u64> = (0..reps)
+            .map(|s| measure_small_balls(&caps, 2, 2, 0xAAA + s).xs)
+            .collect();
+        for k in 1..=12u64 {
+            let bound = small_ball_bound(k, c_small, c_total);
+            if bound >= 1.0 {
+                continue;
+            }
+            let empirical =
+                samples.iter().filter(|&&x| x >= k).count() as f64 / reps as f64;
+            // 3-sigma slack on the empirical estimate.
+            let slack = 3.0 * (bound * (1.0 - bound) / reps as f64).sqrt() + 0.01;
+            assert!(
+                empirical <= bound + slack,
+                "k={k}: empirical {empirical} vs bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn collisions_never_exceed_small_balls() {
+        let caps = CapacityVector::two_class(50, 1, 50, 10);
+        for seed in 0..50 {
+            let stats = measure_small_balls(&caps, 2, 2, seed);
+            assert!(stats.collisions <= stats.xs);
+            assert_eq!(stats.m, caps.total());
+        }
+    }
+
+    #[test]
+    fn no_small_bins_means_no_small_balls() {
+        let caps = CapacityVector::uniform(100, 10);
+        let stats = measure_small_balls(&caps, 2, 2, 1);
+        assert_eq!(stats.xs, 0);
+        assert_eq!(stats.collisions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = small_ball_bound(0, 1, 10);
+    }
+}

@@ -1,0 +1,145 @@
+//! Tail bounds used throughout the paper's proofs.
+
+/// The binomial-coefficient estimate `C(n, k) ≤ (e·n/k)^k` (used in the
+/// proof of Lemma 2 and Theorem 2). Returns the bound's value.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > n`.
+#[must_use]
+pub fn choose_upper_bound(n: u64, k: u64) -> f64 {
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n");
+    ((std::f64::consts::E * n as f64) / k as f64).powf(k as f64)
+}
+
+/// Exact binomial coefficient as `f64` (for validating the bound; exact
+/// for moderate sizes, monotone approximation beyond).
+#[must_use]
+pub fn choose_exact(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc *= (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Multiplicative Chernoff upper-tail bound used by Observation 1:
+/// for `X ~ Bin(·)` with mean `mu`, `P(X ≥ (1+eps)·mu) ≤ exp(−eps²·mu/3)`
+/// for `0 < eps ≤ 1`.
+///
+/// # Panics
+/// Panics unless `0 < eps <= 1` and `mu > 0`.
+#[must_use]
+pub fn chernoff_upper(mu: f64, eps: f64) -> f64 {
+    assert!(eps > 0.0 && eps <= 1.0, "eps must be in (0,1]");
+    assert!(mu > 0.0, "mean must be positive");
+    (-eps * eps * mu / 3.0).exp()
+}
+
+/// The sharper KL-divergence (relative-entropy) Chernoff bound:
+/// `P(Bin(n,p) ≥ a·n) ≤ exp(−n·KL(a‖p))` for `a > p`.
+///
+/// # Panics
+/// Panics unless `0 < p < 1` and `p < a < 1`.
+#[must_use]
+pub fn chernoff_kl(n: u64, p: f64, a: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p in (0,1)");
+    assert!(a > p && a < 1.0, "need p < a < 1");
+    let kl = a * (a / p).ln() + (1.0 - a) * ((1.0 - a) / (1.0 - p)).ln();
+    (-(n as f64) * kl).exp()
+}
+
+/// Exact binomial upper tail `P(Bin(n, p) ≥ k)` by pmf summation
+/// (reference implementation for validating the bounds; O(n)).
+#[must_use]
+pub fn binomial_upper_tail_exact(n: u64, p: f64, k: u64) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    // Stable forward recurrence from the pmf at k=0.
+    let q = 1.0 - p;
+    if p <= 0.0 {
+        return 0.0;
+    }
+    if p >= 1.0 {
+        return 1.0;
+    }
+    let mut pmf = q.powf(n as f64);
+    let mut cdf_below = 0.0;
+    for i in 0..k {
+        cdf_below += pmf;
+        pmf *= (n - i) as f64 / (i + 1) as f64 * (p / q);
+    }
+    (1.0 - cdf_below).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choose_bound_dominates_exact() {
+        for n in [5u64, 10, 50, 200] {
+            for k in 1..=n.min(12) {
+                assert!(
+                    choose_upper_bound(n, k) >= choose_exact(n, k),
+                    "bound violated at C({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn choose_exact_known_values() {
+        assert_eq!(choose_exact(5, 2), 10.0);
+        assert_eq!(choose_exact(10, 0), 1.0);
+        assert_eq!(choose_exact(10, 10), 1.0);
+        assert_eq!(choose_exact(6, 3), 20.0);
+        assert_eq!(choose_exact(4, 7), 0.0);
+    }
+
+    #[test]
+    fn chernoff_bounds_dominate_exact_tail() {
+        // P(Bin(n,p) >= (1+eps) n p) vs both Chernoff forms.
+        let n = 500u64;
+        let p = 0.1;
+        let mu = n as f64 * p;
+        for eps in [0.2, 0.5, 1.0] {
+            let threshold = ((1.0 + eps) * mu).ceil() as u64;
+            let exact = binomial_upper_tail_exact(n, p, threshold);
+            let simple = chernoff_upper(mu, eps);
+            assert!(
+                exact <= simple * 1.0001,
+                "eps={eps}: exact {exact} vs chernoff {simple}"
+            );
+            let a = threshold as f64 / n as f64;
+            if a > p && a < 1.0 {
+                let kl = chernoff_kl(n, p, a);
+                assert!(exact <= kl * 1.0001, "eps={eps}: exact {exact} vs KL {kl}");
+                assert!(kl <= simple * 1.1, "KL bound should be at least as sharp");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_tail_edge_cases() {
+        assert_eq!(binomial_upper_tail_exact(10, 0.3, 0), 1.0);
+        assert_eq!(binomial_upper_tail_exact(10, 0.3, 11), 0.0);
+        // P(Bin(2, 1/2) >= 1) = 3/4.
+        assert!((binomial_upper_tail_exact(2, 0.5, 1) - 0.75).abs() < 1e-12);
+        // P(Bin(2, 1/2) >= 2) = 1/4.
+        assert!((binomial_upper_tail_exact(2, 0.5, 2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k <= n")]
+    fn choose_bound_rejects_zero_k() {
+        let _ = choose_upper_bound(5, 0);
+    }
+}

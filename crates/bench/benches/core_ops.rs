@@ -1,0 +1,87 @@
+//! Core-operation throughput: the throw loop across policies, `d`, and
+//! selection models, plus metric extraction. Reported with element
+//! throughput (balls/s); this determines how far the Monte-Carlo harness
+//! scales.
+
+use bnb_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const N_BINS: usize = 10_000;
+const BALLS_PER_ITER: u64 = 10_000;
+
+fn throw_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throw_loop");
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(BALLS_PER_ITER));
+
+    // d sweep on the paper's default config (mixed bins, Algorithm 1).
+    let caps = CapacityVector::two_class(N_BINS / 2, 1, N_BINS / 2, 8);
+    for d in [1usize, 2, 3, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("paper_protocol_d", d), &d, |b, &d| {
+            let config = GameConfig::with_d(d);
+            b.iter(|| {
+                let mut game = config.build(&caps, bnb_bench::BENCH_SEED);
+                game.throw_many(BALLS_PER_ITER);
+                black_box(game.bins().total_balls())
+            });
+        });
+    }
+
+    // Policy sweep at d = 2.
+    for (name, policy) in [
+        ("paper_protocol", Policy::PaperProtocol),
+        ("least_loaded_post", Policy::LeastLoadedPost),
+        ("least_loaded_prior", Policy::LeastLoadedPrior),
+        ("fewest_balls", Policy::FewestBalls),
+        ("random_of_chosen", Policy::RandomOfChosen),
+    ] {
+        group.bench_function(BenchmarkId::new("policy", name), |b| {
+            let config = GameConfig::with_d(2).policy(policy);
+            b.iter(|| {
+                let mut game = config.build(&caps, bnb_bench::BENCH_SEED);
+                game.throw_many(BALLS_PER_ITER);
+                black_box(game.bins().total_balls())
+            });
+        });
+    }
+
+    // Selection sweep at d = 2 (uniform vs proportional vs tilted).
+    for (name, selection) in [
+        ("uniform", Selection::Uniform),
+        ("proportional", Selection::ProportionalToCapacity),
+        ("power_2.0", Selection::CapacityPower(2.0)),
+    ] {
+        group.bench_function(BenchmarkId::new("selection", name), |b| {
+            let config = GameConfig::with_d(2).selection(selection.clone());
+            b.iter(|| {
+                let mut game = config.build(&caps, bnb_bench::BENCH_SEED);
+                game.throw_many(BALLS_PER_ITER);
+                black_box(game.bins().total_balls())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn metrics_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics");
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let caps = CapacityVector::two_class(N_BINS / 2, 1, N_BINS / 2, 8);
+    let bins = run_game(&caps, caps.total(), &GameConfig::default(), 7);
+    group.bench_function("max_load", |b| {
+        b.iter(|| black_box(bins.max_load()));
+    });
+    group.bench_function("normalized_loads", |b| {
+        b.iter(|| black_box(bins.normalized_loads_f64()));
+    });
+    group.bench_function("max_load_bins", |b| {
+        b.iter(|| black_box(bins.max_load_bins()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, throw_loop, metrics_extraction);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! One criterion bench per paper figure.
+//!
+//! These benches run each figure's workload at a strongly reduced scale
+//! (the statistics live in the `repro` binary; here we measure that the
+//! figure pipeline — capacity generation, alias-table build, throw loop,
+//! aggregation — performs). Every figure of the paper appears as one
+//! benchmark, so `cargo bench` exercises the complete reproduction
+//! surface.
+
+use bnb_experiments::{registry, Ctx};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_ctx() -> Ctx {
+    Ctx {
+        master_seed: bnb_bench::BENCH_SEED,
+        rep_factor: 0.02,
+        size_factor: 0.05,
+        ball_budget: 100_000,
+    }
+}
+
+fn figures(c: &mut Criterion) {
+    let ctx = bench_ctx();
+    let mut group = c.benchmark_group("figures");
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for spec in registry() {
+        group.bench_function(spec.id, |b| {
+            b.iter(|| black_box((spec.run)(&ctx)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

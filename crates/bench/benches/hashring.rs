@@ -1,0 +1,77 @@
+//! Consistent-hashing substrate throughput: ring construction, successor
+//! lookups, Chord finger-table lookups, and the Byers d-point game.
+
+use bnb_distributions::Xoshiro256PlusPlus;
+use bnb_hashring::{ByersGame, ChordOverlay, HashRing};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const LOOKUPS: u64 = 10_000;
+
+fn ring_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring");
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [1_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::new("build_1vnode", n), &n, |b, &n| {
+            b.iter(|| black_box(HashRing::new(n, 1, bnb_bench::BENCH_SEED)));
+        });
+        let ring = HashRing::new(n, 1, bnb_bench::BENCH_SEED);
+        group.throughput(Throughput::Elements(LOOKUPS));
+        group.bench_with_input(BenchmarkId::new("successor", n), &n, |b, _| {
+            let mut rng = Xoshiro256PlusPlus::from_u64_seed(1);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..LOOKUPS {
+                    acc = acc.wrapping_add(ring.successor(rng.next()));
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn chord_lookups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord");
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    let ring = HashRing::new(10_000, 1, bnb_bench::BENCH_SEED);
+    let overlay = ChordOverlay::new(ring);
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("lookup_10k_nodes", |b| {
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(2);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..1_000 {
+                let start = rng.next_below(10_000) as usize;
+                acc = acc.wrapping_add(overlay.lookup(start, rng.next()).hops);
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn byers_game(c: &mut Criterion) {
+    let mut group = c.benchmark_group("byers");
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(10_000));
+    for d in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("throw_10k", d), &d, |b, &d| {
+            let ring = HashRing::new(10_000, 1, bnb_bench::BENCH_SEED);
+            b.iter(|| {
+                let mut rng = Xoshiro256PlusPlus::from_u64_seed(3);
+                let mut game = ByersGame::new(ring.clone(), d, bnb_bench::BENCH_SEED);
+                game.throw_many(10_000, &mut rng);
+                black_box(game.max_load())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ring_ops, chord_lookups, byers_game);
+criterion_main!(benches);

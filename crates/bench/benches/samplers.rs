@@ -1,0 +1,101 @@
+//! Weighted-sampler ablation: alias vs Fenwick vs cumulative table.
+//!
+//! The simulation draws two weighted indices per ball; this bench
+//! quantifies why the alias method is the default (O(1) per draw) and
+//! what the Fenwick sampler costs in exchange for updatability.
+
+use bnb_distributions::{
+    AliasTable, CumulativeSampler, FenwickSampler, WeightedSampler, Xoshiro256PlusPlus,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const DRAWS: u64 = 10_000;
+
+fn weights(n: usize) -> Vec<f64> {
+    // Heterogeneous weights resembling a 1-and-8 capacity mix.
+    (0..n).map(|i| if i % 2 == 0 { 1.0 } else { 8.0 }).collect()
+}
+
+fn sample_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler_draw");
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(DRAWS));
+    for n in [100usize, 10_000, 1_000_000] {
+        let w = weights(n);
+        let alias = AliasTable::new(&w);
+        let fenwick = FenwickSampler::new(&w);
+        let cumulative = CumulativeSampler::new(&w);
+        group.bench_with_input(BenchmarkId::new("alias", n), &n, |b, _| {
+            let mut rng = Xoshiro256PlusPlus::from_u64_seed(bnb_bench::BENCH_SEED);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..DRAWS {
+                    acc = acc.wrapping_add(alias.sample(&mut rng));
+                }
+                black_box(acc)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fenwick", n), &n, |b, _| {
+            let mut rng = Xoshiro256PlusPlus::from_u64_seed(bnb_bench::BENCH_SEED);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..DRAWS {
+                    acc = acc.wrapping_add(fenwick.sample(&mut rng));
+                }
+                black_box(acc)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cumulative", n), &n, |b, _| {
+            let mut rng = Xoshiro256PlusPlus::from_u64_seed(bnb_bench::BENCH_SEED);
+            b.iter(|| {
+                let mut acc = 0usize;
+                for _ in 0..DRAWS {
+                    acc = acc.wrapping_add(cumulative.sample(&mut rng));
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn build_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler_build");
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [100usize, 10_000, 1_000_000] {
+        let w = weights(n);
+        group.bench_with_input(BenchmarkId::new("alias", n), &n, |b, _| {
+            b.iter(|| black_box(AliasTable::new(&w)));
+        });
+        group.bench_with_input(BenchmarkId::new("fenwick", n), &n, |b, _| {
+            b.iter(|| black_box(FenwickSampler::new(&w)));
+        });
+    }
+    group.finish();
+}
+
+fn fenwick_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler_update");
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(DRAWS));
+    let w = weights(10_000);
+    group.bench_function("fenwick_set_weight", |b| {
+        let mut f = FenwickSampler::new(&w);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(bnb_bench::BENCH_SEED);
+        b.iter(|| {
+            for _ in 0..DRAWS {
+                let i = rng.next_below(10_000) as usize;
+                f.set_weight(i, rng.next_f64() * 8.0 + 0.5);
+            }
+            black_box(f.total_weight())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sample_throughput, build_cost, fenwick_update);
+criterion_main!(benches);

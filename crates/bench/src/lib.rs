@@ -1,0 +1,20 @@
+//! # bnb-bench
+//!
+//! Shared helpers for the criterion benchmark suite. The benches
+//! themselves live in `benches/` (one file per concern):
+//!
+//! * `figures.rs` — one bench group per paper figure (scaled down),
+//! * `core_ops.rs` — throw-loop throughput across policies and `d`,
+//! * `samplers.rs` — alias vs. Fenwick vs. cumulative ablation,
+//! * `ablations.rs` — protocol design-choice ablations,
+//! * `hashring.rs` — consistent-hashing substrate throughput.
+
+#![deny(missing_docs)]
+
+/// Standard deterministic seed used across benches so criterion compares
+/// like-for-like work between runs.
+pub const BENCH_SEED: u64 = 0xB415_2B11;
+
+/// Reduced repetition count for figure benches (the repro binary, not the
+/// benches, is responsible for paper-scale statistics).
+pub const BENCH_REPS: usize = 3;

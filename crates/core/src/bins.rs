@@ -1,0 +1,294 @@
+//! The mutable bin-array state of a balls-into-bins game.
+
+use crate::load::Load;
+
+/// An array of `n` bins with fixed capacities and mutable ball counts.
+///
+/// All load queries return exact [`Load`] rationals; floating-point views
+/// exist only for metrics/plotting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinArray {
+    capacities: Vec<u64>,
+    balls: Vec<u64>,
+    total_capacity: u64,
+    total_balls: u64,
+}
+
+impl BinArray {
+    /// Creates an empty bin array from capacities.
+    ///
+    /// # Panics
+    /// Panics if `capacities` is empty or any capacity is zero.
+    #[must_use]
+    pub fn new(capacities: Vec<u64>) -> Self {
+        assert!(!capacities.is_empty(), "need at least one bin");
+        let mut total = 0u64;
+        for (i, &c) in capacities.iter().enumerate() {
+            assert!(c > 0, "bin {i} has zero capacity");
+            total = total.checked_add(c).expect("total capacity overflows u64");
+        }
+        let n = capacities.len();
+        BinArray {
+            capacities,
+            balls: vec![0; n],
+            total_capacity: total,
+            total_balls: 0,
+        }
+    }
+
+    /// Number of bins.
+    #[must_use]
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Capacity of bin `i`.
+    #[must_use]
+    #[inline]
+    pub fn capacity(&self, i: usize) -> u64 {
+        self.capacities[i]
+    }
+
+    /// All capacities.
+    #[must_use]
+    #[inline]
+    pub fn capacities(&self) -> &[u64] {
+        &self.capacities
+    }
+
+    /// Ball count of bin `i`.
+    #[must_use]
+    #[inline]
+    pub fn balls(&self, i: usize) -> u64 {
+        self.balls[i]
+    }
+
+    /// All ball counts.
+    #[must_use]
+    #[inline]
+    pub fn ball_counts(&self) -> &[u64] {
+        &self.balls
+    }
+
+    /// Total capacity `C = Σ c_i`.
+    #[must_use]
+    #[inline]
+    pub fn total_capacity(&self) -> u64 {
+        self.total_capacity
+    }
+
+    /// Total number of allocated balls.
+    #[must_use]
+    #[inline]
+    pub fn total_balls(&self) -> u64 {
+        self.total_balls
+    }
+
+    /// Exact current load of bin `i`.
+    #[must_use]
+    #[inline]
+    pub fn load(&self, i: usize) -> Load {
+        Load::new(self.balls[i], self.capacities[i])
+    }
+
+    /// Exact load bin `i` would have after receiving one more ball —
+    /// the quantity Algorithm 1 minimises.
+    #[must_use]
+    #[inline]
+    pub fn post_alloc_load(&self, i: usize) -> Load {
+        Load::new(self.balls[i] + 1, self.capacities[i])
+    }
+
+    /// Allocates one ball to bin `i` and returns the ball's *height*
+    /// (the bin's load right after the allocation, as defined in §2).
+    #[inline]
+    pub fn add_ball(&mut self, i: usize) -> Load {
+        self.balls[i] += 1;
+        self.total_balls += 1;
+        Load::new(self.balls[i], self.capacities[i])
+    }
+
+    /// Removes one ball from bin `i` (used by the dynamic/churn games;
+    /// the paper's static game never deletes).
+    ///
+    /// # Panics
+    /// Panics if bin `i` is empty.
+    #[inline]
+    pub fn remove_ball(&mut self, i: usize) {
+        assert!(self.balls[i] > 0, "bin {i} has no ball to remove");
+        self.balls[i] -= 1;
+        self.total_balls -= 1;
+    }
+
+    /// Removes all balls (capacities unchanged).
+    pub fn clear(&mut self) {
+        self.balls.fill(0);
+        self.total_balls = 0;
+    }
+
+    /// Average load `m / C` — the benchmark every figure compares against
+    /// (with `m = C` the optimum is exactly 1).
+    #[must_use]
+    pub fn average_load(&self) -> f64 {
+        self.total_balls as f64 / self.total_capacity as f64
+    }
+
+    /// The exact maximum load over all bins.
+    #[must_use]
+    pub fn max_load(&self) -> Load {
+        (0..self.n())
+            .map(|i| self.load(i))
+            .max()
+            .expect("bin array is non-empty")
+    }
+
+    /// Indices of **all** bins attaining the maximum load (exact ties).
+    #[must_use]
+    pub fn max_load_bins(&self) -> Vec<usize> {
+        let max = self.max_load();
+        (0..self.n()).filter(|&i| self.load(i) == max).collect()
+    }
+
+    /// Floating-point loads of all bins, in index order.
+    #[must_use]
+    pub fn loads_f64(&self) -> Vec<f64> {
+        (0..self.n()).map(|i| self.load(i).as_f64()).collect()
+    }
+
+    /// Loads sorted in non-increasing order — the *normalised load vector*
+    /// `L̄` of §2.
+    #[must_use]
+    pub fn normalized_loads_f64(&self) -> Vec<f64> {
+        let mut loads: Vec<Load> = (0..self.n()).map(|i| self.load(i)).collect();
+        loads.sort_unstable_by(|a, b| b.cmp(a));
+        loads.iter().map(Load::as_f64).collect()
+    }
+
+    /// Loads (sorted non-increasing) of only the bins with capacity `c` —
+    /// used by the per-class figures 12 and 13.
+    #[must_use]
+    pub fn class_normalized_loads_f64(&self, c: u64) -> Vec<f64> {
+        let mut loads: Vec<Load> = (0..self.n())
+            .filter(|&i| self.capacities[i] == c)
+            .map(|i| self.load(i))
+            .collect();
+        loads.sort_unstable_by(|a, b| b.cmp(a));
+        loads.iter().map(Load::as_f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_totals() {
+        let b = BinArray::new(vec![1, 2, 3]);
+        assert_eq!(b.n(), 3);
+        assert_eq!(b.total_capacity(), 6);
+        assert_eq!(b.total_balls(), 0);
+        assert_eq!(b.load(2), Load::zero(3));
+    }
+
+    #[test]
+    fn add_ball_updates_state_and_returns_height() {
+        let mut b = BinArray::new(vec![2, 4]);
+        let h = b.add_ball(1);
+        assert_eq!(h, Load::new(1, 4));
+        assert_eq!(b.balls(1), 1);
+        assert_eq!(b.total_balls(), 1);
+        let h2 = b.add_ball(1);
+        assert_eq!(h2, Load::new(2, 4));
+    }
+
+    #[test]
+    fn post_alloc_load_is_lookahead() {
+        let mut b = BinArray::new(vec![2]);
+        assert_eq!(b.post_alloc_load(0), Load::new(1, 2));
+        b.add_ball(0);
+        assert_eq!(b.post_alloc_load(0), Load::new(2, 2));
+        assert_eq!(b.load(0), Load::new(1, 2));
+    }
+
+    #[test]
+    fn max_load_and_holders_with_exact_ties() {
+        let mut b = BinArray::new(vec![2, 4, 1]);
+        // loads: 1/2, 2/4 (equal!), 0/1
+        b.add_ball(0);
+        b.add_ball(1);
+        b.add_ball(1);
+        assert_eq!(b.max_load(), Load::new(1, 2));
+        assert_eq!(b.max_load_bins(), vec![0, 1]);
+    }
+
+    #[test]
+    fn normalized_loads_sorted_desc() {
+        let mut b = BinArray::new(vec![1, 2, 1]);
+        b.add_ball(0); // 1.0
+        b.add_ball(1); // 0.5
+        let v = b.normalized_loads_f64();
+        assert_eq!(v, vec![1.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn class_loads_filter_by_capacity() {
+        let mut b = BinArray::new(vec![1, 8, 1, 8]);
+        b.add_ball(1);
+        b.add_ball(2);
+        let ones = b.class_normalized_loads_f64(1);
+        let eights = b.class_normalized_loads_f64(8);
+        assert_eq!(ones, vec![1.0, 0.0]);
+        assert_eq!(eights, vec![0.125, 0.0]);
+        assert!(b.class_normalized_loads_f64(99).is_empty());
+    }
+
+    #[test]
+    fn remove_ball_decrements() {
+        let mut b = BinArray::new(vec![2, 2]);
+        b.add_ball(0);
+        b.add_ball(0);
+        b.remove_ball(0);
+        assert_eq!(b.balls(0), 1);
+        assert_eq!(b.total_balls(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no ball to remove")]
+    fn remove_from_empty_bin_panics() {
+        let mut b = BinArray::new(vec![2]);
+        b.remove_ball(0);
+    }
+
+    #[test]
+    fn clear_resets_balls_only() {
+        let mut b = BinArray::new(vec![3, 3]);
+        b.add_ball(0);
+        b.add_ball(1);
+        b.clear();
+        assert_eq!(b.total_balls(), 0);
+        assert_eq!(b.balls(0), 0);
+        assert_eq!(b.total_capacity(), 6);
+    }
+
+    #[test]
+    fn average_load_is_m_over_c() {
+        let mut b = BinArray::new(vec![1, 3]);
+        for _ in 0..8 {
+            b.add_ball(0);
+        }
+        assert_eq!(b.average_load(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero capacity")]
+    fn zero_capacity_bin_rejected() {
+        let _ = BinArray::new(vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn empty_rejected() {
+        let _ = BinArray::new(vec![]);
+    }
+}

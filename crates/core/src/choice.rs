@@ -1,0 +1,220 @@
+//! Selection-probability models: how a ball picks its `d` candidate bins.
+
+use bnb_distributions::{AliasTable, WeightedSampler, Xoshiro256PlusPlus};
+
+/// Maximum supported number of choices per ball. Keeps the per-ball
+/// candidate buffer on the stack in the hot loop.
+pub const MAX_D: usize = 16;
+
+/// The probability distribution a ball uses to pick candidate bins.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selection {
+    /// Every bin is equally likely (`1/n`) — the classic game's model.
+    Uniform,
+    /// Bin `i` is chosen with probability `c_i / C` — the paper's default.
+    ProportionalToCapacity,
+    /// Bin `i` is chosen with probability `c_i^t / Σ_j c_j^t` — the §4.5
+    /// exponent-tilted family (`t = 1` recovers proportional, `t = 0`
+    /// uniform).
+    CapacityPower(f64),
+    /// Theorem 5's distribution: uniform over the bins whose capacity is
+    /// at least the threshold, probability zero elsewhere.
+    OnlyCapacityAtLeast(u64),
+    /// Arbitrary explicit non-negative weights (length must match `n`).
+    Explicit(Vec<f64>),
+}
+
+impl Selection {
+    /// The per-bin weights this model induces on the given capacities.
+    ///
+    /// # Panics
+    /// Panics if [`Selection::Explicit`] has the wrong length, or if
+    /// [`Selection::OnlyCapacityAtLeast`] matches no bin.
+    #[must_use]
+    pub fn weights(&self, capacities: &[u64]) -> Vec<f64> {
+        match self {
+            Selection::Uniform => vec![1.0; capacities.len()],
+            Selection::ProportionalToCapacity => {
+                capacities.iter().map(|&c| c as f64).collect()
+            }
+            Selection::CapacityPower(t) => {
+                assert!(t.is_finite(), "exponent must be finite");
+                capacities.iter().map(|&c| (c as f64).powf(*t)).collect()
+            }
+            Selection::OnlyCapacityAtLeast(threshold) => {
+                let w: Vec<f64> = capacities
+                    .iter()
+                    .map(|&c| if c >= *threshold { 1.0 } else { 0.0 })
+                    .collect();
+                assert!(
+                    w.iter().any(|&x| x > 0.0),
+                    "no bin has capacity >= {threshold}"
+                );
+                w
+            }
+            Selection::Explicit(w) => {
+                assert_eq!(
+                    w.len(),
+                    capacities.len(),
+                    "explicit weights must match bin count"
+                );
+                w.clone()
+            }
+        }
+    }
+
+    /// Builds the O(1) alias sampler for these weights.
+    #[must_use]
+    pub fn sampler(&self, capacities: &[u64]) -> AliasTable {
+        AliasTable::new(&self.weights(capacities))
+    }
+}
+
+/// Whether the `d` candidates are drawn independently (the paper's model,
+/// duplicates possible) or forced distinct by rejection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChoiceMode {
+    /// Independent draws; the same bin may appear more than once
+    /// (duplicates are harmless: Algorithm 1 treats `B` as a set).
+    #[default]
+    WithReplacement,
+    /// Re-draw until `d` distinct bins are chosen. Requires at least `d`
+    /// bins with positive weight.
+    Distinct,
+}
+
+/// Draws `d` candidate indices into `buf` according to `mode`, returning
+/// the filled prefix.
+///
+/// # Panics
+/// Panics if `d == 0`, `d > MAX_D`, or (in [`ChoiceMode::Distinct`] mode)
+/// `d` exceeds the sampler's category count.
+#[inline]
+pub fn draw_candidates<'a>(
+    sampler: &AliasTable,
+    d: usize,
+    mode: ChoiceMode,
+    rng: &mut Xoshiro256PlusPlus,
+    buf: &'a mut [usize; MAX_D],
+) -> &'a [usize] {
+    assert!((1..=MAX_D).contains(&d), "d must be in 1..={MAX_D}");
+    match mode {
+        ChoiceMode::WithReplacement => {
+            for slot in buf.iter_mut().take(d) {
+                *slot = sampler.sample(rng);
+            }
+        }
+        ChoiceMode::Distinct => {
+            assert!(
+                d <= sampler.len(),
+                "cannot draw {d} distinct bins from {}",
+                sampler.len()
+            );
+            let mut filled = 0;
+            while filled < d {
+                let cand = sampler.sample(rng);
+                if !buf[..filled].contains(&cand) {
+                    buf[filled] = cand;
+                    filled += 1;
+                }
+            }
+        }
+    }
+    &buf[..d]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_weights_ignore_capacity() {
+        let w = Selection::Uniform.weights(&[1, 10, 100]);
+        assert_eq!(w, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn proportional_weights() {
+        let w = Selection::ProportionalToCapacity.weights(&[1, 10, 100]);
+        assert_eq!(w, vec![1.0, 10.0, 100.0]);
+    }
+
+    #[test]
+    fn power_weights_special_cases() {
+        let caps = [2u64, 3, 4];
+        let w0 = Selection::CapacityPower(0.0).weights(&caps);
+        assert_eq!(w0, vec![1.0, 1.0, 1.0]);
+        let w1 = Selection::CapacityPower(1.0).weights(&caps);
+        assert_eq!(w1, vec![2.0, 3.0, 4.0]);
+        let w2 = Selection::CapacityPower(2.0).weights(&caps);
+        assert_eq!(w2, vec![4.0, 9.0, 16.0]);
+    }
+
+    #[test]
+    fn threshold_weights_zero_small_bins() {
+        let w = Selection::OnlyCapacityAtLeast(5).weights(&[1, 5, 9, 4]);
+        assert_eq!(w, vec![0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no bin has capacity")]
+    fn threshold_with_no_big_bins_panics() {
+        let _ = Selection::OnlyCapacityAtLeast(100).weights(&[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "match bin count")]
+    fn explicit_wrong_length_panics() {
+        let _ = Selection::Explicit(vec![1.0]).weights(&[1, 2]);
+    }
+
+    #[test]
+    fn with_replacement_fills_d_slots() {
+        let sampler = Selection::Uniform.sampler(&[1, 1, 1]);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(1);
+        let mut buf = [0usize; MAX_D];
+        let c = draw_candidates(&sampler, 5, ChoiceMode::WithReplacement, &mut rng, &mut buf);
+        assert_eq!(c.len(), 5);
+        assert!(c.iter().all(|&i| i < 3));
+    }
+
+    #[test]
+    fn distinct_mode_yields_distinct() {
+        let sampler = Selection::ProportionalToCapacity.sampler(&[1, 2, 3, 4, 5]);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(2);
+        let mut buf = [0usize; MAX_D];
+        for _ in 0..100 {
+            let c = draw_candidates(&sampler, 3, ChoiceMode::Distinct, &mut rng, &mut buf);
+            let mut sorted = c.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct bins")]
+    fn distinct_mode_needs_enough_bins() {
+        let sampler = Selection::Uniform.sampler(&[1, 1]);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(3);
+        let mut buf = [0usize; MAX_D];
+        let _ = draw_candidates(&sampler, 3, ChoiceMode::Distinct, &mut rng, &mut buf);
+    }
+
+    #[test]
+    fn proportional_sampling_statistics() {
+        // End-to-end check: capacities 1 and 9 -> P(big) = 0.9.
+        let sampler = Selection::ProportionalToCapacity.sampler(&[1, 9]);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(4);
+        let n = 50_000;
+        let big = (0..n)
+            .filter(|_| {
+                let mut buf = [0usize; MAX_D];
+                draw_candidates(&sampler, 1, ChoiceMode::WithReplacement, &mut rng, &mut buf)[0]
+                    == 1
+            })
+            .count();
+        let expected = 0.9 * n as f64;
+        assert!((big as f64 - expected).abs() < 5.0 * (n as f64 * 0.09).sqrt());
+    }
+}

@@ -1,0 +1,238 @@
+//! Dynamic games with churn: balls arrive *and depart*.
+//!
+//! The paper's game is insertion-only; real systems (the P2P and storage
+//! settings of §1) see deletions too. This module implements the natural
+//! dynamic extension: insertions follow Algorithm 1 unchanged, deletions
+//! remove a uniformly random *live* ball. The steady-state question —
+//! does the max load stay near the insertion-only bound when the
+//! population is constant? — is explored by extension experiment E5.
+//!
+//! Deletion sampling uses the Fenwick-tree sampler (O(log n) updates)
+//! because ball counts change constantly — exactly the dynamic-weights
+//! use-case the alias table cannot serve.
+
+use crate::bins::BinArray;
+use crate::capacity::CapacityVector;
+use crate::choice::{draw_candidates, ChoiceMode, Selection, MAX_D};
+use crate::policy::Policy;
+use bnb_distributions::{AliasTable, FenwickSampler, WeightedSampler, Xoshiro256PlusPlus};
+
+/// A balls-into-bins game with insertions and uniform-random deletions.
+#[derive(Debug, Clone)]
+pub struct DynamicGame {
+    bins: BinArray,
+    selection: AliasTable,
+    /// Per-bin live-ball counts as Fenwick weights (for uniform deletion).
+    occupancy: FenwickSampler,
+    d: usize,
+    policy: Policy,
+    rng: Xoshiro256PlusPlus,
+}
+
+impl DynamicGame {
+    /// Builds an empty dynamic game.
+    ///
+    /// # Panics
+    /// Panics on invalid `d` or invalid selection weights.
+    #[must_use]
+    pub fn new(
+        capacities: &CapacityVector,
+        d: usize,
+        policy: Policy,
+        selection: &Selection,
+        seed: u64,
+    ) -> Self {
+        assert!((1..=MAX_D).contains(&d), "d must be in 1..={MAX_D}");
+        DynamicGame {
+            bins: BinArray::new(capacities.as_slice().to_vec()),
+            selection: selection.sampler(capacities.as_slice()),
+            occupancy: FenwickSampler::zeros(capacities.n()),
+            d,
+            policy,
+            rng: Xoshiro256PlusPlus::from_u64_seed(seed),
+        }
+    }
+
+    /// Inserts one ball (Algorithm 1); returns the receiving bin.
+    pub fn insert(&mut self) -> usize {
+        let mut buf = [0usize; MAX_D];
+        let candidates = draw_candidates(
+            &self.selection,
+            self.d,
+            ChoiceMode::WithReplacement,
+            &mut self.rng,
+            &mut buf,
+        );
+        let target = self.policy.choose(&self.bins, candidates, &mut self.rng);
+        self.bins.add_ball(target);
+        self.occupancy.add_weight(target, 1.0);
+        target
+    }
+
+    /// Deletes one uniformly random live ball; returns its bin, or `None`
+    /// if the system is empty.
+    pub fn delete_random(&mut self) -> Option<usize> {
+        if self.bins.total_balls() == 0 {
+            return None;
+        }
+        let bin = self.occupancy.sample(&mut self.rng);
+        self.remove_from(bin);
+        Some(bin)
+    }
+
+    /// Deletes one ball from the *most loaded* bin (adversarial departure
+    /// pattern used as a contrast in the churn experiment).
+    pub fn delete_from_max(&mut self) -> Option<usize> {
+        if self.bins.total_balls() == 0 {
+            return None;
+        }
+        let bin = *self
+            .bins
+            .max_load_bins()
+            .iter()
+            .find(|&&i| self.bins.balls(i) > 0)?;
+        self.remove_from(bin);
+        Some(bin)
+    }
+
+    fn remove_from(&mut self, bin: usize) {
+        debug_assert!(self.bins.balls(bin) > 0, "deleting from empty bin");
+        // BinArray has no public decrement (the static game never removes
+        // balls); rebuild the invariant manually through a dedicated path.
+        self.bins.remove_ball(bin);
+        self.occupancy.add_weight(bin, -1.0);
+    }
+
+    /// Runs a churn phase: `steps` iterations of insert-then-delete,
+    /// keeping the population constant.
+    pub fn churn(&mut self, steps: u64) {
+        for _ in 0..steps {
+            self.insert();
+            self.delete_random();
+        }
+    }
+
+    /// Read access to the bins.
+    #[must_use]
+    pub fn bins(&self) -> &BinArray {
+        &self.bins
+    }
+
+    /// Number of live balls.
+    #[must_use]
+    pub fn population(&self) -> u64 {
+        self.bins.total_balls()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn game(seed: u64) -> DynamicGame {
+        let caps = CapacityVector::two_class(50, 1, 50, 10);
+        DynamicGame::new(
+            &caps,
+            2,
+            Policy::PaperProtocol,
+            &Selection::ProportionalToCapacity,
+            seed,
+        )
+    }
+
+    #[test]
+    fn insert_then_delete_preserves_population() {
+        let mut g = game(1);
+        for _ in 0..100 {
+            g.insert();
+        }
+        assert_eq!(g.population(), 100);
+        for _ in 0..40 {
+            assert!(g.delete_random().is_some());
+        }
+        assert_eq!(g.population(), 60);
+        let sum: u64 = g.bins().ball_counts().iter().sum();
+        assert_eq!(sum, 60);
+    }
+
+    #[test]
+    fn delete_on_empty_returns_none() {
+        let mut g = game(2);
+        assert_eq!(g.delete_random(), None);
+        assert_eq!(g.delete_from_max(), None);
+    }
+
+    #[test]
+    fn delete_from_max_reduces_max_bin() {
+        let mut g = game(3);
+        for _ in 0..200 {
+            g.insert();
+        }
+        let before = g.bins().max_load();
+        let bin = g.delete_from_max().unwrap();
+        assert!(g.bins().load(bin) < before);
+    }
+
+    #[test]
+    fn churn_keeps_population_constant() {
+        let mut g = game(4);
+        for _ in 0..550 {
+            g.insert();
+        }
+        g.churn(2_000);
+        assert_eq!(g.population(), 550);
+    }
+
+    #[test]
+    fn churn_steady_state_load_stays_bounded() {
+        // Population m = C under sustained churn: the max load should
+        // stay in the same ballpark as the insertion-only game, not
+        // degrade towards the one-choice bound.
+        let caps = CapacityVector::two_class(250, 1, 250, 10);
+        let mut g = DynamicGame::new(
+            &caps,
+            2,
+            Policy::PaperProtocol,
+            &Selection::ProportionalToCapacity,
+            5,
+        );
+        for _ in 0..caps.total() {
+            g.insert();
+        }
+        g.churn(10 * caps.total());
+        let max = g.bins().max_load().as_f64();
+        assert!(max <= 5.0, "steady-state max load {max} degraded");
+    }
+
+    #[test]
+    fn deletion_is_uniform_over_balls() {
+        // Two bins, 10 and 90 balls: the first deletion hits bin 1 with
+        // probability 0.9. Statistical check over seeds.
+        let caps = CapacityVector::from_vec(vec![1, 1]);
+        let mut hits_large = 0;
+        let reps = 2000;
+        for seed in 0..reps {
+            let mut g = DynamicGame::new(
+                &caps,
+                1,
+                Policy::FirstChoice,
+                &Selection::Uniform,
+                seed,
+            );
+            // Manually stack the bins.
+            for _ in 0..10 {
+                g.bins.add_ball(0);
+                g.occupancy.add_weight(0, 1.0);
+            }
+            for _ in 0..90 {
+                g.bins.add_ball(1);
+                g.occupancy.add_weight(1, 1.0);
+            }
+            if g.delete_random() == Some(1) {
+                hits_large += 1;
+            }
+        }
+        let frac = hits_large as f64 / reps as f64;
+        assert!((frac - 0.9).abs() < 0.03, "deletion bias: {frac}");
+    }
+}

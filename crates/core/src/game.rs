@@ -1,0 +1,304 @@
+//! The simulation engine: configured games of balls into non-uniform bins.
+
+use crate::bins::BinArray;
+use crate::capacity::CapacityVector;
+use crate::choice::{draw_candidates, ChoiceMode, Selection, MAX_D};
+use crate::load::Load;
+use crate::policy::Policy;
+use bnb_distributions::{AliasTable, Xoshiro256PlusPlus};
+
+/// Configuration of a game: everything except the capacities and the seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GameConfig {
+    /// Number of choices per ball, `d ≥ 1` (the paper analyses `d ≥ 2`).
+    pub d: usize,
+    /// Allocation rule (default: the paper's Algorithm 1).
+    pub policy: Policy,
+    /// Selection probabilities (default: proportional to capacity).
+    pub selection: Selection,
+    /// Candidate drawing mode (default: independent, with replacement).
+    pub choice_mode: ChoiceMode,
+}
+
+impl Default for GameConfig {
+    fn default() -> Self {
+        GameConfig {
+            d: 2,
+            policy: Policy::PaperProtocol,
+            selection: Selection::ProportionalToCapacity,
+            choice_mode: ChoiceMode::WithReplacement,
+        }
+    }
+}
+
+impl GameConfig {
+    /// The paper's default game with the given number of choices.
+    #[must_use]
+    pub fn with_d(d: usize) -> Self {
+        GameConfig { d, ..GameConfig::default() }
+    }
+
+    /// Builder-style: replace the policy.
+    #[must_use]
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder-style: replace the selection distribution.
+    #[must_use]
+    pub fn selection(mut self, selection: Selection) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Builder-style: replace the choice mode.
+    #[must_use]
+    pub fn choice_mode(mut self, mode: ChoiceMode) -> Self {
+        self.choice_mode = mode;
+        self
+    }
+
+    /// Instantiates a game on the given capacities with its own RNG.
+    ///
+    /// # Panics
+    /// Panics if `d` is outside `1..=MAX_D` or the selection weights are
+    /// invalid for these capacities.
+    #[must_use]
+    pub fn build(&self, capacities: &CapacityVector, seed: u64) -> Game {
+        assert!(
+            self.d >= 1 && self.d <= MAX_D,
+            "d must be in 1..={MAX_D}, got {}",
+            self.d
+        );
+        let bins = BinArray::new(capacities.as_slice().to_vec());
+        let sampler = self.selection.sampler(capacities.as_slice());
+        Game {
+            bins,
+            sampler,
+            d: self.d,
+            policy: self.policy,
+            choice_mode: self.choice_mode,
+            rng: Xoshiro256PlusPlus::from_u64_seed(seed),
+        }
+    }
+}
+
+/// A running game: bin state + sampler + policy + RNG.
+///
+/// ```
+/// use bnb_core::{CapacityVector, GameConfig};
+/// let caps = CapacityVector::two_class(500, 1, 500, 10);
+/// let mut game = GameConfig::with_d(2).build(&caps, 42);
+/// game.throw_many(caps.total());
+/// assert_eq!(game.bins().total_balls(), caps.total());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Game {
+    bins: BinArray,
+    sampler: AliasTable,
+    d: usize,
+    policy: Policy,
+    choice_mode: ChoiceMode,
+    rng: Xoshiro256PlusPlus,
+}
+
+impl Game {
+    /// Throws one ball; returns the receiving bin's index.
+    #[inline]
+    pub fn throw(&mut self) -> usize {
+        let mut buf = [0usize; MAX_D];
+        let candidates =
+            draw_candidates(&self.sampler, self.d, self.choice_mode, &mut self.rng, &mut buf);
+        let target = self.policy.choose(&self.bins, candidates, &mut self.rng);
+        self.bins.add_ball(target);
+        target
+    }
+
+    /// Throws one ball; returns `(bin, height)` where height is the load
+    /// of the receiving bin immediately after allocation (§2).
+    #[inline]
+    pub fn throw_traced(&mut self) -> (usize, Load) {
+        let bin = self.throw();
+        (bin, self.bins.load(bin))
+    }
+
+    /// Throws `count` balls.
+    pub fn throw_many(&mut self, count: u64) {
+        for _ in 0..count {
+            self.throw();
+        }
+    }
+
+    /// Throws exactly `C` balls (the paper's default `m = C`).
+    pub fn throw_total_capacity(&mut self) {
+        self.throw_many(self.bins.total_capacity());
+    }
+
+    /// Throws `count` balls, invoking `snapshot` after every `interval`
+    /// balls (used by the heavily-loaded Figure 16: sample every `CAP`
+    /// balls while throwing `100·CAP`).
+    ///
+    /// # Panics
+    /// Panics if `interval == 0`.
+    pub fn throw_with_snapshots<F: FnMut(u64, &BinArray)>(
+        &mut self,
+        count: u64,
+        interval: u64,
+        mut snapshot: F,
+    ) {
+        assert!(interval > 0, "snapshot interval must be positive");
+        let mut thrown = 0u64;
+        while thrown < count {
+            let batch = interval.min(count - thrown);
+            for _ in 0..batch {
+                self.throw();
+            }
+            thrown += batch;
+            snapshot(thrown, &self.bins);
+        }
+    }
+
+    /// Read access to the bin state.
+    #[must_use]
+    pub fn bins(&self) -> &BinArray {
+        &self.bins
+    }
+
+    /// Resets the ball counts, keeping capacities, policy and RNG state.
+    pub fn reset(&mut self) {
+        self.bins.clear();
+    }
+
+    /// The number of choices per ball.
+    #[must_use]
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The policy in force.
+    #[must_use]
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+}
+
+/// One-shot convenience: run a complete game of `m` balls and return the
+/// final bin state.
+#[must_use]
+pub fn run_game(
+    capacities: &CapacityVector,
+    m: u64,
+    config: &GameConfig,
+    seed: u64,
+) -> BinArray {
+    let mut game = config.build(capacities, seed);
+    game.throw_many(m);
+    game.bins.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_of_balls() {
+        let caps = CapacityVector::uniform(10, 3);
+        let bins = run_game(&caps, 123, &GameConfig::default(), 7);
+        assert_eq!(bins.total_balls(), 123);
+        assert_eq!(bins.ball_counts().iter().sum::<u64>(), 123);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let caps = CapacityVector::two_class(50, 1, 50, 10);
+        let a = run_game(&caps, caps.total(), &GameConfig::default(), 99);
+        let b = run_game(&caps, caps.total(), &GameConfig::default(), 99);
+        assert_eq!(a, b);
+        let c = run_game(&caps, caps.total(), &GameConfig::default(), 100);
+        assert_ne!(a, c, "different seeds should differ (w.o.p.)");
+    }
+
+    #[test]
+    fn d1_first_choice_is_weighted_one_choice() {
+        // With d = 1 and FirstChoice, allocation frequency must follow the
+        // proportional selection probabilities.
+        let caps = CapacityVector::from_vec(vec![1, 9]);
+        let config = GameConfig::with_d(1).policy(Policy::FirstChoice);
+        let bins = run_game(&caps, 50_000, &config, 3);
+        let frac_big = bins.balls(1) as f64 / 50_000.0;
+        assert!((frac_big - 0.9).abs() < 0.02, "{frac_big}");
+    }
+
+    #[test]
+    fn snapshots_fire_at_intervals() {
+        let caps = CapacityVector::uniform(8, 2);
+        let mut game = GameConfig::default().build(&caps, 5);
+        let mut seen = Vec::new();
+        game.throw_with_snapshots(10, 4, |thrown, bins| {
+            seen.push((thrown, bins.total_balls()));
+        });
+        assert_eq!(seen, vec![(4, 4), (8, 8), (10, 10)]);
+    }
+
+    #[test]
+    fn throw_traced_reports_height() {
+        let caps = CapacityVector::uniform(2, 4);
+        let mut game = GameConfig::with_d(2).build(&caps, 11);
+        let (bin, height) = game.throw_traced();
+        assert!(bin < 2);
+        assert_eq!(height, Load::new(1, 4));
+    }
+
+    #[test]
+    fn reset_preserves_capacities() {
+        let caps = CapacityVector::uniform(4, 2);
+        let mut game = GameConfig::default().build(&caps, 1);
+        game.throw_many(16);
+        game.reset();
+        assert_eq!(game.bins().total_balls(), 0);
+        assert_eq!(game.bins().total_capacity(), 8);
+    }
+
+    #[test]
+    fn two_choice_beats_one_choice_on_max_load() {
+        // The signature power-of-two-choices effect, here on uniform bins:
+        // max load with d=2 is far below max load with d=1 at m = n.
+        let caps = CapacityVector::uniform(5000, 1);
+        let one = run_game(&caps, 5000, &GameConfig::with_d(1), 21);
+        let two = run_game(&caps, 5000, &GameConfig::with_d(2), 21);
+        let max1 = one.max_load().as_f64();
+        let max2 = two.max_load().as_f64();
+        assert!(
+            max2 < max1,
+            "d=2 max {max2} should beat d=1 max {max1}"
+        );
+        // ln ln n / ln 2 + O(1) ≈ 2.1 + O(1); allow generous headroom.
+        assert!(max2 <= 5.0, "two-choice max load {max2} suspiciously high");
+    }
+
+    #[test]
+    fn paper_protocol_on_heterogeneous_bins_bounds_load() {
+        // m = C on a 1/10 mix: Theorem 3 says ln ln n / ln d + O(1);
+        // empirically ~2-3 for n = 1000. Assert a generous ceiling to
+        // catch gross regressions without flaking.
+        let caps = CapacityVector::two_class(500, 1, 500, 10);
+        let bins = run_game(&caps, caps.total(), &GameConfig::default(), 1);
+        assert!(bins.max_load().as_f64() <= 4.0);
+    }
+
+    #[test]
+    fn throw_total_capacity_throws_exactly_c() {
+        let caps = CapacityVector::two_class(3, 2, 3, 5);
+        let mut game = GameConfig::default().build(&caps, 9);
+        game.throw_total_capacity();
+        assert_eq!(game.bins().total_balls(), 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "d must be in 1..=")]
+    fn oversized_d_rejected() {
+        let caps = CapacityVector::uniform(4, 1);
+        let _ = GameConfig::with_d(99).build(&caps, 0);
+    }
+}

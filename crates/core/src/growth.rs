@@ -1,0 +1,155 @@
+//! §4.3 growth models: storage systems that grow in batches of disks.
+//!
+//! The environment starts with a couple of disks and grows by fixed-size
+//! batches; each new batch's per-disk capacity follows a growth model
+//! (constant baseline, linear `+a`, exponential `×b`). Old disks remain
+//! in the system. Figures 14 and 15 plot the maximum load as the system
+//! scales from 2 to 1 000 disks.
+
+use crate::capacity::CapacityVector;
+
+/// How the per-disk capacity of successive batches evolves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GrowthModel {
+    /// Every batch has the same capacity (the paper's baseline, capacity 2).
+    Constant(u64),
+    /// Batch `i` has capacity `first + a·i` (the paper: `first = 2`,
+    /// `a ∈ {1, 2, 4, 6}`).
+    Linear {
+        /// Capacity of the first batch.
+        first: u64,
+        /// Additive increment per batch.
+        a: u64,
+    },
+    /// Batch `i` has capacity `round(first · b^i)`, clamped to ≥ 1
+    /// (the paper: `first = 2`, `b ∈ {1.05, 1.1, 1.2, 1.4}`).
+    Exponential {
+        /// Capacity of the first batch.
+        first: u64,
+        /// Multiplicative factor per batch.
+        b: f64,
+    },
+}
+
+impl GrowthModel {
+    /// Per-disk capacity of batch `i` (0-based).
+    #[must_use]
+    pub fn batch_capacity(&self, i: usize) -> u64 {
+        match self {
+            GrowthModel::Constant(c) => *c,
+            GrowthModel::Linear { first, a } => first + a * i as u64,
+            GrowthModel::Exponential { first, b } => {
+                assert!(*b > 0.0, "growth factor must be positive");
+                let c = (*first as f64) * b.powi(i as i32);
+                (c.round() as u64).max(1)
+            }
+        }
+    }
+
+    /// The capacity vector of a system grown to `total_bins` disks:
+    /// `initial_bins` disks of batch-0 capacity, then batches of
+    /// `batch_size` disks with capacities from this model.
+    ///
+    /// # Panics
+    /// Panics if `initial_bins == 0`, `batch_size == 0`, or
+    /// `total_bins < initial_bins`.
+    #[must_use]
+    pub fn capacities(
+        &self,
+        initial_bins: usize,
+        batch_size: usize,
+        total_bins: usize,
+    ) -> CapacityVector {
+        assert!(initial_bins > 0, "need at least one initial disk");
+        assert!(batch_size > 0, "batch size must be positive");
+        assert!(
+            total_bins >= initial_bins,
+            "total bins below the initial count"
+        );
+        let mut capacities = Vec::with_capacity(total_bins);
+        capacities.extend(std::iter::repeat_n(self.batch_capacity(0), initial_bins));
+        let mut batch = 1usize;
+        while capacities.len() < total_bins {
+            let take = batch_size.min(total_bins - capacities.len());
+            capacities.extend(std::iter::repeat_n(self.batch_capacity(batch), take));
+            batch += 1;
+        }
+        CapacityVector::from_vec(capacities)
+    }
+
+    /// The paper's schedule: 2 initial disks, +20 disks per batch —
+    /// shorthand for `capacities(2, 20, total_bins)`.
+    #[must_use]
+    pub fn paper_schedule(&self, total_bins: usize) -> CapacityVector {
+        self.capacities(2, 20, total_bins)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_model() {
+        let m = GrowthModel::Constant(2);
+        assert_eq!(m.batch_capacity(0), 2);
+        assert_eq!(m.batch_capacity(49), 2);
+        let caps = m.paper_schedule(42);
+        assert_eq!(caps.n(), 42);
+        assert!(caps.as_slice().iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn linear_model_increments() {
+        let m = GrowthModel::Linear { first: 2, a: 4 };
+        assert_eq!(m.batch_capacity(0), 2);
+        assert_eq!(m.batch_capacity(1), 6);
+        assert_eq!(m.batch_capacity(3), 14);
+    }
+
+    #[test]
+    fn exponential_model_rounds_and_clamps() {
+        let m = GrowthModel::Exponential { first: 2, b: 1.4 };
+        assert_eq!(m.batch_capacity(0), 2);
+        assert_eq!(m.batch_capacity(1), 3); // 2.8 -> 3
+        assert_eq!(m.batch_capacity(2), 4); // 3.92 -> 4
+        let shrink = GrowthModel::Exponential { first: 1, b: 0.1 };
+        assert_eq!(shrink.batch_capacity(5), 1); // clamped
+    }
+
+    #[test]
+    fn paper_schedule_layout() {
+        let m = GrowthModel::Linear { first: 2, a: 1 };
+        let caps = m.paper_schedule(62);
+        // 2 initial (cap 2) + 20 (cap 3) + 20 (cap 4) + 20 (cap 5)
+        assert_eq!(caps.n(), 62);
+        assert_eq!(&caps.as_slice()[..2], &[2, 2]);
+        assert_eq!(&caps.as_slice()[2..22], vec![3u64; 20].as_slice());
+        assert_eq!(&caps.as_slice()[22..42], vec![4u64; 20].as_slice());
+        assert_eq!(&caps.as_slice()[42..62], vec![5u64; 20].as_slice());
+    }
+
+    #[test]
+    fn partial_last_batch_is_truncated() {
+        let m = GrowthModel::Linear { first: 2, a: 1 };
+        let caps = m.capacities(2, 20, 30);
+        assert_eq!(caps.n(), 30);
+        assert_eq!(&caps.as_slice()[22..30], vec![4u64; 8].as_slice());
+    }
+
+    #[test]
+    fn exponential_outgrows_linear_eventually() {
+        let lin = GrowthModel::Linear { first: 2, a: 6 };
+        let exp = GrowthModel::Exponential { first: 2, b: 1.4 };
+        // By batch 15: lin = 2+90 = 92; exp = 2*1.4^15 ≈ 311.
+        assert!(exp.batch_capacity(15) > lin.batch_capacity(15));
+        // Early on the linear model is ahead.
+        assert!(exp.batch_capacity(1) < lin.batch_capacity(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "below the initial count")]
+    fn too_few_total_bins_rejected() {
+        let _ = GrowthModel::Constant(2).capacities(5, 20, 3);
+    }
+}

@@ -1,0 +1,64 @@
+//! # bnb-core
+//!
+//! Core model of *Balls into non-uniform bins* (Berenbrink, Brinkmann,
+//! Friedetzky, Nagel; IPDPS 2010 / JPDC 2014).
+//!
+//! The model: `n` bins where bin `i` has an integer **capacity** `c_i ≥ 1`
+//! (a speed/bandwidth figure, not a volume limit) and total capacity
+//! `C = Σ c_i`. A ball placed in bin `i` raises its **load**
+//! `ℓ_i = m_i / c_i` where `m_i` is the bin's ball count. Each ball draws
+//! `d ≥ 2` bins — by default with probability proportional to capacity —
+//! and the paper's greedy protocol (Algorithm 1) allocates it:
+//!
+//! 1. among the chosen bins, keep those whose *post-allocation* load
+//!    `(m_i + 1)/c_i` would be smallest,
+//! 2. of those, keep the ones with the largest capacity,
+//! 3. pick one uniformly at random.
+//!
+//! This crate makes that model executable and exact:
+//!
+//! * [`load::Load`] — loads as exact rationals compared by `u128`
+//!   cross-multiplication; **no floating point in any allocation
+//!   decision**, so ties behave exactly as in the paper's analysis.
+//! * [`bins::BinArray`] — the mutable state of a game.
+//! * [`capacity`] — capacity-vector generators for every workload in the
+//!   paper (uniform, two-class mixes, the §4.2 binomial randomisation,
+//!   Zipf tails).
+//! * [`choice::Selection`] — the selection-probability models (uniform,
+//!   proportional, the §4.5 exponent-tilted `c^t`, Theorem 5's
+//!   big-bins-only distribution, explicit weights).
+//! * [`policy::Policy`] — Algorithm 1 plus the baselines it is compared
+//!   against (classic least-loaded Greedy\[d\], fewest-balls Greedy\[d\] of
+//!   Azar et al., one-choice, random).
+//! * [`game::Game`] — the simulation engine (O(1) sampling via alias
+//!   tables, allocation-free throw loop).
+//! * [`slots`] & [`majorization`] — the slot-vector machinery used in the
+//!   paper's Lemma 1 coupling proof, executable so the dominance argument
+//!   can be property-tested.
+//! * [`growth`] — the §4.3 storage-scale-out capacity schedules.
+//! * [`theory`] — closed-form bounds for paper-vs-measured comparisons.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bins;
+pub mod capacity;
+pub mod choice;
+pub mod dynamic;
+pub mod game;
+pub mod growth;
+pub mod load;
+pub mod majorization;
+pub mod metrics;
+pub mod policy;
+pub mod prelude;
+pub mod slots;
+pub mod theory;
+pub mod weighted;
+
+pub use bins::BinArray;
+pub use capacity::CapacityVector;
+pub use choice::{ChoiceMode, Selection};
+pub use game::{Game, GameConfig};
+pub use load::Load;
+pub use policy::Policy;

@@ -1,0 +1,191 @@
+//! Exact load arithmetic.
+//!
+//! A bin's load is the rational `balls / capacity`. Comparing loads with
+//! floating point would mis-order ties (e.g. `3/3` vs `4/4`) and make the
+//! protocol's tie-breaking unfaithful to the paper, so loads are compared
+//! exactly by cross-multiplication in `u128` (never overflows for any
+//! realistic `balls`, `capacity` ≤ 2⁶⁴⁻¹… bounded by u64 inputs).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An exact bin load `balls / capacity`.
+///
+/// Ordering and equality are *value* based: `Load::new(2, 4)` equals
+/// `Load::new(1, 2)`.
+///
+/// ```
+/// use bnb_core::Load;
+/// assert_eq!(Load::new(2, 4), Load::new(1, 2));
+/// assert!(Load::new(3, 2) > Load::new(4, 3));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Load {
+    balls: u64,
+    capacity: u64,
+}
+
+impl Load {
+    /// Creates a load of `balls` balls in a bin of `capacity`.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    #[inline]
+    pub fn new(balls: u64, capacity: u64) -> Self {
+        assert!(capacity > 0, "bin capacity must be positive");
+        Load { balls, capacity }
+    }
+
+    /// The zero load of a bin with the given capacity.
+    #[must_use]
+    #[inline]
+    pub fn zero(capacity: u64) -> Self {
+        Load::new(0, capacity)
+    }
+
+    /// Ball count (numerator).
+    #[must_use]
+    #[inline]
+    pub fn balls(&self) -> u64 {
+        self.balls
+    }
+
+    /// Capacity (denominator).
+    #[must_use]
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// The load after adding one more ball: `(balls + 1) / capacity`.
+    /// This is the quantity Algorithm 1 minimises.
+    #[must_use]
+    #[inline]
+    pub fn after_one_more(&self) -> Load {
+        Load { balls: self.balls + 1, capacity: self.capacity }
+    }
+
+    /// Floating approximation, for metrics and plotting only — never used
+    /// in allocation decisions.
+    #[must_use]
+    #[inline]
+    pub fn as_f64(&self) -> f64 {
+        self.balls as f64 / self.capacity as f64
+    }
+
+    /// Exact comparison against an integer threshold: is `balls/capacity ≥ t`?
+    #[must_use]
+    #[inline]
+    pub fn at_least_int(&self, t: u64) -> bool {
+        self.balls as u128 >= t as u128 * self.capacity as u128
+    }
+}
+
+impl PartialEq for Load {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.balls as u128 * other.capacity as u128
+            == other.balls as u128 * self.capacity as u128
+    }
+}
+
+impl Eq for Load {}
+
+impl PartialOrd for Load {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Load {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        let lhs = self.balls as u128 * other.capacity as u128;
+        let rhs = other.balls as u128 * self.capacity as u128;
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Display for Load {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.balls, self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_is_value_based() {
+        assert_eq!(Load::new(1, 2), Load::new(2, 4));
+        assert_eq!(Load::new(0, 7), Load::new(0, 3));
+        assert_ne!(Load::new(1, 2), Load::new(2, 3));
+    }
+
+    #[test]
+    fn ordering_matches_rationals() {
+        assert!(Load::new(1, 3) < Load::new(1, 2));
+        assert!(Load::new(5, 4) > Load::new(6, 5));
+        assert!(Load::new(7, 7) == Load::new(3, 3));
+        // Equal ball counts, bigger capacity => smaller load.
+        assert!(Load::new(4, 8) < Load::new(4, 7));
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow() {
+        let a = Load::new(u64::MAX, u64::MAX);
+        let b = Load::new(u64::MAX - 1, u64::MAX);
+        assert!(a > b);
+        assert_eq!(a, Load::new(1, 1));
+    }
+
+    #[test]
+    fn after_one_more_increments_numerator() {
+        let l = Load::new(3, 2);
+        let next = l.after_one_more();
+        assert_eq!(next.balls(), 4);
+        assert_eq!(next.capacity(), 2);
+        assert!(next > l);
+    }
+
+    #[test]
+    fn as_f64_approximates() {
+        assert!((Load::new(3, 2).as_f64() - 1.5).abs() < 1e-15);
+        assert_eq!(Load::zero(5).as_f64(), 0.0);
+    }
+
+    #[test]
+    fn at_least_int_threshold() {
+        assert!(Load::new(8, 4).at_least_int(2));
+        assert!(!Load::new(7, 4).at_least_int(2));
+        assert!(Load::new(9, 4).at_least_int(2));
+        assert!(Load::new(0, 1).at_least_int(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Load::new(1, 0);
+    }
+
+    #[test]
+    fn display_formats_fraction() {
+        assert_eq!(Load::new(3, 2).to_string(), "3/2");
+    }
+
+    #[test]
+    fn sort_uses_exact_order() {
+        let mut v = [
+            Load::new(3, 2), // 1.5
+            Load::new(1, 1), // 1.0
+            Load::new(2, 4), // 0.5
+            Load::new(4, 4), // 1.0
+        ];
+        v.sort();
+        let floats: Vec<f64> = v.iter().map(Load::as_f64).collect();
+        assert_eq!(floats, vec![0.5, 1.0, 1.0, 1.5]);
+    }
+}

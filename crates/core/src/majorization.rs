@@ -1,0 +1,123 @@
+//! Majorisation (Definition 1 of the paper).
+//!
+//! `U ⪰ V` iff for every prefix length `k`, the sum of the `k` largest
+//! entries of `U` is at least the sum of the `k` largest entries of `V`.
+//! The paper's Lemma 1 coupling argument maintains this relation between
+//! the slot vectors of the heterogeneous process and the unit-bin process;
+//! [`crate::slots::LemmaOneCoupling`] checks it mechanically.
+
+/// Exact majorisation test for integer vectors of equal length.
+///
+/// # Panics
+/// Panics if the vectors have different lengths (Definition 1 requires
+/// equal length).
+#[must_use]
+pub fn majorizes_u64(u: &[u64], v: &[u64]) -> bool {
+    assert_eq!(u.len(), v.len(), "majorisation requires equal lengths");
+    let mut us = u.to_vec();
+    let mut vs = v.to_vec();
+    us.sort_unstable_by(|a, b| b.cmp(a));
+    vs.sort_unstable_by(|a, b| b.cmp(a));
+    let mut sum_u = 0u128;
+    let mut sum_v = 0u128;
+    for (a, b) in us.iter().zip(&vs) {
+        sum_u += u128::from(*a);
+        sum_v += u128::from(*b);
+        if sum_u < sum_v {
+            return false;
+        }
+    }
+    true
+}
+
+/// Majorisation test for real vectors of equal length, with a symmetric
+/// tolerance for floating-point prefix sums.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+#[must_use]
+pub fn majorizes_f64(u: &[f64], v: &[f64], tolerance: f64) -> bool {
+    assert_eq!(u.len(), v.len(), "majorisation requires equal lengths");
+    let mut us = u.to_vec();
+    let mut vs = v.to_vec();
+    us.sort_unstable_by(|a, b| b.partial_cmp(a).expect("NaN in majorisation input"));
+    vs.sort_unstable_by(|a, b| b.partial_cmp(a).expect("NaN in majorisation input"));
+    let mut sum_u = 0.0;
+    let mut sum_v = 0.0;
+    for (a, b) in us.iter().zip(&vs) {
+        sum_u += a;
+        sum_v += b;
+        if sum_u < sum_v - tolerance {
+            return false;
+        }
+    }
+    true
+}
+
+/// Strict majorisation: `U ⪰ V` but not `V ⪰ U`.
+#[must_use]
+pub fn strictly_majorizes_u64(u: &[u64], v: &[u64]) -> bool {
+    majorizes_u64(u, v) && !majorizes_u64(v, u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_example() {
+        // (3,1,0) majorises (2,1,1): prefixes 3>=2, 4>=3, 4>=4.
+        assert!(majorizes_u64(&[3, 1, 0], &[2, 1, 1]));
+        assert!(!majorizes_u64(&[2, 1, 1], &[3, 1, 0]));
+        assert!(strictly_majorizes_u64(&[3, 1, 0], &[2, 1, 1]));
+    }
+
+    #[test]
+    fn order_of_input_is_irrelevant() {
+        assert!(majorizes_u64(&[0, 1, 3], &[1, 2, 1]));
+        assert!(majorizes_u64(&[1, 3, 0], &[1, 1, 2]));
+    }
+
+    #[test]
+    fn reflexive() {
+        let v = [5u64, 2, 2, 0];
+        assert!(majorizes_u64(&v, &v));
+        assert!(!strictly_majorizes_u64(&v, &v));
+    }
+
+    #[test]
+    fn equal_sums_required_for_mutual_majorisation() {
+        // Same multiset in different order: mutual majorisation.
+        assert!(majorizes_u64(&[2, 1], &[1, 2]));
+        assert!(majorizes_u64(&[1, 2], &[2, 1]));
+    }
+
+    #[test]
+    fn larger_total_majorises_smaller_uniform() {
+        // (2,2) vs (1,1): every prefix larger.
+        assert!(majorizes_u64(&[2, 2], &[1, 1]));
+        assert!(!majorizes_u64(&[1, 1], &[2, 2]));
+    }
+
+    #[test]
+    fn incomparable_pair() {
+        // u = (3,0,0) vs v = (2,2,0): prefix1 3>=2 ok, prefix2 3<4 fail.
+        assert!(!majorizes_u64(&[3, 0, 0], &[2, 2, 0]));
+        // and v doesn't majorise u either on prefix 1? 2<3 fail. Incomparable.
+        assert!(!majorizes_u64(&[2, 2, 0], &[3, 0, 0]));
+    }
+
+    #[test]
+    fn f64_with_tolerance() {
+        assert!(majorizes_f64(&[1.5, 0.5], &[1.0, 1.0], 1e-12));
+        assert!(!majorizes_f64(&[1.0, 1.0], &[1.5, 0.5], 1e-12));
+        // Borderline case rescued by tolerance.
+        assert!(majorizes_f64(&[1.0 - 1e-13, 1.0], &[1.0, 1.0 - 1e-13], 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn length_mismatch_panics() {
+        let _ = majorizes_u64(&[1, 2], &[1, 2, 3]);
+    }
+}

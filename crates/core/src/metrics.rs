@@ -1,0 +1,155 @@
+//! Derived metrics of a finished (or in-progress) game.
+//!
+//! These are the quantities the paper's figures plot: maximum load,
+//! deviation of the maximum from the average, which capacity class holds
+//! the maximum, and sorted ("normalised") load curves.
+
+use crate::bins::BinArray;
+
+/// Maximum load as `f64` (exact comparison internally).
+#[must_use]
+pub fn max_load(bins: &BinArray) -> f64 {
+    bins.max_load().as_f64()
+}
+
+/// Deviation of the maximum load from the average load `m / C` —
+/// Figure 16's y-axis.
+#[must_use]
+pub fn max_minus_average(bins: &BinArray) -> f64 {
+    max_load(bins) - bins.average_load()
+}
+
+/// Whether any bin with capacity ≤ `small_threshold` is among the
+/// maximally loaded bins (ties included) — Figure 7's per-run indicator.
+#[must_use]
+pub fn small_bin_has_max(bins: &BinArray, small_threshold: u64) -> bool {
+    bins.max_load_bins()
+        .into_iter()
+        .any(|i| bins.capacity(i) <= small_threshold)
+}
+
+/// The capacity of a maximally loaded bin. When several capacity classes
+/// tie for the maximum load, the *smallest* capacity among them is
+/// reported (ties are counted for the small side, following the paper's
+/// "a small bin was among the maximally loaded" convention).
+#[must_use]
+pub fn max_load_capacity_class(bins: &BinArray) -> u64 {
+    bins.max_load_bins()
+        .into_iter()
+        .map(|i| bins.capacity(i))
+        .min()
+        .expect("non-empty bin array")
+}
+
+/// Fraction of balls (out of `m`) that landed in bins with capacity at
+/// least `threshold`.
+#[must_use]
+pub fn fraction_of_balls_in_big_bins(bins: &BinArray, threshold: u64) -> f64 {
+    if bins.total_balls() == 0 {
+        return 0.0;
+    }
+    let balls_in_big: u64 = (0..bins.n())
+        .filter(|&i| bins.capacity(i) >= threshold)
+        .map(|i| bins.balls(i))
+        .sum();
+    balls_in_big as f64 / bins.total_balls() as f64
+}
+
+/// Summary of one game run used by the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunMetrics {
+    /// Maximum load.
+    pub max_load: f64,
+    /// Average load `m / C`.
+    pub avg_load: f64,
+    /// Maximum minus average.
+    pub deviation: f64,
+    /// Capacity class holding the maximum (smallest on ties).
+    pub max_class: u64,
+}
+
+/// Extracts the standard metrics from a bin state.
+#[must_use]
+pub fn run_metrics(bins: &BinArray) -> RunMetrics {
+    let max = max_load(bins);
+    let avg = bins.average_load();
+    RunMetrics {
+        max_load: max,
+        avg_load: avg,
+        deviation: max - avg,
+        max_class: max_load_capacity_class(bins),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_bins() -> BinArray {
+        // capacities [1, 1, 10]; balls [2, 0, 10]
+        let mut b = BinArray::new(vec![1, 1, 10]);
+        b.add_ball(0);
+        b.add_ball(0);
+        for _ in 0..10 {
+            b.add_ball(2);
+        }
+        b
+    }
+
+    #[test]
+    fn max_and_deviation() {
+        let b = mixed_bins();
+        assert_eq!(max_load(&b), 2.0);
+        assert_eq!(b.average_load(), 1.0);
+        assert_eq!(max_minus_average(&b), 1.0);
+    }
+
+    #[test]
+    fn small_bin_holding_max_detected() {
+        let b = mixed_bins();
+        assert!(small_bin_has_max(&b, 1));
+        assert_eq!(max_load_capacity_class(&b), 1);
+    }
+
+    #[test]
+    fn big_bin_holding_max_detected() {
+        let mut b = BinArray::new(vec![1, 10]);
+        for _ in 0..30 {
+            b.add_ball(1);
+        }
+        assert!(!small_bin_has_max(&b, 1));
+        assert_eq!(max_load_capacity_class(&b), 10);
+    }
+
+    #[test]
+    fn tie_between_classes_counts_small() {
+        // load 2 in a size-1 bin and 20/10 = 2 in a size-10 bin: exact tie.
+        let mut b = BinArray::new(vec![1, 10]);
+        b.add_ball(0);
+        b.add_ball(0);
+        for _ in 0..20 {
+            b.add_ball(1);
+        }
+        assert!(small_bin_has_max(&b, 1));
+        assert_eq!(max_load_capacity_class(&b), 1);
+    }
+
+    #[test]
+    fn fraction_in_big_bins() {
+        let b = mixed_bins();
+        assert!((fraction_of_balls_in_big_bins(&b, 10) - 10.0 / 12.0).abs() < 1e-12);
+        assert_eq!(fraction_of_balls_in_big_bins(&b, 100), 0.0);
+        let empty = BinArray::new(vec![1, 2]);
+        assert_eq!(fraction_of_balls_in_big_bins(&empty, 1), 0.0);
+    }
+
+    #[test]
+    fn run_metrics_bundle() {
+        let b = mixed_bins();
+        let m = run_metrics(&b);
+        assert_eq!(m.max_load, 2.0);
+        assert_eq!(m.avg_load, 1.0);
+        assert_eq!(m.deviation, 1.0);
+        assert_eq!(m.max_class, 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! Convenience re-exports for downstream crates and examples.
+//!
+//! ```
+//! use bnb_core::prelude::*;
+//! let caps = CapacityVector::uniform(100, 2);
+//! let bins = run_game(&caps, caps.total(), &GameConfig::default(), 1);
+//! assert_eq!(bins.total_balls(), 200);
+//! ```
+
+pub use crate::bins::BinArray;
+pub use crate::capacity::CapacityVector;
+pub use crate::choice::{ChoiceMode, Selection};
+pub use crate::game::{run_game, Game, GameConfig};
+pub use crate::growth::GrowthModel;
+pub use crate::load::Load;
+pub use crate::metrics::{
+    fraction_of_balls_in_big_bins, max_load, max_load_capacity_class, max_minus_average,
+    run_metrics, small_bin_has_max, RunMetrics,
+};
+pub use crate::dynamic::DynamicGame;
+pub use crate::policy::Policy;
+pub use crate::theory;
+pub use crate::weighted::{WeightedBinArray, WeightedGame};

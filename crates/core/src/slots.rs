@@ -1,0 +1,247 @@
+//! Slot-vector machinery (§2 of the paper) and the Lemma 1 coupling.
+//!
+//! For analysis the paper imagines each bin of capacity `c` as `c`
+//! unit-sized *slots* filled round-robin: if the bin holds `b` balls, its
+//! first `b mod c` slots hold `⌈b/c⌉` balls and the rest `⌊b/c⌋`. The
+//! *normalised slot load vector* sorts all `C` slots by slot load,
+//! breaking ties by the owning bin's (exact) load, higher first.
+//!
+//! [`LemmaOneCoupling`] runs the paper's coupling between the
+//! heterogeneous process `P` and the unit-bin process `Q` on shared
+//! randomness and lets tests verify `S_P ⪯ S_Q` (majorisation) after
+//! every ball — the exact invariant Lemma 1's proof maintains.
+
+use crate::bins::BinArray;
+use crate::load::Load;
+use bnb_distributions::Xoshiro256PlusPlus;
+
+/// One entry of a normalised slot load vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotEntry {
+    /// Number of balls in this slot.
+    pub slot_balls: u64,
+    /// Exact load of the owning bin (tie-break key).
+    pub bin_load: Load,
+    /// Index of the owning bin.
+    pub bin: usize,
+}
+
+/// The per-slot ball counts of one bin holding `balls` balls across
+/// `capacity` round-robin slots (first `balls mod capacity` slots get one
+/// extra).
+///
+/// # Panics
+/// Panics if `capacity == 0`.
+#[must_use]
+pub fn bin_slot_loads(balls: u64, capacity: u64) -> Vec<u64> {
+    assert!(capacity > 0, "capacity must be positive");
+    let base = balls / capacity;
+    let extra = (balls % capacity) as usize;
+    let mut slots = vec![base; capacity as usize];
+    for s in slots.iter_mut().take(extra) {
+        *s = base + 1;
+    }
+    slots
+}
+
+/// The raw slot load vector `S` of a bin array, in bin-then-slot order.
+#[must_use]
+pub fn slot_loads(bins: &BinArray) -> Vec<u64> {
+    let mut out = Vec::with_capacity(bins.total_capacity() as usize);
+    for i in 0..bins.n() {
+        out.extend(bin_slot_loads(bins.balls(i), bins.capacity(i)));
+    }
+    out
+}
+
+/// The normalised slot load vector `S̄`: slots sorted by slot load
+/// (descending), ties broken by the owning bin's exact load (descending),
+/// further ties by bin index for determinism.
+#[must_use]
+pub fn normalized_slot_vector(bins: &BinArray) -> Vec<SlotEntry> {
+    let mut entries = Vec::with_capacity(bins.total_capacity() as usize);
+    for i in 0..bins.n() {
+        let bin_load = bins.load(i);
+        for slot_balls in bin_slot_loads(bins.balls(i), bins.capacity(i)) {
+            entries.push(SlotEntry { slot_balls, bin_load, bin: i });
+        }
+    }
+    entries.sort_by(|a, b| {
+        b.slot_balls
+            .cmp(&a.slot_balls)
+            .then_with(|| b.bin_load.cmp(&a.bin_load))
+            .then_with(|| a.bin.cmp(&b.bin))
+    });
+    entries
+}
+
+/// The paper's Lemma 1 coupling: process `P` throws into heterogeneous
+/// bins, process `Q` into `C` unit bins, both driven by the *same* `d`
+/// uniform slot positions per ball. `Q` allocates into the last (least
+/// loaded) chosen position of its own normalised vector; `P` allocates
+/// into the bin owning the slot at that same position of *its* normalised
+/// slot vector.
+///
+/// Lemma 1 states `S_P` stays majorised by `S_Q`; [`Self::q_majorizes_p`]
+/// checks exactly that.
+#[derive(Debug, Clone)]
+pub struct LemmaOneCoupling {
+    p: BinArray,
+    q: BinArray,
+    d: usize,
+}
+
+impl LemmaOneCoupling {
+    /// Builds the coupled pair for the given heterogeneous capacities.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn new(capacities: Vec<u64>, d: usize) -> Self {
+        assert!(d >= 1, "d must be at least 1");
+        let p = BinArray::new(capacities);
+        let c = p.total_capacity();
+        let q = BinArray::new(vec![1; c as usize]);
+        LemmaOneCoupling { p, q, d }
+    }
+
+    /// Throws one coupled ball into both processes.
+    pub fn step(&mut self, rng: &mut Xoshiro256PlusPlus) {
+        let c = self.p.total_capacity();
+        // Shared randomness: d uniform slot positions; h_d = the largest
+        // index (the least-loaded chosen slot in a normalised vector).
+        let mut h_max = 0u64;
+        for _ in 0..self.d {
+            h_max = h_max.max(rng.next_below(c));
+        }
+        let pos = h_max as usize;
+
+        // Q: allocate to the unit bin at that position of Q's normalised
+        // vector (all Q capacities are 1, sorting ball counts descending
+        // is its normalised slot vector).
+        let q_vec = normalized_slot_vector(&self.q);
+        let q_bin = q_vec[pos].bin;
+        self.q.add_ball(q_bin);
+
+        // P: allocate to the bin owning slot `pos` of P's normalised
+        // slot vector.
+        let p_vec = normalized_slot_vector(&self.p);
+        let p_bin = p_vec[pos].bin;
+        self.p.add_ball(p_bin);
+    }
+
+    /// Whether `S_Q` currently majorises `S_P` (the Lemma 1 invariant).
+    #[must_use]
+    pub fn q_majorizes_p(&self) -> bool {
+        let sp = slot_loads(&self.p);
+        let sq = slot_loads(&self.q);
+        crate::majorization::majorizes_u64(&sq, &sp)
+    }
+
+    /// The heterogeneous process's bins.
+    #[must_use]
+    pub fn p(&self) -> &BinArray {
+        &self.p
+    }
+
+    /// The unit-bin process's bins.
+    #[must_use]
+    pub fn q(&self) -> &BinArray {
+        &self.q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_filling() {
+        assert_eq!(bin_slot_loads(0, 4), vec![0, 0, 0, 0]);
+        assert_eq!(bin_slot_loads(4, 4), vec![1, 1, 1, 1]);
+        assert_eq!(bin_slot_loads(6, 4), vec![2, 2, 1, 1]);
+        assert_eq!(bin_slot_loads(7, 3), vec![3, 2, 2]);
+        assert_eq!(bin_slot_loads(5, 1), vec![5]);
+    }
+
+    #[test]
+    fn slot_count_equals_total_capacity() {
+        let mut bins = BinArray::new(vec![2, 3, 1]);
+        bins.add_ball(0);
+        bins.add_ball(1);
+        let s = slot_loads(&bins);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn papers_worked_example() {
+        // §2: bins a and b with 4 slots each, loads 2.5 and 2.75.
+        // Normalised slot vector: 3,3,3,3,3,2,2,2 owned by b,b,b,a,a,b,a,a.
+        let mut bins = BinArray::new(vec![4, 4]); // a = bin 0, b = bin 1
+        for _ in 0..10 {
+            bins.add_ball(0); // load 2.5
+        }
+        for _ in 0..11 {
+            bins.add_ball(1); // load 2.75
+        }
+        let v = normalized_slot_vector(&bins);
+        let loads: Vec<u64> = v.iter().map(|e| e.slot_balls).collect();
+        let owners: Vec<usize> = v.iter().map(|e| e.bin).collect();
+        assert_eq!(loads, vec![3, 3, 3, 3, 3, 2, 2, 2]);
+        assert_eq!(owners, vec![1, 1, 1, 0, 0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn tie_break_is_by_bin_load_descending() {
+        // Two bins, both with one slot holding 1 ball, but different bin
+        // loads: cap-1 bin with 1 ball (load 1) and cap-2 bin with 2
+        // balls (slots 1,1; load 1)... make loads differ: cap-2 with 3
+        // balls => slots 2,1, load 1.5.
+        let mut bins = BinArray::new(vec![1, 2]);
+        bins.add_ball(0); // load 1, slot [1]
+        for _ in 0..3 {
+            bins.add_ball(1); // load 1.5, slots [2,1]
+        }
+        let v = normalized_slot_vector(&bins);
+        // slots: (2, bin1), then the two slot-load-1 slots: bin1 (load
+        // 1.5) before bin0 (load 1).
+        assert_eq!(v[0].slot_balls, 2);
+        assert_eq!(v[0].bin, 1);
+        assert_eq!(v[1].slot_balls, 1);
+        assert_eq!(v[1].bin, 1);
+        assert_eq!(v[2].slot_balls, 1);
+        assert_eq!(v[2].bin, 0);
+    }
+
+    #[test]
+    fn coupling_preserves_majorisation_small() {
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(7);
+        let mut coupling = LemmaOneCoupling::new(vec![1, 2, 3, 4], 2);
+        assert!(coupling.q_majorizes_p());
+        for ball in 0..30 {
+            coupling.step(&mut rng);
+            assert!(
+                coupling.q_majorizes_p(),
+                "majorisation broken after ball {ball}"
+            );
+        }
+        assert_eq!(coupling.p().total_balls(), 30);
+        assert_eq!(coupling.q().total_balls(), 30);
+    }
+
+    #[test]
+    fn coupling_preserves_majorisation_heterogeneous() {
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(99);
+        let mut coupling = LemmaOneCoupling::new(vec![1, 1, 1, 5, 10, 2], 3);
+        for _ in 0..2 * 20 {
+            coupling.step(&mut rng);
+        }
+        assert!(coupling.q_majorizes_p());
+        // Max load of P must not exceed max slot load of Q (Lemma 1's
+        // consequence: ℓ̄^P_1 ≤ s̄^Q_1).
+        let p_max = coupling.p().max_load();
+        let q_max = coupling.q().max_load();
+        assert!(p_max <= q_max, "P max {p_max:?} vs Q max {q_max:?}");
+    }
+}

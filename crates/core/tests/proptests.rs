@@ -1,0 +1,170 @@
+//! Property-based tests of the core model's algebraic invariants.
+
+use bnb_core::majorization::{majorizes_u64, strictly_majorizes_u64};
+use bnb_core::prelude::*;
+use bnb_core::slots::{bin_slot_loads, normalized_slot_vector, slot_loads};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The exact Load order is total and agrees with f64 whenever the
+    /// f64s are distinguishable.
+    #[test]
+    fn load_order_is_total_and_float_consistent(
+        a in (0u64..1_000_000, 1u64..10_000),
+        b in (0u64..1_000_000, 1u64..10_000),
+    ) {
+        let la = Load::new(a.0, a.1);
+        let lb = Load::new(b.0, b.1);
+        // Totality / antisymmetry.
+        let fwd = la.cmp(&lb);
+        let bwd = lb.cmp(&la);
+        prop_assert_eq!(fwd, bwd.reverse());
+        // Float consistency.
+        let fa = la.as_f64();
+        let fb = lb.as_f64();
+        if (fa - fb).abs() > 1e-9 * (fa + fb + 1.0) {
+            prop_assert_eq!(fwd, fa.partial_cmp(&fb).unwrap());
+        }
+    }
+
+    /// Transitivity on random triples.
+    #[test]
+    fn load_order_is_transitive(
+        a in (0u64..10_000, 1u64..100),
+        b in (0u64..10_000, 1u64..100),
+        c in (0u64..10_000, 1u64..100),
+    ) {
+        let (la, lb, lc) = (Load::new(a.0, a.1), Load::new(b.0, b.1), Load::new(c.0, c.1));
+        if la <= lb && lb <= lc {
+            prop_assert!(la <= lc);
+        }
+    }
+
+    /// Round-robin slot filling: counts differ by at most 1, sum
+    /// preserved, sorted non-increasing.
+    #[test]
+    fn slot_filling_invariants(balls in 0u64..10_000, capacity in 1u64..200) {
+        let slots = bin_slot_loads(balls, capacity);
+        prop_assert_eq!(slots.len(), capacity as usize);
+        prop_assert_eq!(slots.iter().sum::<u64>(), balls);
+        let max = *slots.iter().max().unwrap();
+        let min = *slots.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+        prop_assert!(slots.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    /// The normalised slot vector is a permutation of the raw slots,
+    /// sorted by (slot load desc, bin load desc).
+    #[test]
+    fn normalized_slot_vector_is_sorted_permutation(
+        capacities in prop::collection::vec(1u64..8, 1..12),
+        m in 0u64..200,
+        seed in any::<u64>(),
+    ) {
+        let caps = CapacityVector::from_vec(capacities);
+        let bins = run_game(&caps, m, &GameConfig::default(), seed);
+        let raw = slot_loads(&bins);
+        let normalized = normalized_slot_vector(&bins);
+        prop_assert_eq!(raw.len(), normalized.len());
+        // Permutation of slot-ball counts.
+        let mut a: Vec<u64> = raw.clone();
+        let mut b: Vec<u64> = normalized.iter().map(|e| e.slot_balls).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        // Sort order.
+        for w in normalized.windows(2) {
+            prop_assert!(w[0].slot_balls >= w[1].slot_balls);
+            if w[0].slot_balls == w[1].slot_balls {
+                prop_assert!(w[0].bin_load >= w[1].bin_load);
+            }
+        }
+    }
+
+    /// Majorisation: reflexive, transitive, antisymmetric-up-to-multiset,
+    /// and monotone under adding to the largest entry.
+    #[test]
+    fn majorisation_axioms(
+        u in prop::collection::vec(0u64..50, 1..10),
+        v in prop::collection::vec(0u64..50, 1..10),
+        w in prop::collection::vec(0u64..50, 1..10),
+    ) {
+        prop_assert!(majorizes_u64(&u, &u));
+        prop_assert!(!strictly_majorizes_u64(&u, &u));
+        // Transitivity on same-length triples.
+        if u.len() == v.len() && v.len() == w.len()
+            && majorizes_u64(&u, &v) && majorizes_u64(&v, &w) {
+            prop_assert!(majorizes_u64(&u, &w));
+        }
+        // Adding one ball to the (sorted) top slot strictly increases the
+        // vector in the majorisation preorder.
+        let mut bigger = u.clone();
+        let top = (0..bigger.len()).max_by_key(|&i| bigger[i]).unwrap();
+        bigger[top] += 1;
+        prop_assert!(majorizes_u64(&bigger, &u));
+        prop_assert!(!majorizes_u64(&u, &bigger));
+    }
+
+    /// Growth schedules: capacity counts and monotonicity.
+    #[test]
+    fn growth_schedule_shape(
+        total_bins in 2usize..300,
+        a in 0u64..10,
+        first in 1u64..10,
+    ) {
+        let model = GrowthModel::Linear { first, a };
+        let caps = model.paper_schedule(total_bins);
+        prop_assert_eq!(caps.n(), total_bins);
+        // Capacities never decrease along the schedule.
+        let s = caps.as_slice();
+        prop_assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(s[0], first);
+    }
+
+    /// Weighted game conserves mass for arbitrary size streams.
+    #[test]
+    fn weighted_game_mass_conservation(
+        capacities in prop::collection::vec(1u64..10, 1..15),
+        sizes in prop::collection::vec(1u64..20, 0..100),
+        seed in any::<u64>(),
+    ) {
+        let caps = CapacityVector::from_vec(capacities);
+        let mut game = WeightedGame::new(
+            &caps, 2, Policy::PaperProtocol, &Selection::ProportionalToCapacity, seed,
+        );
+        let total: u64 = sizes.iter().sum();
+        game.throw_sizes(sizes.iter().copied());
+        prop_assert_eq!(game.bins().total_mass(), total);
+        prop_assert_eq!(game.bins().ball_count(), sizes.len() as u64);
+    }
+
+    /// Dynamic game: arbitrary interleavings of insert/delete keep the
+    /// population ledger consistent.
+    #[test]
+    fn dynamic_game_ledger_consistency(
+        capacities in prop::collection::vec(1u64..10, 2..10),
+        ops in prop::collection::vec(any::<bool>(), 0..200),
+        seed in any::<u64>(),
+    ) {
+        let caps = CapacityVector::from_vec(capacities);
+        let mut game = DynamicGame::new(
+            &caps, 2, Policy::PaperProtocol, &Selection::ProportionalToCapacity, seed,
+        );
+        let mut expected = 0u64;
+        for insert in ops {
+            if insert {
+                game.insert();
+                expected += 1;
+            } else if game.delete_random().is_some() {
+                expected -= 1;
+            }
+            prop_assert_eq!(game.population(), expected);
+            prop_assert_eq!(
+                game.bins().ball_counts().iter().sum::<u64>(),
+                expected
+            );
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Walker/Vose alias method: O(1) weighted sampling over static weights.
+
+use crate::rng::Xoshiro256PlusPlus;
+use crate::sampler::WeightedSampler;
+
+/// An alias table for O(1) sampling from a fixed discrete distribution.
+///
+/// Construction is O(n) using Vose's stable two-worklist formulation.
+/// Sampling draws one uniform integer (column) and one uniform float
+/// (probability of taking the column's own index vs. its alias), so every
+/// ball choice costs a constant number of RNG calls regardless of `n` —
+/// this is what keeps the 10 000-repetition figure runs fast.
+///
+/// ```
+/// use bnb_distributions::{AliasTable, Xoshiro256PlusPlus, WeightedSampler};
+/// let table = AliasTable::new(&[1.0, 0.0, 3.0]);
+/// let mut rng = Xoshiro256PlusPlus::from_u64_seed(1);
+/// let idx = table.sample(&mut rng);
+/// assert!(idx == 0 || idx == 2); // index 1 has weight zero
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    /// Probability of keeping the column index rather than the alias.
+    prob: Vec<f64>,
+    /// Alias index per column.
+    alias: Vec<u32>,
+    total: f64,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    #[must_use]
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        assert!(
+            weights.len() <= u32::MAX as usize,
+            "alias table limited to u32 indices"
+        );
+        let mut total = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(w.is_finite() && w >= 0.0, "weight {i} invalid: {w}");
+            total += w;
+        }
+        assert!(total > 0.0, "total weight must be positive");
+
+        let n = weights.len();
+        // Scaled weights: mean 1.0.
+        let scale = n as f64 / total;
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+
+        let mut prob = vec![1.0; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            // Donate the excess of `l` to cover `s`'s deficit.
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Whatever remains in either list has probability 1 of itself
+        // (floating-point leftovers hover around 1.0).
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+
+        AliasTable { prob, alias, total }
+    }
+
+    /// Builds a table from integer capacities (the common case in this
+    /// workspace: probability of bin `i` is `c_i / C`).
+    ///
+    /// # Panics
+    /// Panics if `capacities` is empty or all zero.
+    #[must_use]
+    pub fn from_capacities(capacities: &[u64]) -> Self {
+        let weights: Vec<f64> = capacities.iter().map(|&c| c as f64).collect();
+        AliasTable::new(&weights)
+    }
+
+    /// Exact sampling probability of index `i` as encoded by the table
+    /// (column mass + alias mass). Used by tests to verify the build.
+    #[must_use]
+    pub fn encoded_probability(&self, i: usize) -> f64 {
+        let n = self.prob.len() as f64;
+        let mut p = self.prob[i] / n;
+        for (j, &a) in self.alias.iter().enumerate() {
+            if a as usize == i && j != i {
+                p += (1.0 - self.prob[j]) / n;
+            }
+        }
+        // Columns whose alias is themselves contribute their leftover too.
+        if self.alias[i] as usize == i {
+            p += (1.0 - self.prob[i]) / n;
+        }
+        p
+    }
+}
+
+impl WeightedSampler for AliasTable {
+    #[inline]
+    fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> usize {
+        let n = self.prob.len();
+        let col = rng.next_below(n as u64) as usize;
+        if rng.next_f64() < self.prob[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoded_probabilities_match_weights() {
+        let weights = [5.0, 1.0, 3.0, 0.0, 11.0];
+        let total: f64 = weights.iter().sum();
+        let table = AliasTable::new(&weights);
+        for (i, &w) in weights.iter().enumerate() {
+            let p = table.encoded_probability(i);
+            assert!(
+                (p - w / total).abs() < 1e-12,
+                "index {i}: encoded {p}, want {}",
+                w / total
+            );
+        }
+    }
+
+    #[test]
+    fn single_category_always_sampled() {
+        let table = AliasTable::new(&[42.0]);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(3);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_never_sampled() {
+        let table = AliasTable::new(&[1.0, 0.0, 1.0, 0.0]);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(8);
+        for _ in 0..10_000 {
+            let idx = table.sample(&mut rng);
+            assert!(idx == 0 || idx == 2, "sampled zero-weight index {idx}");
+        }
+    }
+
+    #[test]
+    fn uniform_weights_are_uniform() {
+        let table = AliasTable::new(&[2.5; 8]);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(17);
+        let mut counts = [0u64; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let expected = n as f64 / 8.0;
+            assert!((c as f64 - expected).abs() < 5.0 * expected.sqrt());
+        }
+    }
+
+    #[test]
+    fn from_capacities_matches_weights() {
+        let a = AliasTable::from_capacities(&[1, 2, 3]);
+        let b = AliasTable::new(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.prob.len(), b.prob.len());
+        for i in 0..3 {
+            assert!((a.encoded_probability(i) - b.encoded_probability(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn extreme_skew_is_handled() {
+        // One huge weight among many tiny ones — the classic stress case
+        // for alias construction.
+        let mut weights = vec![1e-9; 1000];
+        weights[500] = 1e9;
+        let table = AliasTable::new(&weights);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(23);
+        let mut hits = 0;
+        for _ in 0..1000 {
+            if table.sample(&mut rng) == 500 {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 999, "only {hits}/1000 samples hit the heavy index");
+    }
+
+    #[test]
+    #[should_panic(expected = "total weight must be positive")]
+    fn all_zero_weights_rejected() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn negative_weight_rejected() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_weights_rejected() {
+        let _ = AliasTable::new(&[]);
+    }
+}

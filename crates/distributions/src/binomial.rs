@@ -1,0 +1,309 @@
+//! Binomial variates, implemented from scratch.
+//!
+//! Section 4.2 of the paper draws each bin's capacity as `1 + X` with
+//! `X ~ Bin(7, (c−1)/7)`; the offline `rand` crate ships no `rand_distr`,
+//! so we provide our own sampler. Two regimes:
+//!
+//! * `n ≤ 64`: exact bit-trick sampling — draw one `u64`, compare each of
+//!   `n` lanes against a threshold (O(n) but branch-free per lane and
+//!   exact). This covers the paper's `n = 7` case.
+//! * `n > 64`: BINV-style inversion from the pmf recurrence, restarting
+//!   on (astronomically unlikely) tail overruns. Accurate for the
+//!   moderate `n·p` this workspace uses; documented limitation for huge
+//!   `n·p` where a BTPE-class algorithm would be preferable.
+
+use crate::rng::Xoshiro256PlusPlus;
+
+/// A binomial distribution `Bin(n, p)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates a `Bin(n, p)` distribution.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1`.
+    #[must_use]
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        Binomial { n, p }
+    }
+
+    /// Number of trials.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean `n·p`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `n·p·(1−p)`.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Probability mass function P(X = k), computed stably in log space.
+    #[must_use]
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 1.0 } else { 0.0 };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 1.0 } else { 0.0 };
+        }
+        let n = self.n as f64;
+        let kf = k as f64;
+        let log_pmf = ln_choose(self.n, k) + kf * self.p.ln() + (n - kf) * (1.0 - self.p).ln();
+        log_pmf.exp()
+    }
+
+    /// Draws one variate.
+    #[must_use]
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> u64 {
+        if self.p == 0.0 || self.n == 0 {
+            return 0;
+        }
+        if self.p == 1.0 {
+            return self.n;
+        }
+        // Exploit symmetry to keep p ≤ 1/2 (better for both methods).
+        if self.p > 0.5 {
+            return self.n - Binomial::new(self.n, 1.0 - self.p).sample(rng);
+        }
+        if self.n <= 64 {
+            self.sample_bits(rng)
+        } else {
+            self.sample_inversion(rng)
+        }
+    }
+
+    /// Exact sampler for n ≤ 64: each of the n low bits of a fresh uniform
+    /// draw is an independent Bernoulli(p) trial realised by a 64-bit
+    /// threshold comparison.
+    fn sample_bits(&self, rng: &mut Xoshiro256PlusPlus) -> u64 {
+        // Threshold on u64 scale; p ≤ 1/2 here so no overflow concerns.
+        let threshold = (self.p * (u64::MAX as f64)) as u64;
+        let mut count = 0;
+        for _ in 0..self.n {
+            if rng.next() <= threshold {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// BINV inversion: walk the CDF from k = 0 using the pmf recurrence
+    /// `pmf(k+1) = pmf(k) · (n−k)/(k+1) · p/(1−p)`.
+    fn sample_inversion(&self, rng: &mut Xoshiro256PlusPlus) -> u64 {
+        let n = self.n as f64;
+        let q = 1.0 - self.p;
+        let s = self.p / q;
+        loop {
+            let mut u = rng.next_f64();
+            let mut k = 0u64;
+            let mut pmf = q.powf(n);
+            if pmf <= 0.0 {
+                // Underflow guard for extreme parameters: fall back to a
+                // normal approximation with continuity correction.
+                return self.sample_normal_approx(rng);
+            }
+            loop {
+                if u < pmf {
+                    return k;
+                }
+                u -= pmf;
+                k += 1;
+                if k > self.n {
+                    break; // float dust: restart the draw
+                }
+                pmf *= (n - (k - 1) as f64) / k as f64 * s;
+            }
+        }
+    }
+
+    /// Last-resort normal approximation (only reachable when `q^n`
+    /// underflows, i.e. n·p very large); clamped to the valid support.
+    fn sample_normal_approx(&self, rng: &mut Xoshiro256PlusPlus) -> u64 {
+        let mu = self.mean();
+        let sigma = self.variance().sqrt();
+        // Box–Muller.
+        let u1 = rng.next_f64().max(1e-300);
+        let u2 = rng.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let x = (mu + sigma * z + 0.5).floor();
+        x.clamp(0.0, self.n as f64) as u64
+    }
+}
+
+/// Log binomial coefficient `ln C(n, k)` via `ln_gamma`.
+fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Lanczos log-gamma (duplicated from `bnb-stats` to keep this substrate
+/// crate dependency-free; both copies are tested against the same values).
+fn ln_gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for (n, p) in [(7u64, 3.0 / 7.0), (20, 0.1), (64, 0.5), (100, 0.33)] {
+            let b = Binomial::new(n, p);
+            let sum: f64 = (0..=n).map(|k| b.pmf(k)).sum();
+            assert!((sum - 1.0).abs() < 1e-10, "n={n} p={p}: sum={sum}");
+        }
+    }
+
+    #[test]
+    fn pmf_known_values() {
+        // Bin(2, 0.5): 0.25, 0.5, 0.25.
+        let b = Binomial::new(2, 0.5);
+        assert!((b.pmf(0) - 0.25).abs() < 1e-12);
+        assert!((b.pmf(1) - 0.5).abs() < 1e-12);
+        assert!((b.pmf(2) - 0.25).abs() < 1e-12);
+        assert_eq!(b.pmf(3), 0.0);
+    }
+
+    #[test]
+    fn degenerate_parameters() {
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(1);
+        assert_eq!(Binomial::new(10, 0.0).sample(&mut rng), 0);
+        assert_eq!(Binomial::new(10, 1.0).sample(&mut rng), 10);
+        assert_eq!(Binomial::new(0, 0.7).sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn small_n_moments_match() {
+        // The paper's exact use-case: Bin(7, (c-1)/7) for c = 1..8.
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(2718);
+        for c in 1..=8u64 {
+            let p = (c - 1) as f64 / 7.0;
+            let b = Binomial::new(7, p);
+            let n_samples = 40_000;
+            let mut sum = 0.0;
+            let mut sum_sq = 0.0;
+            for _ in 0..n_samples {
+                let x = b.sample(&mut rng) as f64;
+                assert!(x <= 7.0);
+                sum += x;
+                sum_sq += x * x;
+            }
+            let mean = sum / n_samples as f64;
+            let var = sum_sq / n_samples as f64 - mean * mean;
+            let se_mean = (b.variance() / n_samples as f64).sqrt().max(1e-9);
+            assert!(
+                (mean - b.mean()).abs() < 5.0 * se_mean,
+                "c={c}: mean {mean} vs {}",
+                b.mean()
+            );
+            assert!(
+                (var - b.variance()).abs() < 0.1 + 0.05 * b.variance(),
+                "c={c}: var {var} vs {}",
+                b.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn large_n_inversion_regime() {
+        let b = Binomial::new(500, 0.02); // np = 10, uses inversion
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(9);
+        let n_samples = 30_000;
+        let mut sum = 0.0;
+        for _ in 0..n_samples {
+            let x = b.sample(&mut rng);
+            assert!(x <= 500);
+            sum += x as f64;
+        }
+        let mean = sum / n_samples as f64;
+        assert!((mean - 10.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn symmetry_reduction_consistent() {
+        // p > 0.5 goes through the complement path; means must match.
+        let b = Binomial::new(30, 0.9);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(55);
+        let n_samples = 30_000;
+        let mean: f64 =
+            (0..n_samples).map(|_| b.sample(&mut rng) as f64).sum::<f64>() / n_samples as f64;
+        assert!((mean - 27.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn chi_square_goodness_of_fit_bin7() {
+        // Full distributional check on the paper's Bin(7, 2/7).
+        let b = Binomial::new(7, 2.0 / 7.0);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(13);
+        let mut counts = [0u64; 8];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[b.sample(&mut rng) as usize] += 1;
+        }
+        // Inline Pearson statistic against exact pmf (avoiding a dev-dep
+        // cycle with bnb-stats would be fine, but keep it self-contained).
+        let mut stat = 0.0;
+        for k in 0..8u64 {
+            let expected = b.pmf(k) * n as f64;
+            if expected > 5.0 {
+                let diff = counts[k as usize] as f64 - expected;
+                stat += diff * diff / expected;
+            }
+        }
+        // 7 dof at alpha=0.001 -> 24.32. Seeded, so deterministic.
+        assert!(stat < 24.32, "chi2 statistic {stat}");
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0,1]")]
+    fn invalid_probability_rejected() {
+        let _ = Binomial::new(5, 1.2);
+    }
+}

@@ -1,0 +1,131 @@
+//! Exponential variates (inter-arrival times for the churn experiments).
+
+use crate::rng::Xoshiro256PlusPlus;
+
+/// An exponential distribution with rate `λ` (mean `1/λ`), sampled by
+/// inversion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `lambda > 0`.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is not finite and positive.
+    #[must_use]
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "rate must be positive, got {lambda}"
+        );
+        Exponential { lambda }
+    }
+
+    /// The rate parameter.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Mean `1/λ`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+
+    /// Density at `x ≥ 0`.
+    #[must_use]
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.lambda * (-self.lambda * x).exp()
+        }
+    }
+
+    /// CDF at `x`.
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.lambda * x).exp()
+        }
+    }
+
+    /// Draws one variate.
+    #[must_use]
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        let u = rng.next_f64();
+        // 1-u in (0,1]: avoids ln(0).
+        -((1.0 - u).max(1e-300)).ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_non_negative() {
+        let e = Exponential::new(3.0);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(1);
+        for _ in 0..10_000 {
+            assert!(e.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn mean_matches_theory() {
+        let e = Exponential::new(0.5); // mean 2
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(2);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| e.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn memorylessness_spot_check() {
+        // P(X > s + t | X > s) = P(X > t): compare empirical tails.
+        let e = Exponential::new(1.0);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(3);
+        let n = 400_000;
+        let (mut beyond_1, mut beyond_2) = (0u64, 0u64);
+        for _ in 0..n {
+            let x = e.sample(&mut rng);
+            if x > 1.0 {
+                beyond_1 += 1;
+                if x > 2.0 {
+                    beyond_2 += 1;
+                }
+            }
+        }
+        let conditional = beyond_2 as f64 / beyond_1 as f64;
+        let unconditional = (-1.0f64).exp();
+        assert!(
+            (conditional - unconditional).abs() < 0.01,
+            "{conditional} vs {unconditional}"
+        );
+    }
+
+    #[test]
+    fn pdf_cdf_consistency() {
+        let e = Exponential::new(2.0);
+        assert_eq!(e.cdf(-1.0), 0.0);
+        assert_eq!(e.pdf(-0.1), 0.0);
+        assert!((e.cdf(0.0)).abs() < 1e-12);
+        // CDF derivative ≈ pdf at a point.
+        let h = 1e-6;
+        let x = 0.7;
+        let num_deriv = (e.cdf(x + h) - e.cdf(x - h)) / (2.0 * h);
+        assert!((num_deriv - e.pdf(x)).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn negative_rate_rejected() {
+        let _ = Exponential::new(-1.0);
+    }
+}

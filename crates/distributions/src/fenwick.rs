@@ -1,0 +1,270 @@
+//! Fenwick-tree (binary indexed tree) weighted sampler with updates.
+
+use crate::rng::Xoshiro256PlusPlus;
+use crate::sampler::WeightedSampler;
+
+/// A dynamic weighted sampler: O(log n) sampling *and* O(log n) weight
+/// updates.
+///
+/// Where [`crate::AliasTable`] requires a full rebuild when a weight
+/// changes, the Fenwick sampler supports incremental updates — needed by
+/// dynamic-probability experiments and used throughout the test-suite as a
+/// differential oracle for the alias method.
+///
+/// Internally stores partial sums in the classic 1-based Fenwick layout
+/// and samples by descending the implicit tree with a uniform draw in
+/// `[0, total)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FenwickSampler {
+    /// 1-based Fenwick array of partial sums.
+    tree: Vec<f64>,
+    /// Current raw weights (kept for exact reads and invariant checks).
+    weights: Vec<f64>,
+    total: f64,
+    /// Largest power of two ≤ n, cached for the sampling descent.
+    top_bit: usize,
+}
+
+impl FenwickSampler {
+    /// Builds a sampler from non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or any weight is negative/non-finite.
+    /// (A zero *total* is permitted at build time to allow incremental
+    /// population, but [`WeightedSampler::sample`] panics while the total
+    /// is zero.)
+    #[must_use]
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "fenwick sampler needs at least one weight");
+        let n = weights.len();
+        let mut tree = vec![0.0; n + 1];
+        let mut total = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(w.is_finite() && w >= 0.0, "weight {i} invalid: {w}");
+            tree[i + 1] = w;
+            total += w;
+        }
+        // O(n) in-place Fenwick construction.
+        for i in 1..=n {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= n {
+                tree[parent] += tree[i];
+            }
+        }
+        let top_bit = if n == 0 { 0 } else { usize::BITS as usize - 1 - n.leading_zeros() as usize };
+        FenwickSampler {
+            tree,
+            weights: weights.to_vec(),
+            total,
+            top_bit: 1 << top_bit,
+        }
+    }
+
+    /// Builds a sampler with `n` zero weights.
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        FenwickSampler::new(&vec![0.0; n.max(1)][..n.max(1)])
+    }
+
+    /// Current weight of index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Sets the weight of index `i` to `w` in O(log n).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds or `w` is negative/non-finite.
+    pub fn set_weight(&mut self, i: usize, w: f64) {
+        assert!(w.is_finite() && w >= 0.0, "weight invalid: {w}");
+        let delta = w - self.weights[i];
+        self.weights[i] = w;
+        self.total += delta;
+        let mut idx = i + 1;
+        while idx < self.tree.len() {
+            self.tree[idx] += delta;
+            idx += idx & idx.wrapping_neg();
+        }
+        // Guard against drift making the total slightly negative.
+        if self.total < 0.0 {
+            self.total = self.weights.iter().sum();
+        }
+    }
+
+    /// Adds `delta` to the weight of index `i` (may not go below zero).
+    ///
+    /// # Panics
+    /// Panics if the resulting weight would be negative.
+    pub fn add_weight(&mut self, i: usize, delta: f64) {
+        let w = self.weights[i] + delta;
+        assert!(w >= -1e-12, "weight would become negative: {w}");
+        self.set_weight(i, w.max(0.0));
+    }
+
+    /// Prefix sum `weights[0..=i]` in O(log n).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn prefix_sum(&self, i: usize) -> f64 {
+        assert!(i < self.weights.len(), "index out of bounds");
+        let mut idx = i + 1;
+        let mut sum = 0.0;
+        while idx > 0 {
+            sum += self.tree[idx];
+            idx -= idx & idx.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Finds the smallest index whose prefix sum exceeds `target`
+    /// (the standard Fenwick descent). `target` must be in `[0, total)`.
+    #[must_use]
+    fn descend(&self, target: f64) -> usize {
+        let n = self.weights.len();
+        let mut pos = 0usize;
+        let mut remaining = target;
+        let mut mask = self.top_bit;
+        while mask > 0 {
+            let next = pos + mask;
+            if next <= n && self.tree[next] <= remaining {
+                remaining -= self.tree[next];
+                pos = next;
+            }
+            mask >>= 1;
+        }
+        // `pos` is the count of fully-consumed prefix; the sampled index is
+        // `pos` itself (0-based), clamped for float-edge cases.
+        pos.min(n - 1)
+    }
+}
+
+impl WeightedSampler for FenwickSampler {
+    #[inline]
+    fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> usize {
+        assert!(self.total > 0.0, "cannot sample from zero total weight");
+        // Rejection loop: a sampled index with zero weight can only occur
+        // via floating-point edge effects; retry (probability ~0).
+        loop {
+            let target = rng.next_f64() * self.total;
+            let idx = self.descend(target);
+            if self.weights[idx] > 0.0 {
+                return idx;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sums_match_naive() {
+        let weights = [3.0, 0.0, 5.0, 2.5, 0.5, 7.0, 1.0];
+        let f = FenwickSampler::new(&weights);
+        let mut acc = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            acc += w;
+            assert!((f.prefix_sum(i) - acc).abs() < 1e-12, "prefix {i}");
+        }
+        assert!((f.total_weight() - acc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_weight_updates_prefix_sums() {
+        let mut f = FenwickSampler::new(&[1.0, 1.0, 1.0, 1.0]);
+        f.set_weight(1, 5.0);
+        f.set_weight(3, 0.0);
+        assert!((f.prefix_sum(0) - 1.0).abs() < 1e-12);
+        assert!((f.prefix_sum(1) - 6.0).abs() < 1e-12);
+        assert!((f.prefix_sum(2) - 7.0).abs() < 1e-12);
+        assert!((f.prefix_sum(3) - 7.0).abs() < 1e-12);
+        assert_eq!(f.weight(1), 5.0);
+        assert_eq!(f.weight(3), 0.0);
+    }
+
+    #[test]
+    fn add_weight_accumulates() {
+        let mut f = FenwickSampler::zeros(3);
+        f.add_weight(0, 2.0);
+        f.add_weight(2, 3.0);
+        f.add_weight(2, 1.0);
+        assert_eq!(f.weight(0), 2.0);
+        assert_eq!(f.weight(2), 4.0);
+        assert!((f.total_weight() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_respects_weights() {
+        let f = FenwickSampler::new(&[1.0, 3.0, 0.0, 6.0]);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(31);
+        let mut counts = [0u64; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[f.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        let total = 10.0;
+        for (i, &w) in [1.0, 3.0, 0.0, 6.0].iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let expected = w / total * n as f64;
+            assert!(
+                (counts[i] as f64 - expected).abs() < 5.0 * expected.sqrt(),
+                "index {i}: {} vs {expected}",
+                counts[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_after_updates_uses_new_weights() {
+        let mut f = FenwickSampler::new(&[1.0, 1.0]);
+        f.set_weight(0, 0.0);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(77);
+        for _ in 0..1000 {
+            assert_eq!(f.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_element_tree() {
+        let f = FenwickSampler::new(&[2.0]);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(5);
+        assert_eq!(f.sample(&mut rng), 0);
+        assert!((f.prefix_sum(0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_power_of_two_sizes() {
+        for n in [1usize, 2, 3, 5, 7, 9, 15, 17, 100, 1000] {
+            let weights: Vec<f64> = (0..n).map(|i| (i % 5) as f64 + 0.5).collect();
+            let f = FenwickSampler::new(&weights);
+            let naive: f64 = weights.iter().sum();
+            assert!((f.total_weight() - naive).abs() < 1e-9, "n={n}");
+            assert!((f.prefix_sum(n - 1) - naive).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero total weight")]
+    fn sampling_zero_total_panics() {
+        let f = FenwickSampler::zeros(4);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(1);
+        let _ = f.sample(&mut rng);
+    }
+}

@@ -1,0 +1,120 @@
+//! Geometric variates (number of failures before the first success).
+
+use crate::rng::Xoshiro256PlusPlus;
+
+/// A geometric distribution on `{0, 1, 2, …}` with success probability `p`:
+/// `P(X = k) = (1−p)^k · p`.
+///
+/// Sampled by inversion of the closed-form CDF,
+/// `X = floor(ln U / ln(1−p))`, which is O(1) for any `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+    ln_q: f64,
+}
+
+impl Geometric {
+    /// Creates a geometric distribution.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p ≤ 1`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "p must be in (0,1], got {p}");
+        Geometric { p, ln_q: (1.0 - p).ln() }
+    }
+
+    /// Success probability.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean `(1−p)/p`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        (1.0 - self.p) / self.p
+    }
+
+    /// Probability mass at `k`.
+    #[must_use]
+    pub fn pmf(&self, k: u64) -> f64 {
+        (1.0 - self.p).powi(k as i32) * self.p
+    }
+
+    /// Draws one variate.
+    #[must_use]
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> u64 {
+        if self.p >= 1.0 {
+            return 0;
+        }
+        let u = rng.next_f64().max(1e-300); // avoid ln(0)
+        let x = (u.ln() / self.ln_q).floor();
+        if x < 0.0 {
+            0
+        } else if x >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            x as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn certain_success_is_always_zero() {
+        let g = Geometric::new(1.0);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(3);
+        for _ in 0..100 {
+            assert_eq!(g.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn mean_matches_theory() {
+        let g = Geometric::new(0.25);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(44);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| g.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        // mean = 0.75/0.25 = 3; sd = sqrt(q)/p ≈ 3.46; se ≈ 0.011
+        assert!((mean - 3.0).abs() < 0.06, "mean {mean}");
+    }
+
+    #[test]
+    fn pmf_sums_close_to_one() {
+        let g = Geometric::new(0.3);
+        let sum: f64 = (0..200).map(|k| g.pmf(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn distribution_shape() {
+        let g = Geometric::new(0.5);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(10);
+        let mut counts = [0u64; 4];
+        let n = 80_000;
+        for _ in 0..n {
+            let x = g.sample(&mut rng) as usize;
+            if x < 4 {
+                counts[x] += 1;
+            }
+        }
+        // P(0)=1/2, P(1)=1/4, ...
+        for (k, &c) in counts.iter().enumerate() {
+            let expected = n as f64 * 0.5f64.powi(k as i32 + 1);
+            assert!(
+                (c as f64 - expected).abs() < 5.0 * expected.sqrt(),
+                "k={k}: {c} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "in (0,1]")]
+    fn zero_probability_rejected() {
+        let _ = Geometric::new(0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Poisson variates (arrival counts for the churn experiments).
+
+use crate::rng::Xoshiro256PlusPlus;
+
+/// A Poisson distribution with rate `λ`.
+///
+/// Sampling uses Knuth's multiplication method for `λ ≤ 30` (exact, O(λ))
+/// and, for larger rates, the sum-splitting recursion
+/// `Pois(λ) = Pois(λ/2) + Pois(λ/2)` down to the exact regime — slower
+/// than PTRS for huge λ but exact-in-distribution and dependency-free,
+/// which matches this workspace's priorities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution with rate `lambda > 0`.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is not finite and positive.
+    #[must_use]
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "rate must be positive, got {lambda}"
+        );
+        Poisson { lambda }
+    }
+
+    /// The rate parameter.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Mean (= λ).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Probability mass at `k`, computed in log space.
+    #[must_use]
+    pub fn pmf(&self, k: u64) -> f64 {
+        let kf = k as f64;
+        let log_p = kf * self.lambda.ln() - self.lambda - ln_factorial(k);
+        log_p.exp()
+    }
+
+    /// Draws one variate.
+    #[must_use]
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> u64 {
+        sample_rate(self.lambda, rng)
+    }
+}
+
+fn sample_rate(lambda: f64, rng: &mut Xoshiro256PlusPlus) -> u64 {
+    if lambda <= 30.0 {
+        // Knuth: multiply uniforms until the product drops below e^-λ.
+        let limit = (-lambda).exp();
+        let mut k = 0u64;
+        let mut prod = rng.next_f64();
+        while prod > limit {
+            k += 1;
+            prod *= rng.next_f64();
+        }
+        k
+    } else {
+        // Split: Pois(λ) = Pois(λ/2) + Pois(λ/2) (independent).
+        let half = lambda / 2.0;
+        sample_rate(half, rng) + sample_rate(half, rng)
+    }
+}
+
+/// `ln k!` via Lanczos log-gamma.
+fn ln_factorial(k: u64) -> f64 {
+    // Small values exactly, the rest through ln Γ(k+1).
+    const EXACT: [f64; 9] = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0, 40320.0];
+    if (k as usize) < EXACT.len() {
+        EXACT[k as usize].ln()
+    } else {
+        ln_gamma(k as f64 + 1.0)
+    }
+}
+
+fn ln_gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let p = Poisson::new(4.2);
+        let sum: f64 = (0..100).map(|k| p.pmf(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn small_rate_moments() {
+        let p = Poisson::new(2.5);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let x = p.sample(&mut rng) as f64;
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!((mean - 2.5).abs() < 0.03, "mean {mean}");
+        assert!((var - 2.5).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn large_rate_split_regime() {
+        let p = Poisson::new(200.0);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(2);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| p.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        // se = sqrt(200/20000) = 0.1; allow 5 sigma.
+        assert!((mean - 200.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn pmf_known_value() {
+        // Pois(1): P(0) = P(1) = 1/e.
+        let p = Poisson::new(1.0);
+        let inv_e = (-1.0f64).exp();
+        assert!((p.pmf(0) - inv_e).abs() < 1e-12);
+        assert!((p.pmf(1) - inv_e).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_rate_rejected() {
+        let _ = Poisson::new(0.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Deterministic PRNGs with `rand_core` integration.
+//!
+//! The experiment harness derives one independent seed per Monte-Carlo
+//! repetition; results are then reproducible regardless of thread
+//! scheduling. [`SplitMix64`] is used for seed derivation (it is the
+//! recommended seeder for the xoshiro family), [`Xoshiro256PlusPlus`] is
+//! the workhorse generator for the simulations themselves.
+
+use rand::rand_core::impls::fill_bytes_via_next;
+use rand::{RngCore, SeedableRng};
+
+/// SplitMix64: a tiny, full-period 64-bit generator.
+///
+/// Primarily used to expand a single user seed into independent
+/// per-repetition seeds ([`derive_seed`]) and to seed
+/// [`Xoshiro256PlusPlus`]. Passes through `rand_core::RngCore` so it can
+/// also be used directly in tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a raw 64-bit state.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Produces the next 64-bit output.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: never exhausts
+    #[inline]
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl RngCore for SplitMix64 {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        fill_bytes_via_next(self, dst);
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        SplitMix64::new(u64::from_le_bytes(seed))
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        SplitMix64::new(state)
+    }
+}
+
+/// Xoshiro256++: fast, high-quality 256-bit-state generator
+/// (Blackman & Vigna). The default simulation RNG of this workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Seeds the generator from a single `u64` by running SplitMix64, as
+    /// recommended by the xoshiro authors (avoids the all-zero state).
+    #[must_use]
+    pub fn from_u64_seed(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256PlusPlus { s: [sm.next(), sm.next(), sm.next(), sm.next()] }
+    }
+
+    /// Produces the next 64-bit output.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: never exhausts
+    #[inline]
+    pub fn next(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` using the top 53 bits.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift
+    /// rejection method (unbiased).
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        let mut x = self.next();
+        let mut m = (x as u128) * (bound as u128);
+        let mut l = m as u64;
+        if l < bound {
+            let t = bound.wrapping_neg() % bound;
+            while l < t {
+                x = self.next();
+                m = (x as u128) * (bound as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        fill_bytes_via_next(self, dst);
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        if s == [0, 0, 0, 0] {
+            // The all-zero state is invalid for xoshiro; remap it.
+            return Xoshiro256PlusPlus::from_u64_seed(0xDEAD_BEEF);
+        }
+        Xoshiro256PlusPlus { s }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        Xoshiro256PlusPlus::from_u64_seed(state)
+    }
+}
+
+/// Derives the seed for repetition `rep` of experiment `experiment_id`
+/// under master seed `master`.
+///
+/// Uses two SplitMix64 steps so that distinct `(master, experiment, rep)`
+/// triples map to well-separated 64-bit seeds. Stable across releases — it
+/// is part of the reproducibility contract of the harness.
+#[must_use]
+pub fn derive_seed(master: u64, experiment_id: u64, rep: u64) -> u64 {
+    let mut sm = SplitMix64::new(master ^ experiment_id.wrapping_mul(0xA076_1D64_78BD_642F));
+    let base = sm.next();
+    let mut sm2 = SplitMix64::new(base ^ rep.wrapping_mul(0xE703_7ED1_A0B4_28DB));
+    sm2.next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference outputs for seed 1234567 from the public-domain
+        // SplitMix64 reference implementation.
+        let mut sm = SplitMix64::new(1234567);
+        let expected = [
+            6457827717110365317u64,
+            3203168211198807973,
+            9817491932198370423,
+            4593380528125082431,
+            16408922859458223821,
+        ];
+        for &e in &expected {
+            assert_eq!(sm.next(), e);
+        }
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_seed_sensitive() {
+        let mut a = Xoshiro256PlusPlus::from_u64_seed(42);
+        let mut b = Xoshiro256PlusPlus::from_u64_seed(42);
+        let mut c = Xoshiro256PlusPlus::from_u64_seed(43);
+        let va: Vec<u64> = (0..16).map(|_| a.next()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_roughly_uniform() {
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(99);
+        let bound = 10u64;
+        let mut counts = [0u64; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            let v = rng.next_below(bound);
+            assert!(v < bound);
+            counts[v as usize] += 1;
+        }
+        // Each bucket should be within 5% of n/10 at this sample size.
+        for &c in &counts {
+            let expected = n as f64 / 10.0;
+            assert!((c as f64 - expected).abs() < expected * 0.05, "count {c}");
+        }
+    }
+
+    #[test]
+    fn next_below_one_always_zero() {
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(5);
+        for _ in 0..100 {
+            assert_eq!(rng.next_below(1), 0);
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let rng = Xoshiro256PlusPlus::from_seed([0u8; 32]);
+        // Must not be the (invalid) all-zero state; must still generate.
+        let mut rng = rng;
+        let v: Vec<u64> = (0..4).map(|_| rng.next()).collect();
+        assert!(v.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn derive_seed_separates_axes() {
+        let s = derive_seed(1, 2, 3);
+        assert_ne!(s, derive_seed(1, 2, 4));
+        assert_ne!(s, derive_seed(1, 3, 3));
+        assert_ne!(s, derive_seed(2, 2, 3));
+        // Deterministic.
+        assert_eq!(s, derive_seed(1, 2, 3));
+    }
+
+    #[test]
+    fn rngcore_fill_bytes_works() {
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(11);
+        let mut buf = [0u8; 17];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn seedable_from_seed_round_trip() {
+        let mut seed = [0u8; 32];
+        for (i, b) in seed.iter_mut().enumerate() {
+            *b = i as u8 + 1;
+        }
+        let mut x = Xoshiro256PlusPlus::from_seed(seed);
+        let mut y = Xoshiro256PlusPlus::from_seed(seed);
+        assert_eq!(x.next(), y.next());
+    }
+}

@@ -1,0 +1,68 @@
+//! The common interface of the weighted index samplers.
+
+use crate::rng::Xoshiro256PlusPlus;
+
+/// A sampler over indices `0..len()` with fixed (or updatable) weights.
+///
+/// Implemented by [`crate::AliasTable`] (O(1) static),
+/// [`crate::FenwickSampler`] (O(log n) dynamic) and
+/// [`crate::CumulativeSampler`] (O(log n) static baseline). The simulation
+/// engine in `bnb-core` is generic over this trait so the sampler ablation
+/// benches can swap implementations without touching the game logic.
+pub trait WeightedSampler {
+    /// Draws one index with probability proportional to its weight.
+    fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> usize;
+
+    /// Number of categories.
+    fn len(&self) -> usize;
+
+    /// Whether the sampler has zero categories.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total weight (the normalising constant).
+    fn total_weight(&self) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AliasTable, CumulativeSampler, FenwickSampler};
+
+    fn exercise(sampler: &dyn WeightedSampler, seed: u64) -> Vec<u64> {
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(seed);
+        let mut counts = vec![0u64; sampler.len()];
+        for _ in 0..60_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        counts
+    }
+
+    /// All three samplers agree (statistically) on the same weight vector.
+    #[test]
+    fn samplers_agree_on_distribution() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let total: f64 = weights.iter().sum();
+        let alias = AliasTable::new(&weights);
+        let fenwick = FenwickSampler::new(&weights);
+        let cumulative = CumulativeSampler::new(&weights);
+        for (name, sampler) in [
+            ("alias", &alias as &dyn WeightedSampler),
+            ("fenwick", &fenwick as &dyn WeightedSampler),
+            ("cumulative", &cumulative as &dyn WeightedSampler),
+        ] {
+            let counts = exercise(sampler, 2024);
+            let n: u64 = counts.iter().sum();
+            for (i, &c) in counts.iter().enumerate() {
+                let expected = weights[i] / total * n as f64;
+                let tol = 4.0 * expected.sqrt() + 1.0; // ~4 sigma
+                assert!(
+                    (c as f64 - expected).abs() < tol,
+                    "{name} category {i}: observed {c}, expected {expected}"
+                );
+            }
+            assert!((sampler.total_weight() - total).abs() < 1e-9, "{name}");
+        }
+    }
+}

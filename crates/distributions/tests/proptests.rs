@@ -1,0 +1,134 @@
+//! Property-based tests of the sampler substrate.
+
+use bnb_distributions::{
+    derive_seed, AliasTable, Binomial, CumulativeSampler, FenwickSampler, WeightedSampler,
+    Xoshiro256PlusPlus,
+};
+use bnb_stats::chi2::chi_square_test;
+use proptest::prelude::*;
+
+/// Strategy: a non-degenerate weight vector.
+fn arb_weights() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..100.0, 1..40).prop_filter("needs positive total", |w| {
+        w.iter().sum::<f64>() > 1e-9
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The alias table encodes exactly the normalised weights.
+    #[test]
+    fn alias_encoded_probabilities_match(weights in arb_weights()) {
+        let total: f64 = weights.iter().sum();
+        let table = AliasTable::new(&weights);
+        for (i, &w) in weights.iter().enumerate() {
+            let encoded = table.encoded_probability(i);
+            prop_assert!(
+                (encoded - w / total).abs() < 1e-9,
+                "index {i}: {encoded} vs {}", w / total
+            );
+        }
+    }
+
+    /// Fenwick prefix sums equal naive prefix sums after arbitrary
+    /// updates.
+    #[test]
+    fn fenwick_prefix_sums_match_naive(
+        initial in arb_weights(),
+        updates in prop::collection::vec((0usize..40, 0.0f64..50.0), 0..30),
+    ) {
+        let mut fenwick = FenwickSampler::new(&initial);
+        let mut naive = initial.clone();
+        for (idx, w) in updates {
+            let idx = idx % naive.len();
+            fenwick.set_weight(idx, w);
+            naive[idx] = w;
+        }
+        let mut acc = 0.0;
+        for (i, &w) in naive.iter().enumerate() {
+            acc += w;
+            prop_assert!((fenwick.prefix_sum(i) - acc).abs() < 1e-6, "prefix {i}");
+        }
+    }
+
+    /// Every sampler only ever returns indices with positive weight.
+    #[test]
+    fn samplers_avoid_zero_weight_indices(
+        weights in arb_weights(),
+        seed in any::<u64>(),
+    ) {
+        let alias = AliasTable::new(&weights);
+        let fenwick = FenwickSampler::new(&weights);
+        let cumulative = CumulativeSampler::new(&weights);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(seed);
+        for s in [
+            &alias as &dyn WeightedSampler,
+            &fenwick as &dyn WeightedSampler,
+            &cumulative as &dyn WeightedSampler,
+        ] {
+            for _ in 0..200 {
+                let idx = s.sample(&mut rng);
+                prop_assert!(idx < weights.len());
+                prop_assert!(weights[idx] > 0.0, "zero-weight index {idx} sampled");
+            }
+        }
+    }
+
+    /// Binomial samples stay in support and the pmf is a distribution.
+    #[test]
+    fn binomial_support_and_pmf(n in 0u64..200, p in 0.0f64..=1.0, seed in any::<u64>()) {
+        let b = Binomial::new(n, p);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(seed);
+        for _ in 0..50 {
+            prop_assert!(b.sample(&mut rng) <= n);
+        }
+        let sum: f64 = (0..=n).map(|k| b.pmf(k)).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "pmf sum {sum}");
+    }
+
+    /// Seed derivation is injective-ish across the rep axis (no
+    /// collisions within a realistic repetition range).
+    #[test]
+    fn derived_seeds_do_not_collide_within_experiment(
+        master in any::<u64>(),
+        experiment in 0u64..10_000,
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        for rep in 0..500u64 {
+            prop_assert!(
+                seen.insert(derive_seed(master, experiment, rep)),
+                "collision at rep {rep}"
+            );
+        }
+    }
+}
+
+/// Fixed-seed statistical agreement of the three samplers, judged by
+/// chi-square against the exact distribution (not a proptest: statistical
+/// tests need controlled seeds to stay deterministic).
+#[test]
+fn samplers_pass_chi_square_against_exact_distribution() {
+    let weights = [5.0, 0.0, 1.0, 2.5, 9.0, 0.5];
+    let total: f64 = weights.iter().sum();
+    let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
+    let n_draws = 120_000;
+    for (name, sampler) in [
+        ("alias", &AliasTable::new(&weights) as &dyn WeightedSampler),
+        ("fenwick", &FenwickSampler::new(&weights) as &dyn WeightedSampler),
+        ("cumulative", &CumulativeSampler::new(&weights) as &dyn WeightedSampler),
+    ] {
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(0xC415_2024);
+        let mut counts = vec![0u64; weights.len()];
+        for _ in 0..n_draws {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        let outcome = chi_square_test(&counts, &probs, 0);
+        assert!(
+            outcome.consistent_at(0.001),
+            "{name}: chi2 = {}, p = {}",
+            outcome.statistic,
+            outcome.p_value
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! **Extension E1** — How much does Algorithm 1's capacity tie-break buy?
+//!
+//! Re-runs the Figure 6 sweep (sizes 1 & 10, fraction of large bins on
+//! the x-axis, `m = C`) under four allocation policies. The paper argues
+//! (proof of Lemma 1 discussion) that moving load towards bigger bins is
+//! beneficial; this experiment quantifies the effect and also shows how
+//! badly the capacity-blind fewest-balls rule fares.
+
+use crate::ctx::Ctx;
+use crate::runner::mc_scalar;
+use bnb_core::prelude::*;
+use bnb_stats::{Series, SeriesSet};
+
+const PAPER_N: usize = 1_000;
+const DEFAULT_REPS: usize = 300;
+
+/// The policies compared.
+pub const POLICIES: [(&str, Policy); 4] = [
+    ("algorithm 1", Policy::PaperProtocol),
+    ("no capacity tie-break", Policy::LeastLoadedPost),
+    ("prior-load greedy", Policy::LeastLoadedPrior),
+    ("fewest balls", Policy::FewestBalls),
+];
+
+/// Runs extension E1.
+#[must_use]
+pub fn run(ctx: &Ctx) -> SeriesSet {
+    let n = ctx.size(PAPER_N, 50);
+    let reps = ctx.reps(DEFAULT_REPS);
+    let mut set = SeriesSet::new(
+        "ext1",
+        format!("Tie-break ablation on the Figure 6 sweep (n={n}, {reps} reps)"),
+        "percentage of large bins",
+        "max load",
+    );
+    for (pi, (label, policy)) in POLICIES.iter().enumerate() {
+        let mut series = Series::new(*label);
+        for (i, pct) in (0..=10).map(|i| i * 10).enumerate() {
+            let n_large = n * pct / 100;
+            let caps = CapacityVector::two_class(n - n_large, 1, n_large, 10);
+            let config = GameConfig::with_d(2).policy(*policy);
+            let summary = mc_scalar(
+                reps,
+                ctx.master_seed,
+                5100 + pi as u64 * 32 + i as u64,
+                |seed| {
+                    let bins = run_game(&caps, caps.total(), &config, seed);
+                    bins.max_load().as_f64()
+                },
+            );
+            series.push_summary(pct as f64, &summary);
+        }
+        set.push(series);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fewest_balls_is_worst_in_mixed_regimes() {
+        let ctx = Ctx::test_scale();
+        let set = run(&ctx);
+        assert_eq!(set.series.len(), 4);
+        // At 50% large bins, capacity-blind counting must be clearly
+        // worse than Algorithm 1 (it ignores that big bins absorb more).
+        let at = |label: &str| set.get(label).unwrap().points[5].y;
+        assert!(
+            at("fewest balls") > at("algorithm 1"),
+            "fewest balls {} vs algorithm 1 {}",
+            at("fewest balls"),
+            at("algorithm 1")
+        );
+    }
+
+    #[test]
+    fn tiebreak_never_hurts_much() {
+        let ctx = Ctx::test_scale();
+        let set = run(&ctx);
+        let a1 = set.get("algorithm 1").unwrap();
+        let no_tb = set.get("no capacity tie-break").unwrap();
+        for (p, q) in a1.points.iter().zip(&no_tb.points) {
+            assert!(
+                p.y <= q.y + 0.35,
+                "tie-break regressed at {}%: {} vs {}",
+                p.x,
+                p.y,
+                q.y
+            );
+        }
+    }
+}

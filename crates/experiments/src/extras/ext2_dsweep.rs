@@ -1,0 +1,86 @@
+//! **Extension E2** — The `ln ln n / ln d` scaling on heterogeneous bins.
+//!
+//! Theorem 3 predicts the max load falls like `1/ln d`. This experiment
+//! sweeps `n` for `d ∈ {1, 2, 3, 4}` on a 1-and-10 capacity mix with
+//! `m = C` and plots the mean max load, exposing both the dramatic
+//! d=1 → d=2 jump and the diminishing returns beyond.
+
+use crate::ctx::Ctx;
+use crate::runner::mc_scalar;
+use bnb_core::prelude::*;
+use bnb_stats::{Series, SeriesSet};
+
+const DEFAULT_REPS: usize = 250;
+
+/// Choice counts compared.
+pub const DS: [usize; 4] = [1, 2, 3, 4];
+
+/// Bin counts on the x-axis.
+#[must_use]
+pub fn n_values(ctx: &Ctx) -> Vec<usize> {
+    [250usize, 500, 1_000, 2_000, 4_000]
+        .iter()
+        .map(|&n| ctx.size(n, 32))
+        .collect()
+}
+
+/// Runs extension E2.
+#[must_use]
+pub fn run(ctx: &Ctx) -> SeriesSet {
+    let reps = ctx.reps(DEFAULT_REPS);
+    let mut set = SeriesSet::new(
+        "ext2",
+        format!("d-sweep on 1-and-10 mixed bins, m = C ({reps} reps)"),
+        "number of bins",
+        "max load",
+    );
+    for (di, &d) in DS.iter().enumerate() {
+        let mut series = Series::new(format!("d={d}"));
+        for (ni, &n) in n_values(ctx).iter().enumerate() {
+            let caps = CapacityVector::two_class(n / 2, 1, n / 2, 10);
+            let config = GameConfig::with_d(d);
+            let summary = mc_scalar(
+                reps,
+                ctx.master_seed,
+                5200 + di as u64 * 32 + ni as u64,
+                |seed| {
+                    let bins = run_game(&caps, caps.total(), &config, seed);
+                    bins.max_load().as_f64()
+                },
+            );
+            series.push_summary(n as f64, &summary);
+        }
+        set.push(series);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_choices_reduce_max_load() {
+        let ctx = Ctx::test_scale();
+        let set = run(&ctx);
+        // At the largest n, d ordering must hold (with slack for noise
+        // between adjacent d).
+        let last = |label: &str| set.get(label).unwrap().points.last().unwrap().y;
+        assert!(last("d=1") > last("d=2"), "{} vs {}", last("d=1"), last("d=2"));
+        assert!(last("d=2") >= last("d=4") - 0.2);
+    }
+
+    #[test]
+    fn one_choice_grows_with_n_two_choice_stays_flat() {
+        let ctx = Ctx { rep_factor: 0.2, size_factor: 0.25, ..Ctx::default() };
+        let set = run(&ctx);
+        let d1 = set.get("d=1").unwrap();
+        let d2 = set.get("d=2").unwrap();
+        let growth1 = d1.points.last().unwrap().y - d1.points[0].y;
+        let growth2 = d2.points.last().unwrap().y - d2.points[0].y;
+        assert!(
+            growth2 < growth1 + 0.2,
+            "d=2 growth {growth2} should be flatter than d=1 growth {growth1}"
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! **Extension E3** — Heavy-tailed (Zipf) capacity fleets.
+//!
+//! The paper evaluates two-class and small-binomial capacity mixes; real
+//! device fleets often follow power laws. This experiment draws
+//! capacities from `Zipf(c_max, s)` for a sweep of exponents `s`, throws
+//! `m = C`, and compares proportional selection against uniform selection
+//! and against the exponent-tilted `c^1.5` rule — probing whether §4.5's
+//! "over-weight the big bins" advice survives heavy tails.
+
+use crate::ctx::Ctx;
+use crate::runner::mc_scalar;
+use bnb_core::prelude::*;
+use bnb_distributions::Xoshiro256PlusPlus;
+use bnb_stats::{Series, SeriesSet};
+
+const PAPER_N: usize = 2_000;
+const C_MAX: u64 = 64;
+const DEFAULT_REPS: usize = 300;
+
+/// Selection rules compared.
+#[must_use]
+pub fn selections() -> Vec<(String, Selection)> {
+    vec![
+        ("proportional (t=1)".into(), Selection::ProportionalToCapacity),
+        ("uniform (t=0)".into(), Selection::Uniform),
+        ("tilted (t=1.5)".into(), Selection::CapacityPower(1.5)),
+    ]
+}
+
+/// Runs extension E3.
+#[must_use]
+pub fn run(ctx: &Ctx) -> SeriesSet {
+    let n = ctx.size(PAPER_N, 64);
+    let reps = ctx.reps(DEFAULT_REPS);
+    let mut set = SeriesSet::new(
+        "ext3",
+        format!("Zipf({C_MAX}, s) capacities: max load vs tail exponent (n={n}, {reps} reps)"),
+        "zipf exponent s",
+        "max load",
+    );
+    let sweep: Vec<f64> = (0..=8).map(|i| i as f64 * 0.25).collect();
+    for (si, (label, selection)) in selections().into_iter().enumerate() {
+        let mut series = Series::new(label);
+        for (i, &s) in sweep.iter().enumerate() {
+            let selection = selection.clone();
+            let summary = mc_scalar(
+                reps,
+                ctx.master_seed,
+                5300 + si as u64 * 32 + i as u64,
+                move |seed| {
+                    let mut cap_rng = Xoshiro256PlusPlus::from_u64_seed(seed ^ 0x21BF);
+                    let caps = CapacityVector::zipf(n, C_MAX, s, &mut cap_rng);
+                    let config = GameConfig::with_d(2).selection(selection.clone());
+                    let bins = run_game(&caps, caps.total(), &config, seed);
+                    bins.max_load().as_f64()
+                },
+            );
+            series.push_summary(s, &summary);
+        }
+        set.push(series);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_beats_uniform_under_heavy_tails() {
+        let ctx = Ctx::test_scale();
+        let set = run(&ctx);
+        let prop = set.get("proportional (t=1)").unwrap();
+        let unif = set.get("uniform (t=0)").unwrap();
+        // At s = 0 capacities are uniform on 1..=64 and very heterogeneous;
+        // across the sweep, proportional should dominate uniform on
+        // average.
+        let avg = |s: &bnb_stats::Series| s.ys().iter().sum::<f64>() / s.len() as f64;
+        assert!(
+            avg(prop) < avg(unif),
+            "proportional {} vs uniform {}",
+            avg(prop),
+            avg(unif)
+        );
+    }
+
+    #[test]
+    fn all_curves_have_full_sweep() {
+        let ctx = Ctx::test_scale();
+        let set = run(&ctx);
+        assert_eq!(set.series.len(), 3);
+        for s in &set.series {
+            assert_eq!(s.len(), 9);
+        }
+    }
+}

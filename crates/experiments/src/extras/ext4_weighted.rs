@@ -1,0 +1,114 @@
+//! **Extension E4** — Weighted balls (`ℓ = s/c`, §1 of the paper).
+//!
+//! The model section defines the load of a size-`s` ball in a capacity-`c`
+//! bin as `s/c` but the analysis assumes unit balls. Here ball sizes are
+//! drawn geometrically with mean `s̄ ∈ {1, 2, 4, 8}`, total mass is kept
+//! at `C` (so the optimal max load remains ≈ 1), and the max load is
+//! plotted against the mean ball size — measuring how much size variance
+//! costs the protocol.
+
+use crate::ctx::Ctx;
+use crate::runner::mc_scalar;
+use bnb_core::prelude::*;
+use bnb_distributions::{Geometric, Xoshiro256PlusPlus};
+use bnb_stats::{Series, SeriesSet};
+
+const PAPER_N: usize = 1_000;
+const DEFAULT_REPS: usize = 300;
+
+/// Mean ball sizes swept.
+pub const MEAN_SIZES: [u64; 4] = [1, 2, 4, 8];
+
+/// Runs extension E4.
+#[must_use]
+pub fn run(ctx: &Ctx) -> SeriesSet {
+    let n = ctx.size(PAPER_N, 50);
+    let reps = ctx.reps(DEFAULT_REPS);
+    let mut set = SeriesSet::new(
+        "ext4",
+        format!("Weighted balls on 1-and-10 mixed bins, total mass = C (n={n}, {reps} reps)"),
+        "mean ball size",
+        "max load",
+    );
+    let caps = CapacityVector::two_class(n / 2, 1, n / 2, 10);
+    for (pi, (label, policy)) in [
+        ("algorithm 1", Policy::PaperProtocol),
+        ("one choice", Policy::FirstChoice),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut series = Series::new(label);
+        for (i, &mean_size) in MEAN_SIZES.iter().enumerate() {
+            let d = if policy == Policy::FirstChoice { 1 } else { 2 };
+            let summary = mc_scalar(
+                reps,
+                ctx.master_seed,
+                5400 + pi as u64 * 32 + i as u64,
+                |seed| one_run(&caps, d, policy, mean_size, seed),
+            );
+            series.push_summary(mean_size as f64, &summary);
+        }
+        set.push(series);
+    }
+    set
+}
+
+/// One run: throw size-`1 + Geometric` balls until total mass reaches C.
+fn one_run(caps: &CapacityVector, d: usize, policy: Policy, mean_size: u64, seed: u64) -> f64 {
+    let mut game = WeightedGame::new(
+        caps,
+        d,
+        policy,
+        &Selection::ProportionalToCapacity,
+        seed,
+    );
+    let target = caps.total();
+    if mean_size == 1 {
+        game.throw_sizes(std::iter::repeat_n(1u64, target as usize));
+    } else {
+        // size = 1 + Geom(p) with mean 1 + (1-p)/p = mean_size
+        // => p = 1/mean_size.
+        let geo = Geometric::new(1.0 / mean_size as f64);
+        let mut size_rng = Xoshiro256PlusPlus::from_u64_seed(seed ^ 0x5123);
+        while game.bins().total_mass() < target {
+            let remaining = target - game.bins().total_mass();
+            let size = (1 + geo.sample(&mut size_rng)).min(remaining);
+            game.throw(size);
+        }
+    }
+    game.bins().max_load().as_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_choices_beat_one_choice_for_all_sizes() {
+        let ctx = Ctx::test_scale();
+        let set = run(&ctx);
+        let a1 = set.get("algorithm 1").unwrap();
+        let oc = set.get("one choice").unwrap();
+        for (p, q) in a1.points.iter().zip(&oc.points) {
+            assert!(
+                p.y < q.y + 0.3,
+                "at mean size {}: algorithm 1 {} vs one choice {}",
+                p.x,
+                p.y,
+                q.y
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_balls_cost_something() {
+        let ctx = Ctx::test_scale();
+        let set = run(&ctx);
+        let a1 = set.get("algorithm 1").unwrap();
+        let unit = a1.points[0].y;
+        let big = a1.points.last().unwrap().y;
+        // Size variance should not *improve* balance.
+        assert!(big >= unit - 0.25, "unit {unit} vs mean-8 {big}");
+    }
+}

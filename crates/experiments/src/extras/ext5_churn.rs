@@ -1,0 +1,101 @@
+//! **Extension E5** — Churn steady state.
+//!
+//! Fill the system to `m = C`, then run insert-one/delete-one churn for
+//! `k·C` steps and record the max load after each sweep of `C` steps.
+//! The question: does sustained turnover erode the two-choice guarantee?
+//! (Known from the dynamic balls-into-bins literature: no — the
+//! steady-state stays near the insertion-only bound; this experiment
+//! confirms it for the heterogeneous protocol.)
+
+use crate::ctx::Ctx;
+use crate::runner::mc_vector;
+use bnb_core::prelude::*;
+use bnb_stats::{Series, SeriesSet};
+
+const PAPER_N: usize = 1_000;
+const DEFAULT_REPS: usize = 100;
+const SWEEPS: usize = 10;
+
+/// Runs extension E5.
+#[must_use]
+pub fn run(ctx: &Ctx) -> SeriesSet {
+    let n = ctx.size(PAPER_N, 50);
+    let reps = ctx.reps(DEFAULT_REPS);
+    let mut set = SeriesSet::new(
+        "ext5",
+        format!("Churn steady state on 1-and-10 mixed bins (n={n}, {reps} reps)"),
+        "churn sweeps completed (x C operations)",
+        "max load",
+    );
+    let caps = CapacityVector::two_class(n / 2, 1, n / 2, 10);
+    for (di, d) in [1usize, 2].into_iter().enumerate() {
+        let acc = mc_vector(
+            reps,
+            ctx.master_seed,
+            5500 + di as u64,
+            SWEEPS + 1,
+            |seed| {
+                let mut game = DynamicGame::new(
+                    &caps,
+                    d,
+                    Policy::PaperProtocol,
+                    &Selection::ProportionalToCapacity,
+                    seed,
+                );
+                let c = caps.total();
+                for _ in 0..c {
+                    game.insert();
+                }
+                let mut out = Vec::with_capacity(SWEEPS + 1);
+                out.push(game.bins().max_load().as_f64());
+                for _ in 0..SWEEPS {
+                    game.churn(c);
+                    out.push(game.bins().max_load().as_f64());
+                }
+                out
+            },
+        );
+        let means = acc.means();
+        let errs = acc.std_errs();
+        let mut series = Series::new(format!("d={d}"));
+        for (i, (&m, &e)) in means.iter().zip(&errs).enumerate() {
+            series.push(i as f64, m, e);
+        }
+        set.push(series);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_does_not_erode_two_choice_guarantee() {
+        let ctx = Ctx::test_scale();
+        let set = run(&ctx);
+        let d2 = set.get("d=2").unwrap();
+        let initial = d2.points[0].y;
+        let final_ = d2.points.last().unwrap().y;
+        // Steady state may drift a little above the fresh allocation but
+        // must stay well under the one-choice level.
+        let d1_final = set.get("d=1").unwrap().points.last().unwrap().y;
+        assert!(
+            final_ < d1_final,
+            "churned d=2 ({final_}) must stay below d=1 ({d1_final})"
+        );
+        assert!(
+            final_ < initial + 2.0,
+            "churn erosion too large: {initial} -> {final_}"
+        );
+    }
+
+    #[test]
+    fn series_have_all_sweep_points() {
+        let ctx = Ctx::test_scale();
+        let set = run(&ctx);
+        for s in &set.series {
+            assert_eq!(s.len(), SWEEPS + 1);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! **Extension E6** — The queueing view: capacity as *speed*.
+//!
+//! The paper reads a bin's capacity as "speed, bandwidth or compression
+//! ratio". The dynamic embodiment is a supermarket-model system: Poisson
+//! arrivals, `n` servers where server `i` drains Exp(1)-work jobs at
+//! rate `c_i`, and d-choice routing. This experiment sweeps the offered
+//! utilisation ρ on a 1-and-10 speed mix and plots the maximum
+//! *normalised* queue (`max q_i/c_i`, the queueing analog of the paper's
+//! load) for four routing setups:
+//!
+//! * d=2, speed-proportional sampling, normalised JSQ (Algorithm 1's
+//!   analog),
+//! * d=2, speed-proportional sampling, plain JSQ (speed-blind),
+//! * d=2, uniform sampling, normalised JSQ,
+//! * d=1 (random server ∝ speed) as the baseline.
+
+use crate::ctx::Ctx;
+use crate::runner::mc_scalar;
+use bnb_core::{CapacityVector, Selection};
+use bnb_queueing::{QueueSystem, RoutingPolicy, SystemConfig};
+use bnb_stats::{Series, SeriesSet};
+
+const PAPER_N: usize = 200;
+const DEFAULT_REPS: usize = 40;
+const ARRIVALS_PER_SPEED: u64 = 400;
+
+/// The swept utilisations.
+pub const RHOS: [f64; 4] = [0.5, 0.7, 0.9, 0.95];
+
+/// Runs extension E6.
+#[must_use]
+pub fn run(ctx: &Ctx) -> SeriesSet {
+    let n = ctx.size(PAPER_N, 20);
+    let reps = ctx.reps(DEFAULT_REPS);
+    let speeds = CapacityVector::two_class(n / 2, 1, n / 2, 10);
+    let arrivals = speeds.total() * ARRIVALS_PER_SPEED / 10;
+    let mut set = SeriesSet::new(
+        "ext6",
+        format!(
+            "Queueing (speeds 1 & 10, n={n}): max normalised queue vs utilisation ({reps} reps)"
+        ),
+        "offered utilisation rho",
+        "max normalised queue (max q/c)",
+    );
+    let variants: Vec<(String, usize, RoutingPolicy, Selection)> = vec![
+        (
+            "d=2 normalised JSQ, prop sampling".into(),
+            2,
+            RoutingPolicy::ShortestNormalizedQueue,
+            Selection::ProportionalToCapacity,
+        ),
+        (
+            "d=2 plain JSQ, prop sampling".into(),
+            2,
+            RoutingPolicy::ShortestQueue,
+            Selection::ProportionalToCapacity,
+        ),
+        (
+            "d=2 normalised JSQ, uniform sampling".into(),
+            2,
+            RoutingPolicy::ShortestNormalizedQueue,
+            Selection::Uniform,
+        ),
+        (
+            "d=1 random (prop sampling)".into(),
+            1,
+            RoutingPolicy::Random,
+            Selection::ProportionalToCapacity,
+        ),
+    ];
+    for (vi, (label, d, routing, selection)) in variants.into_iter().enumerate() {
+        let mut series = Series::new(label);
+        for (ri, &rho) in RHOS.iter().enumerate() {
+            let selection = selection.clone();
+            let speeds = speeds.clone();
+            let summary = mc_scalar(
+                reps,
+                ctx.master_seed,
+                5600 + vi as u64 * 16 + ri as u64,
+                move |seed| {
+                    let config = SystemConfig {
+                        d,
+                        routing,
+                        selection: selection.clone(),
+                        rho,
+                    };
+                    let mut sys = QueueSystem::new(&speeds, config, seed);
+                    sys.run_arrivals(arrivals).max_normalized_queue
+                },
+            );
+            series.push_summary(rho, &summary);
+        }
+        set.push(series);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queues_grow_with_utilisation() {
+        let ctx = Ctx::test_scale();
+        let set = run(&ctx);
+        assert_eq!(set.series.len(), 4);
+        for s in &set.series {
+            assert!(
+                s.points.last().unwrap().y >= s.points[0].y - 0.5,
+                "{}: queue should not shrink as rho grows",
+                s.label
+            );
+        }
+    }
+
+    #[test]
+    fn two_choices_beat_one_at_high_load() {
+        let ctx = Ctx::test_scale();
+        let set = run(&ctx);
+        let best = set
+            .get("d=2 normalised JSQ, prop sampling")
+            .unwrap()
+            .points
+            .last()
+            .unwrap()
+            .y;
+        let baseline = set
+            .get("d=1 random (prop sampling)")
+            .unwrap()
+            .points
+            .last()
+            .unwrap()
+            .y;
+        assert!(
+            best < baseline,
+            "normalised JSQ(2) ({best}) should beat random ({baseline}) at rho=0.95"
+        );
+    }
+}

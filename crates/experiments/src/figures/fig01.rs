@@ -1,0 +1,73 @@
+//! **Figure 1** — Uniform bins: normalised load distribution.
+//!
+//! Paper parameters: `n = 10 000` bins, `d = 2`, uniform capacities
+//! `c ∈ {1, 2, 3, 4, 8}`, `m = C = c·n` balls, averaged over 10 000
+//! repetitions. Expectation (Observation 2): the maximum load is close to
+//! `1 + ln ln n / c` for `c ≥ 2` and `ln ln n / ln 2` for `c = 1`, so the
+//! curves flatten as `c` grows.
+
+use crate::ctx::Ctx;
+use crate::figures::sorted_loads_one_run;
+use crate::runner::mc_vector;
+use bnb_core::prelude::*;
+use bnb_stats::{Series, SeriesSet};
+
+/// Capacities plotted by the paper.
+pub const CAPACITIES: [u64; 5] = [1, 2, 3, 4, 8];
+/// Paper's repetition count.
+pub const PAPER_REPS: usize = 10_000;
+const DEFAULT_REPS: usize = 200;
+const PAPER_N: usize = 10_000;
+
+/// Runs Figure 1.
+#[must_use]
+pub fn run(ctx: &Ctx) -> SeriesSet {
+    let n = ctx.size(PAPER_N, 64);
+    let reps = ctx.reps(DEFAULT_REPS);
+    let mut set = SeriesSet::new(
+        "fig01",
+        format!("Uniform bins: load distribution (n={n}, d=2, m=C, {reps} reps)"),
+        "bin rank (sorted by load, descending)",
+        "load",
+    );
+    for (k, &c) in CAPACITIES.iter().enumerate() {
+        let caps = CapacityVector::uniform(n, c);
+        let config = GameConfig::with_d(2);
+        let acc = mc_vector(reps, ctx.master_seed, 100 + k as u64, n, |seed| {
+            sorted_loads_one_run(&caps, &config, seed)
+        });
+        let means = acc.means();
+        let errs = acc.std_errs();
+        let mut series = Series::new(format!("{c}-bins"));
+        for (rank, (&m, &e)) in means.iter().zip(&errs).enumerate() {
+            series.push(rank as f64, m, e);
+        }
+        set.push(series);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_observation2() {
+        let ctx = Ctx::test_scale();
+        let set = run(&ctx);
+        assert_eq!(set.series.len(), 5);
+        // Larger capacity => smaller maximum load (first-rank mean).
+        let max_of = |label: &str| set.get(label).unwrap().points[0].y;
+        assert!(max_of("1-bins") > max_of("2-bins"));
+        assert!(max_of("2-bins") > max_of("8-bins"));
+        // All curves are non-increasing in rank (they are sorted means).
+        for s in &set.series {
+            assert!(s.is_decreasing_within(1e-9), "series {}", s.label);
+        }
+        // Average load is 1 for every curve (m = C).
+        for s in &set.series {
+            let avg: f64 = s.ys().iter().sum::<f64>() / s.len() as f64;
+            assert!((avg - 1.0).abs() < 0.05, "series {} avg {avg}", s.label);
+        }
+    }
+}

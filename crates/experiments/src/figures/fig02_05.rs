@@ -1,0 +1,144 @@
+//! **Figures 2–5** — 32 uniform bins under increasing ball counts.
+//!
+//! Paper parameters: `n = 32` uniform bins of capacity `c ∈ {1, 2, 3, 4}`;
+//! `m ∈ {1, 10, 100, 1000} · C` (one figure per multiplier). The paper's
+//! point: the *absolute deviation* of the load distribution around the
+//! average `m/C` is essentially invariant in `m` (heavily-loaded theory
+//! of Berenbrink et al. 2000).
+
+use crate::ctx::Ctx;
+use crate::runner::mc_vector;
+use bnb_core::prelude::*;
+use bnb_stats::{Series, SeriesSet};
+
+/// Capacities plotted by the paper.
+pub const CAPACITIES: [u64; 4] = [1, 2, 3, 4];
+/// Ball multipliers of figures 2, 3, 4 and 5 respectively.
+pub const MULTIPLIERS: [u64; 4] = [1, 10, 100, 1_000];
+/// Paper's repetition count.
+pub const PAPER_REPS: usize = 10_000;
+const N: usize = 32;
+
+fn default_reps(multiplier: u64) -> usize {
+    // Keep the default work per figure roughly constant: larger m,
+    // fewer repetitions.
+    match multiplier {
+        1 => 4000,
+        10 => 2000,
+        100 => 800,
+        _ => 300,
+    }
+}
+
+/// Runs the figure for one ball multiplier (1 → Figure 2, 10 → Figure 3,
+/// 100 → Figure 4, 1000 → Figure 5).
+///
+/// # Panics
+/// Panics if `multiplier` is not one of the paper's values.
+#[must_use]
+pub fn run_multiplier(ctx: &Ctx, multiplier: u64) -> SeriesSet {
+    let fig_no = match multiplier {
+        1 => 2,
+        10 => 3,
+        100 => 4,
+        1_000 => 5,
+        other => panic!("paper has no figure for multiplier {other}"),
+    };
+    let reps = ctx.reps(default_reps(multiplier));
+    let mut set = SeriesSet::new(
+        format!("fig{fig_no:02}"),
+        format!("32 uniform bins, m = {multiplier}·C ({reps} reps)"),
+        "bin rank (sorted by load, descending)",
+        "load",
+    );
+    for (k, &c) in CAPACITIES.iter().enumerate() {
+        let caps = CapacityVector::uniform(N, c);
+        let m = multiplier * caps.total();
+        let config = GameConfig::with_d(2);
+        let acc = mc_vector(
+            reps,
+            ctx.master_seed,
+            fig_no as u64 * 100 + k as u64,
+            N,
+            |seed| {
+                let bins = run_game(&caps, m, &config, seed);
+                bins.normalized_loads_f64()
+            },
+        );
+        let means = acc.means();
+        let errs = acc.std_errs();
+        let mut series = Series::new(format!("{c}-bins"));
+        for (rank, (&mv, &e)) in means.iter().zip(&errs).enumerate() {
+            series.push(rank as f64, mv, e);
+        }
+        set.push(series);
+    }
+    set
+}
+
+/// Figure 2 (`m = C`).
+#[must_use]
+pub fn run_fig02(ctx: &Ctx) -> SeriesSet {
+    run_multiplier(ctx, 1)
+}
+
+/// Figure 3 (`m = 10·C`).
+#[must_use]
+pub fn run_fig03(ctx: &Ctx) -> SeriesSet {
+    run_multiplier(ctx, 10)
+}
+
+/// Figure 4 (`m = 100·C`).
+#[must_use]
+pub fn run_fig04(ctx: &Ctx) -> SeriesSet {
+    run_multiplier(ctx, 100)
+}
+
+/// Figure 5 (`m = 1000·C`).
+#[must_use]
+pub fn run_fig05(ctx: &Ctx) -> SeriesSet {
+    run_multiplier(ctx, 1_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deviation_from_average_is_m_invariant() {
+        // The paper's central observation for these figures: the spread
+        // (max - min of the mean curve) does not grow with m.
+        let ctx = Ctx { rep_factor: 0.1, ..Ctx::default() };
+        let spread = |set: &SeriesSet, label: &str| {
+            let s = set.get(label).unwrap();
+            s.max_y().unwrap() - s.min_y().unwrap()
+        };
+        let f2 = run_multiplier(&ctx, 1);
+        let f4 = run_multiplier(&ctx, 100);
+        for label in ["2-bins", "4-bins"] {
+            let s2 = spread(&f2, label);
+            let s4 = spread(&f4, label);
+            // Allow 60% slack: they should be the same order, not equal.
+            assert!(
+                s4 < s2 * 1.6 + 0.2,
+                "{label}: spread grew from {s2} (m=C) to {s4} (m=100C)"
+            );
+        }
+    }
+
+    #[test]
+    fn averages_track_multiplier() {
+        let ctx = Ctx { rep_factor: 0.05, ..Ctx::default() };
+        let f3 = run_multiplier(&ctx, 10);
+        for s in &f3.series {
+            let avg: f64 = s.ys().iter().sum::<f64>() / s.len() as f64;
+            assert!((avg - 10.0).abs() < 0.3, "series {} avg {avg}", s.label);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no figure for multiplier")]
+    fn unknown_multiplier_rejected() {
+        let _ = run_multiplier(&Ctx::test_scale(), 7);
+    }
+}

@@ -1,0 +1,128 @@
+//! **Figures 6 & 7** — Bins of size 1 and 10: the pull of large bins.
+//!
+//! Paper parameters: `n = 1 000` bins mixing capacity 1 and capacity 10;
+//! the fraction of large bins sweeps 0 % … 100 %; `m = C`.
+//!
+//! * Figure 6 plots the mean **maximum load** against the fraction —
+//!   decreasing from ≈ 3 to ≈ 1.2 with a plateau around 10–30 %.
+//! * Figure 7 plots the **percentage of runs in which a small bin is
+//!   among the maximally loaded** — near 100 % early, dropping below
+//!   50 % around 45 % large bins (with a small dent near 2 %).
+
+use crate::ctx::Ctx;
+use crate::figures::max_load_one_run;
+use crate::runner::{mc_fraction, mc_scalar};
+use bnb_core::prelude::*;
+use bnb_stats::{Series, SeriesSet};
+
+/// Capacity of the small bins.
+pub const SMALL: u64 = 1;
+/// Capacity of the large bins.
+pub const LARGE: u64 = 10;
+/// Paper's repetition count (Figure 7 explicitly states 1 000 runs; the
+/// blanket statement of §4 is 10 000).
+pub const PAPER_REPS: usize = 10_000;
+const PAPER_N: usize = 1_000;
+const DEFAULT_REPS: usize = 400;
+
+/// The swept percentages (0, 2, 4, …, 100).
+#[must_use]
+pub fn percentages() -> Vec<usize> {
+    (0..=50).map(|i| i * 2).collect()
+}
+
+fn mix(n: usize, pct_large: usize) -> CapacityVector {
+    let n_large = n * pct_large / 100;
+    let n_small = n - n_large;
+    CapacityVector::two_class(n_small, SMALL, n_large, LARGE)
+}
+
+/// Runs Figure 6 (maximum load vs. fraction of large bins).
+#[must_use]
+pub fn run_fig06(ctx: &Ctx) -> SeriesSet {
+    let n = ctx.size(PAPER_N, 50);
+    let reps = ctx.reps(DEFAULT_REPS);
+    let mut set = SeriesSet::new(
+        "fig06",
+        format!("Bins of size 1 and 10: max load vs fraction of large bins (n={n}, {reps} reps)"),
+        "percentage of large bins",
+        "max load",
+    );
+    let mut series = Series::new("max load");
+    for (i, pct) in percentages().into_iter().enumerate() {
+        let caps = mix(n, pct);
+        let config = GameConfig::with_d(2);
+        let summary = mc_scalar(reps, ctx.master_seed, 600 + i as u64, |seed| {
+            max_load_one_run(&caps, &config, seed)
+        });
+        series.push_summary(pct as f64, &summary);
+    }
+    set.push(series);
+    set
+}
+
+/// Runs Figure 7 (% of runs where a small bin holds the maximum load).
+#[must_use]
+pub fn run_fig07(ctx: &Ctx) -> SeriesSet {
+    let n = ctx.size(PAPER_N, 50);
+    let reps = ctx.reps(DEFAULT_REPS);
+    let mut set = SeriesSet::new(
+        "fig07",
+        format!("Bins of size 1 and 10: where the maximum sits (n={n}, {reps} reps)"),
+        "percentage of large bins",
+        "% of runs where a small bin has max load",
+    );
+    let mut series = Series::new("max load");
+    for (i, pct) in percentages().into_iter().enumerate() {
+        if pct == 100 {
+            // No small bins exist; the fraction is 0 by definition.
+            series.push(100.0, 0.0, 0.0);
+            continue;
+        }
+        let caps = mix(n, pct);
+        let config = GameConfig::with_d(2);
+        let summary = mc_fraction(reps, ctx.master_seed, 700 + i as u64, |seed| {
+            let bins = run_game(&caps, caps.total(), &config, seed);
+            small_bin_has_max(&bins, SMALL)
+        });
+        series.push(pct as f64, summary.mean() * 100.0, summary.std_err() * 100.0);
+    }
+    set.push(series);
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig06_decreases_overall() {
+        let ctx = Ctx::test_scale();
+        let set = run_fig06(&ctx);
+        let s = &set.series[0];
+        let first = s.points.first().unwrap().y;
+        let last = s.points.last().unwrap().y;
+        assert!(
+            first > last + 0.5,
+            "max load should drop substantially: {first} -> {last}"
+        );
+        // All-small endpoint is the classic 2-choice game: ~2-4 for n≈100.
+        assert!((1.5..=5.0).contains(&first), "first {first}");
+        // All-large endpoint: load close to 1.
+        assert!(last < 2.0, "last {last}");
+    }
+
+    #[test]
+    fn fig07_moves_max_to_large_bins() {
+        let ctx = Ctx::test_scale();
+        let set = run_fig07(&ctx);
+        let s = &set.series[0];
+        let first = s.points.first().unwrap().y;
+        let last = s.points.last().unwrap().y;
+        assert!(first > 80.0, "with no large bins the small ones hold the max: {first}");
+        assert_eq!(last, 0.0, "with no small bins the fraction is zero");
+        // Mid-sweep it must actually transition.
+        let mid = s.points[s.len() / 2].y;
+        assert!(mid < first + 1e-9);
+    }
+}

@@ -1,0 +1,136 @@
+//! **Figures 8 & 9** — Randomised bin sizes: max load vs. total capacity.
+//!
+//! Paper parameters (§4.2): each bin's capacity is `1 + X`,
+//! `X ~ Bin(7, (c−1)/7)`, for a target mean capacity `c ∈ [1, 8]`;
+//! `m = C` (the realised total); probabilities proportional to capacity.
+//!
+//! * Figure 8 (`n = 10 000`, x-axis 10 000 … 80 000) plots the mean
+//!   maximum load against the total capacity — decreasing ≈ 3.2 → 1.2.
+//! * Figure 9 (`n = 1 000`, x-axis 1 000 … 10 000 per the paper's axis)
+//!   plots, for sizes x ∈ {1, 2, 4, 6}, the percentage of runs in which a
+//!   size-x bin is the maximally loaded one — the maximum migrates from
+//!   size-1 bins to mid-size bins as capacity grows.
+
+use crate::ctx::Ctx;
+use crate::runner::{mc_scalar, mc_vector};
+use bnb_core::prelude::*;
+use bnb_distributions::Xoshiro256PlusPlus;
+use bnb_stats::{Series, SeriesSet};
+
+/// Paper's repetition count.
+pub const PAPER_REPS: usize = 10_000;
+const FIG08_N: usize = 10_000;
+const FIG09_N: usize = 1_000;
+const FIG08_REPS: usize = 60;
+const FIG09_REPS: usize = 400;
+
+/// Sizes whose max-load share Figure 9 tracks.
+pub const FIG09_CLASSES: [u64; 4] = [1, 2, 4, 6];
+
+/// One repetition: draw random capacities with the given mean, play the
+/// game with m = realised C, return the final bins.
+fn one_run(n: usize, mean_c: f64, seed: u64) -> BinArray {
+    // Split the seed: one stream for the capacities, one for the game.
+    let mut cap_rng = Xoshiro256PlusPlus::from_u64_seed(seed ^ 0xCAFE_F00D);
+    let caps = CapacityVector::binomial_randomized(n, mean_c, &mut cap_rng);
+    run_game(&caps, caps.total(), &GameConfig::with_d(2), seed)
+}
+
+/// Runs Figure 8.
+#[must_use]
+pub fn run_fig08(ctx: &Ctx) -> SeriesSet {
+    let n = ctx.size(FIG08_N, 64);
+    let reps = ctx.reps(FIG08_REPS);
+    let mut set = SeriesSet::new(
+        "fig08",
+        format!("Randomised bin sizes: max load vs system capacity (n={n}, {reps} reps)"),
+        "total capacity",
+        "max load",
+    );
+    let mut series = Series::new("max load");
+    let sweep: Vec<f64> = (0..=14).map(|i| 1.0 + i as f64 * 0.5).collect();
+    for (i, &mean_c) in sweep.iter().enumerate() {
+        let summary = mc_scalar(reps, ctx.master_seed, 800 + i as u64, |seed| {
+            one_run(n, mean_c, seed).max_load().as_f64()
+        });
+        series.push_summary(mean_c * n as f64, &summary);
+    }
+    set.push(series);
+    set
+}
+
+/// Runs Figure 9.
+#[must_use]
+pub fn run_fig09(ctx: &Ctx) -> SeriesSet {
+    let n = ctx.size(FIG09_N, 64);
+    let reps = ctx.reps(FIG09_REPS);
+    let mut set = SeriesSet::new(
+        "fig09",
+        format!("Randomised bin sizes: size class of the max-loaded bin (n={n}, {reps} reps)"),
+        "total capacity",
+        "% of runs where a size-x bin has max load",
+    );
+    let sweep: Vec<f64> = (0..=28).map(|i| 1.0 + i as f64 * 0.25).collect();
+    // For each sweep point compute the class histogram in one MC pass:
+    // element k of the vector = indicator(max-loaded class == CLASSES[k]).
+    let mut class_series: Vec<Series> = FIG09_CLASSES
+        .iter()
+        .map(|c| Series::new(format!("max load in bin of size {c}")))
+        .collect();
+    for (i, &mean_c) in sweep.iter().enumerate() {
+        let acc = mc_vector(
+            reps,
+            ctx.master_seed,
+            900 + i as u64,
+            FIG09_CLASSES.len(),
+            |seed| {
+                let bins = one_run(n, mean_c, seed);
+                let class = max_load_capacity_class(&bins);
+                FIG09_CLASSES
+                    .iter()
+                    .map(|&c| if class == c { 1.0 } else { 0.0 })
+                    .collect()
+            },
+        );
+        let means = acc.means();
+        let errs = acc.std_errs();
+        for (k, series) in class_series.iter_mut().enumerate() {
+            series.push(mean_c * n as f64, means[k] * 100.0, errs[k] * 100.0);
+        }
+    }
+    for s in class_series {
+        set.push(s);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig08_max_load_decreases_with_capacity() {
+        let ctx = Ctx::test_scale();
+        let set = run_fig08(&ctx);
+        let s = &set.series[0];
+        let first = s.points.first().unwrap().y;
+        let last = s.points.last().unwrap().y;
+        assert!(first > last + 0.4, "expected decrease, got {first} -> {last}");
+        assert!(last < 2.0, "high-capacity end should be near 1, got {last}");
+    }
+
+    #[test]
+    fn fig09_size1_dominates_early_then_fades() {
+        let ctx = Ctx::test_scale();
+        let set = run_fig09(&ctx);
+        let size1 = set.get("max load in bin of size 1").unwrap();
+        let first = size1.points.first().unwrap().y;
+        let last = size1.points.last().unwrap().y;
+        assert!(first > 60.0, "all-size-1 start: max must sit in size-1 bins ({first})");
+        assert!(last < first, "size-1 share must decline ({first} -> {last})");
+        // Percentages stay in [0, 100].
+        for s in &set.series {
+            assert!(s.ys().iter().all(|&y| (0.0..=100.0).contains(&y)));
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! **Figures 10–13** — Load distributions in two-class mixes.
+//!
+//! * Figure 10: `n = 32`, sizes 1 & 2, large-bin counts {0, 8, 16, 24, 32}.
+//! * Figure 11: `n = 10 000`, sizes 1 & 8, large counts {0, 2500, 5000,
+//!   7500, 10000}.
+//! * Figures 12/13: the Figure 11 games re-plotted per capacity class
+//!   (12: only the size-8 bins; 13: only the size-1 bins).
+//!
+//! `m = C`, probabilities proportional to capacity, loads averaged
+//! position-wise over the sorted vectors (10 000 reps in the paper).
+
+use crate::ctx::Ctx;
+use crate::runner::mc_vector;
+use bnb_core::prelude::*;
+use bnb_stats::{Series, SeriesSet};
+
+/// Paper's repetition count.
+pub const PAPER_REPS: usize = 10_000;
+const FIG10_REPS: usize = 3_000;
+const FIG11_REPS: usize = 100;
+
+/// The five mixes of a figure: number of large bins out of `n`.
+fn mixes(n: usize) -> [usize; 5] {
+    [0, n / 4, n / 2, 3 * n / 4, n]
+}
+
+#[allow(clippy::too_many_arguments)] // internal helper shared by four figures
+fn run_distribution(
+    ctx: &Ctx,
+    id: &str,
+    paper_n: usize,
+    c_small: u64,
+    c_large: u64,
+    default_reps: usize,
+    exp_base: u64,
+    class_filter: Option<u64>,
+) -> SeriesSet {
+    let n = ctx.size(paper_n, 32);
+    let reps = ctx.reps(default_reps);
+    let class_note = match class_filter {
+        Some(c) => format!(", bins of capacity {c} only"),
+        None => String::new(),
+    };
+    let mut set = SeriesSet::new(
+        id,
+        format!(
+            "{n} bins of capacity {c_small} and {c_large}{class_note} ({reps} reps)"
+        ),
+        "bin rank (sorted by load, descending)",
+        "load",
+    );
+    for (k, &n_large) in mixes(n).iter().enumerate() {
+        let n_small = n - n_large;
+        // Class-filtered curves are undefined when the class is absent.
+        if let Some(c) = class_filter {
+            let class_count = if c == c_large { n_large } else { n_small };
+            if class_count == 0 {
+                continue;
+            }
+        }
+        let caps = CapacityVector::two_class(n_small, c_small, n_large, c_large);
+        let config = GameConfig::with_d(2);
+        let veclen = match class_filter {
+            Some(c) if c == c_large => n_large,
+            Some(_) => n_small,
+            None => n,
+        };
+        let acc = mc_vector(
+            reps,
+            ctx.master_seed,
+            exp_base + k as u64,
+            veclen,
+            |seed| {
+                let bins = run_game(&caps, caps.total(), &config, seed);
+                match class_filter {
+                    Some(c) => bins.class_normalized_loads_f64(c),
+                    None => bins.normalized_loads_f64(),
+                }
+            },
+        );
+        let means = acc.means();
+        let errs = acc.std_errs();
+        let mut series = Series::new(format!(
+            "{n_large}x {c_large}-bins, {n_small}x {c_small}-bins"
+        ));
+        for (rank, (&m, &e)) in means.iter().zip(&errs).enumerate() {
+            series.push(rank as f64, m, e);
+        }
+        set.push(series);
+    }
+    set
+}
+
+/// Runs Figure 10 (32 bins, capacities 1 and 2).
+#[must_use]
+pub fn run_fig10(ctx: &Ctx) -> SeriesSet {
+    run_distribution(ctx, "fig10", 32, 1, 2, FIG10_REPS, 1000, None)
+}
+
+/// Runs Figure 11 (10 000 bins, capacities 1 and 8).
+#[must_use]
+pub fn run_fig11(ctx: &Ctx) -> SeriesSet {
+    run_distribution(ctx, "fig11", 10_000, 1, 8, FIG11_REPS, 1100, None)
+}
+
+/// Runs Figure 12 (the Figure 11 setting, size-8 bins only).
+#[must_use]
+pub fn run_fig12(ctx: &Ctx) -> SeriesSet {
+    run_distribution(ctx, "fig12", 10_000, 1, 8, FIG11_REPS, 1200, Some(8))
+}
+
+/// Runs Figure 13 (the Figure 11 setting, size-1 bins only).
+#[must_use]
+pub fn run_fig13(ctx: &Ctx) -> SeriesSet {
+    run_distribution(ctx, "fig13", 10_000, 1, 8, FIG11_REPS, 1300, Some(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_more_large_bins_flatten_distribution() {
+        let ctx = Ctx { rep_factor: 0.05, ..Ctx::default() };
+        let set = run_fig10(&ctx);
+        assert_eq!(set.series.len(), 5);
+        let spread = |s: &bnb_stats::Series| s.max_y().unwrap() - s.min_y().unwrap();
+        let all_small = spread(&set.series[0]);
+        let all_large = spread(&set.series[4]);
+        assert!(
+            all_large < all_small,
+            "all-large spread {all_large} should beat all-small {all_small}"
+        );
+    }
+
+    #[test]
+    fn fig12_13_split_the_population() {
+        let ctx = Ctx::test_scale();
+        let f12 = run_fig12(&ctx);
+        let f13 = run_fig13(&ctx);
+        // Mixes without the class are skipped: 4 curves each (the all-
+        // opposite-class mix drops out).
+        assert_eq!(f12.series.len(), 4);
+        assert_eq!(f13.series.len(), 4);
+        // Large bins carry lower max loads than small bins in the same
+        // (half/half) mix.
+        let large_mid = f12.series[1].max_y().unwrap();
+        let small_mid = f13.series[2].max_y().unwrap();
+        assert!(
+            large_mid <= small_mid + 0.3,
+            "size-8 max {large_mid} vs size-1 max {small_mid}"
+        );
+    }
+
+    #[test]
+    fn fig11_curves_sorted_desc() {
+        let ctx = Ctx::test_scale();
+        let set = run_fig11(&ctx);
+        for s in &set.series {
+            assert!(s.is_decreasing_within(1e-9), "{}", s.label);
+        }
+    }
+}

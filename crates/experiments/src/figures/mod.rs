@@ -1,0 +1,37 @@
+//! One module per paper figure (or tightly-coupled figure family).
+//!
+//! Every public `figNN` function takes a [`crate::Ctx`] and returns the
+//! [`bnb_stats::SeriesSet`] holding exactly the curves the corresponding
+//! figure in the paper plots. Paper-scale parameters are documented per
+//! module; the context's factors scale them for quick runs and tests.
+
+pub mod fig01;
+pub mod fig02_05;
+pub mod fig06_07;
+pub mod fig08_09;
+pub mod fig10_13;
+pub mod fig14_15;
+pub mod fig16;
+pub mod fig17_18;
+
+use bnb_core::prelude::*;
+
+/// Shared helper: run one complete `m = C` game on `caps` and return the
+/// sorted (normalised) load vector — the y-values of the distribution
+/// figures.
+#[must_use]
+pub(crate) fn sorted_loads_one_run(
+    caps: &CapacityVector,
+    config: &GameConfig,
+    seed: u64,
+) -> Vec<f64> {
+    let bins = run_game(caps, caps.total(), config, seed);
+    bins.normalized_loads_f64()
+}
+
+/// Shared helper: run one `m = C` game and return the maximum load.
+#[must_use]
+pub(crate) fn max_load_one_run(caps: &CapacityVector, config: &GameConfig, seed: u64) -> f64 {
+    let bins = run_game(caps, caps.total(), config, seed);
+    bins.max_load().as_f64()
+}

@@ -1,0 +1,111 @@
+//! Arc-length statistics: the imbalance that motivates the paper.
+//!
+//! With `n` single-point peers, the expected maximum arc is
+//! `Θ(log n / n)` of the circle while the average is `1/n` — a `Θ(log n)`
+//! ratio. This module measures that on concrete rings (and the
+//! test-suite verifies the asymptotic on hashed placements).
+
+use crate::ring::HashRing;
+
+/// Summary of a ring's arc-length balance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArcStats {
+    /// Smallest per-peer total arc (fraction of the circle).
+    pub min_fraction: f64,
+    /// Largest per-peer total arc (fraction of the circle).
+    pub max_fraction: f64,
+    /// Average per-peer fraction, i.e. `1 / n_peers`.
+    pub avg_fraction: f64,
+    /// `max_fraction / avg_fraction` — the imbalance factor the paper
+    /// quotes as up to `log n`.
+    pub max_over_avg: f64,
+}
+
+/// Computes arc statistics for a ring.
+#[must_use]
+pub fn arc_stats(ring: &HashRing) -> ArcStats {
+    let arcs = ring.arc_lengths();
+    let circle = 2.0f64.powi(64);
+    let fracs: Vec<f64> = arcs.iter().map(|&a| a as f64 / circle).collect();
+    let min = fracs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = fracs.iter().copied().fold(0.0f64, f64::max);
+    let avg = 1.0 / ring.n_peers() as f64;
+    ArcStats {
+        min_fraction: min,
+        max_fraction: max,
+        avg_fraction: avg,
+        max_over_avg: max / avg,
+    }
+}
+
+/// The per-peer arc lengths normalised to sum to 1 — the effective
+/// selection probabilities a uniformly hashed request induces.
+#[must_use]
+pub fn arc_probabilities(ring: &HashRing) -> Vec<f64> {
+    let arcs = ring.arc_lengths();
+    let circle = 2.0f64.powi(64);
+    arcs.iter().map(|&a| a as f64 / circle).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::RingPoint;
+
+    #[test]
+    fn stats_on_explicit_quarters() {
+        // Four peers at 1/4 positions: perfectly balanced.
+        let q = u64::MAX / 4;
+        let ring = HashRing::from_points(
+            (0..4)
+                .map(|i| RingPoint { position: q.wrapping_mul(i as u64 + 1), peer: i })
+                .collect(),
+            4,
+        );
+        let s = arc_stats(&ring);
+        assert!((s.max_over_avg - 1.0).abs() < 0.01, "{s:?}");
+        assert!((s.avg_fraction - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let ring = HashRing::new(100, 1, 7);
+        let p = arc_probabilities(&ring);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        assert!(p.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn single_vnode_imbalance_is_log_n_ish() {
+        // Average over several seeds: max/avg should sit in the
+        // Θ(log n) range, far above 1 and far below n.
+        let n = 1024;
+        let log_n = (n as f64).ln(); // ≈ 6.93
+        let mut ratios = Vec::new();
+        for seed in 0..10 {
+            let ring = HashRing::new(n, 1, seed);
+            ratios.push(arc_stats(&ring).max_over_avg);
+        }
+        let mean_ratio: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!(
+            mean_ratio > 0.5 * log_n && mean_ratio < 3.0 * log_n,
+            "mean imbalance {mean_ratio}, log n = {log_n}"
+        );
+    }
+
+    #[test]
+    fn virtual_nodes_reduce_imbalance() {
+        let n = 256;
+        let mut single = 0.0;
+        let mut many = 0.0;
+        for seed in 0..8 {
+            single += arc_stats(&HashRing::new(n, 1, seed)).max_over_avg;
+            many += arc_stats(&HashRing::new(n, 64, seed)).max_over_avg;
+        }
+        assert!(
+            many < single,
+            "64 vnodes ({many}) should balance better than 1 ({single})"
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Chord-style finger tables and O(log n) greedy lookups.
+//!
+//! A miniature of the Chord overlay the paper cites: every ring point
+//! keeps fingers at exponentially increasing distances; a lookup greedily
+//! forwards to the closest preceding finger until the successor is
+//! reached. The test-suite verifies both correctness (same answer as the
+//! ring's direct successor scan) and the O(log n) hop bound.
+
+use crate::ring::HashRing;
+
+/// A Chord overlay built over a [`HashRing`] (one node per ring point).
+#[derive(Debug, Clone)]
+pub struct ChordOverlay {
+    ring: HashRing,
+    /// `fingers[i][k]` = index (into ring points) of the successor of
+    /// `position(i) + 2^k`.
+    fingers: Vec<Vec<u32>>,
+}
+
+/// Result of a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookup {
+    /// Peer that owns the key.
+    pub peer: usize,
+    /// Number of routing hops taken.
+    pub hops: usize,
+}
+
+impl ChordOverlay {
+    /// Builds the finger tables (64 fingers per node).
+    #[must_use]
+    pub fn new(ring: HashRing) -> Self {
+        let points = ring.points();
+        let mut fingers = Vec::with_capacity(points.len());
+        for p in points {
+            let mut row = Vec::with_capacity(64);
+            for k in 0..64u32 {
+                let target = p.position.wrapping_add(1u64 << k);
+                row.push(ring.successor_index(target) as u32);
+            }
+            fingers.push(row);
+        }
+        ChordOverlay { ring, fingers }
+    }
+
+    /// The underlying ring.
+    #[must_use]
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Greedy finger-table lookup of `key`, starting from the node at
+    /// ring-point index `start`.
+    ///
+    /// # Panics
+    /// Panics if `start` is out of range.
+    #[must_use]
+    pub fn lookup(&self, start: usize, key: u64) -> Lookup {
+        let points = self.ring.points();
+        assert!(start < points.len(), "start node out of range");
+        let mut current = start;
+        let mut hops = 0usize;
+        // Clockwise distance from a to b on the u64 circle.
+        let dist = |a: u64, b: u64| b.wrapping_sub(a);
+        loop {
+            let cur_pos = points[current].position;
+            let d_key = dist(cur_pos, key);
+            if d_key == 0 {
+                // The current node *is* the successor of key.
+                return Lookup { peer: points[current].peer, hops };
+            }
+            // Find the farthest finger that does not overshoot the key:
+            // maximal 2^k with successor strictly between current and key.
+            let mut next = None;
+            for k in (0..64).rev() {
+                if (1u64 << k) > d_key.saturating_sub(1) {
+                    continue;
+                }
+                let cand = self.fingers[current][k] as usize;
+                let d_cand = dist(cur_pos, points[cand].position);
+                if cand != current && d_cand < d_key {
+                    next = Some(cand);
+                    break;
+                }
+            }
+            match next {
+                Some(n) => {
+                    current = n;
+                    hops += 1;
+                }
+                None => {
+                    // No finger strictly precedes the key: the key's owner
+                    // is our immediate successor (one final hop).
+                    let owner = self.ring.successor_index(key);
+                    let hops = hops + usize::from(owner != current);
+                    return Lookup { peer: points[owner].peer, hops };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnb_distributions::Xoshiro256PlusPlus;
+
+    #[test]
+    fn lookup_agrees_with_direct_successor() {
+        let ring = HashRing::new(128, 1, 77);
+        let overlay = ChordOverlay::new(ring.clone());
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(1);
+        for _ in 0..500 {
+            let key = rng.next();
+            let start = rng.next_below(128) as usize;
+            let found = overlay.lookup(start, key);
+            assert_eq!(found.peer, ring.successor(key));
+        }
+    }
+
+    #[test]
+    fn hop_count_is_logarithmic() {
+        let n = 1024usize;
+        let ring = HashRing::new(n, 1, 3);
+        let overlay = ChordOverlay::new(ring);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(2);
+        let mut total_hops = 0usize;
+        let mut max_hops = 0usize;
+        let lookups = 400;
+        for _ in 0..lookups {
+            let key = rng.next();
+            let start = rng.next_below(n as u64) as usize;
+            let r = overlay.lookup(start, key);
+            total_hops += r.hops;
+            max_hops = max_hops.max(r.hops);
+        }
+        let avg = total_hops as f64 / lookups as f64;
+        let log2n = (n as f64).log2(); // 10
+        assert!(avg <= log2n, "avg hops {avg} should be ≤ log2 n = {log2n}");
+        assert!(
+            max_hops as f64 <= 2.5 * log2n,
+            "max hops {max_hops} vs 2.5·log2 n"
+        );
+        assert!(avg >= 1.0, "non-trivial lookups should take hops, avg {avg}");
+    }
+
+    #[test]
+    fn lookup_from_owner_is_cheap() {
+        let ring = HashRing::new(32, 1, 9);
+        let overlay = ChordOverlay::new(ring.clone());
+        // A key exactly at a point's position is owned by that point.
+        let pt = ring.points()[5];
+        let r = overlay.lookup(5, pt.position);
+        assert_eq!(r.peer, pt.peer);
+        assert_eq!(r.hops, 0);
+    }
+
+    #[test]
+    fn single_node_overlay() {
+        let ring = HashRing::new(1, 1, 0);
+        let overlay = ChordOverlay::new(ring);
+        let r = overlay.lookup(0, 12345);
+        assert_eq!(r.peer, 0);
+        assert_eq!(r.hops, 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Ring churn: peers joining and leaving, with data-movement accounting.
+//!
+//! Consistent hashing's selling point (Karger et al., reference 6 of the paper) is
+//! *minimal disruption*: when a peer joins an `n`-peer ring, only ≈ `K/n`
+//! of `K` keys move. This module makes that measurable: a
+//! [`ChurnSimulator`] owns a key population, applies joins/leaves, and
+//! reports exactly how many keys changed owner.
+
+use crate::hash::{mix64, peer_point};
+use crate::ring::{HashRing, RingPoint};
+
+/// Tracks key placements across ring membership changes.
+#[derive(Debug, Clone)]
+pub struct ChurnSimulator {
+    seed: u64,
+    vnodes_per_peer: usize,
+    /// Current peer ids (stable across joins/leaves; ring peer indices
+    /// are positions in this vector).
+    peers: Vec<u64>,
+    next_peer_id: u64,
+    /// The keys whose placement we track.
+    keys: Vec<u64>,
+    /// Current owner (peer *id*, not index) of each key.
+    owners: Vec<u64>,
+}
+
+/// Result of one membership change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnOutcome {
+    /// Number of tracked keys that changed owner.
+    pub moved_keys: usize,
+    /// Number of tracked keys in total.
+    pub total_keys: usize,
+    /// Ring size after the change.
+    pub n_peers: usize,
+}
+
+impl ChurnOutcome {
+    /// Fraction of keys that moved.
+    #[must_use]
+    pub fn moved_fraction(&self) -> f64 {
+        if self.total_keys == 0 {
+            0.0
+        } else {
+            self.moved_keys as f64 / self.total_keys as f64
+        }
+    }
+}
+
+impl ChurnSimulator {
+    /// Creates a simulator with `n_peers` initial peers and `n_keys`
+    /// tracked keys.
+    ///
+    /// # Panics
+    /// Panics if `n_peers == 0` or `vnodes_per_peer == 0`.
+    #[must_use]
+    pub fn new(n_peers: usize, vnodes_per_peer: usize, n_keys: usize, seed: u64) -> Self {
+        assert!(n_peers > 0, "need at least one peer");
+        assert!(vnodes_per_peer > 0, "need at least one vnode");
+        let peers: Vec<u64> = (0..n_peers as u64).collect();
+        let keys: Vec<u64> = (0..n_keys as u64)
+            .map(|i| mix64(seed ^ i.wrapping_mul(0x2545_F491_4F6C_DD1D)))
+            .collect();
+        let mut sim = ChurnSimulator {
+            seed,
+            vnodes_per_peer,
+            peers,
+            next_peer_id: n_peers as u64,
+            keys,
+            owners: Vec::new(),
+        };
+        sim.owners = sim.compute_owners();
+        sim
+    }
+
+    /// Current ring.
+    #[must_use]
+    pub fn ring(&self) -> HashRing {
+        let mut points = Vec::with_capacity(self.peers.len() * self.vnodes_per_peer);
+        for (idx, &peer_id) in self.peers.iter().enumerate() {
+            for v in 0..self.vnodes_per_peer as u64 {
+                points.push(RingPoint {
+                    position: peer_point(self.seed, peer_id, v),
+                    peer: idx,
+                });
+            }
+        }
+        HashRing::from_points(points, self.peers.len())
+    }
+
+    fn compute_owners(&self) -> Vec<u64> {
+        let ring = self.ring();
+        self.keys
+            .iter()
+            .map(|&k| self.peers[ring.successor(k)])
+            .collect()
+    }
+
+    fn diff_owners(&mut self) -> ChurnOutcome {
+        let new_owners = self.compute_owners();
+        let moved = self
+            .owners
+            .iter()
+            .zip(&new_owners)
+            .filter(|(a, b)| a != b)
+            .count();
+        self.owners = new_owners;
+        ChurnOutcome {
+            moved_keys: moved,
+            total_keys: self.keys.len(),
+            n_peers: self.peers.len(),
+        }
+    }
+
+    /// Adds a fresh peer; returns the movement outcome.
+    pub fn join(&mut self) -> ChurnOutcome {
+        self.peers.push(self.next_peer_id);
+        self.next_peer_id += 1;
+        self.diff_owners()
+    }
+
+    /// Removes the peer at `index` (panics if it is the last one);
+    /// returns the movement outcome.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range or the ring would become empty.
+    pub fn leave(&mut self, index: usize) -> ChurnOutcome {
+        assert!(index < self.peers.len(), "peer index out of range");
+        assert!(self.peers.len() > 1, "cannot remove the last peer");
+        self.peers.remove(index);
+        self.diff_owners()
+    }
+
+    /// Number of peers currently in the ring.
+    #[must_use]
+    pub fn n_peers(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// The tracked keys' current owners (peer ids).
+    #[must_use]
+    pub fn owners(&self) -> &[u64] {
+        &self.owners
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_moves_about_one_nth() {
+        let n = 100;
+        let keys = 20_000;
+        let mut sim = ChurnSimulator::new(n, 16, keys, 7);
+        let outcome = sim.join();
+        assert_eq!(outcome.n_peers, n + 1);
+        let frac = outcome.moved_fraction();
+        let expected = 1.0 / (n + 1) as f64;
+        // With 16 vnodes the new peer's share concentrates around 1/(n+1);
+        // allow a factor-3 band.
+        assert!(
+            frac > expected / 3.0 && frac < expected * 3.0,
+            "moved fraction {frac}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn leave_moves_only_the_leavers_keys() {
+        let mut sim = ChurnSimulator::new(50, 8, 10_000, 3);
+        // Keys owned by peer index 10 before departure:
+        let leaving_id = 10u64;
+        let owned_before = sim.owners().iter().filter(|&&o| o == leaving_id).count();
+        let outcome = sim.leave(10);
+        assert_eq!(
+            outcome.moved_keys, owned_before,
+            "exactly the departed peer's keys move"
+        );
+        // And nobody maps to the departed peer anymore.
+        assert!(sim.owners().iter().all(|&o| o != leaving_id));
+    }
+
+    #[test]
+    fn join_then_leave_is_identity_for_owners() {
+        let mut sim = ChurnSimulator::new(20, 4, 5_000, 11);
+        let before = sim.owners().to_vec();
+        sim.join();
+        let new_index = sim.n_peers() - 1;
+        sim.leave(new_index);
+        assert_eq!(sim.owners(), before.as_slice());
+    }
+
+    #[test]
+    fn sequential_joins_shrink_movement() {
+        // As the ring grows, each join moves a smaller fraction.
+        let mut sim = ChurnSimulator::new(10, 16, 20_000, 5);
+        let mut fracs = Vec::new();
+        for _ in 0..30 {
+            fracs.push(sim.join().moved_fraction());
+        }
+        let early: f64 = fracs[..5].iter().sum::<f64>() / 5.0;
+        let late: f64 = fracs[25..].iter().sum::<f64>() / 5.0;
+        assert!(
+            late < early,
+            "later joins ({late}) should move fewer keys than early ones ({early})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove the last peer")]
+    fn removing_last_peer_panics() {
+        let mut sim = ChurnSimulator::new(1, 1, 10, 0);
+        let _ = sim.leave(0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Deterministic 64-bit mixing used to place peers and requests on the
+//! ring. SplitMix64's finaliser is a strong 64→64 mixer (equidistributed,
+//! avalanche ≈ 0.5), which is exactly what consistent hashing needs.
+
+/// Mixes a 64-bit value through the SplitMix64 finaliser.
+#[must_use]
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Position of virtual node `vnode` of peer `peer` under `seed`.
+#[must_use]
+#[inline]
+pub fn peer_point(seed: u64, peer: u64, vnode: u64) -> u64 {
+    mix64(seed ^ mix64(peer.wrapping_mul(0xA24B_AED4_963E_E407).wrapping_add(vnode)))
+}
+
+/// The `k`-th probe point of request `ball` under `seed`.
+#[must_use]
+#[inline]
+pub fn request_point(seed: u64, ball: u64, k: u64) -> u64 {
+    mix64(seed ^ mix64(ball.wrapping_mul(0x9FB2_1C65_1E98_DF25).wrapping_add(k) ^ 0x5851_F42D_4C95_7F2D))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_nontrivial() {
+        assert_eq!(mix64(42), mix64(42));
+        assert_ne!(mix64(42), mix64(43));
+        assert_ne!(mix64(0), 0);
+    }
+
+    #[test]
+    fn peer_points_distinct_across_axes() {
+        let a = peer_point(1, 0, 0);
+        assert_ne!(a, peer_point(1, 0, 1));
+        assert_ne!(a, peer_point(1, 1, 0));
+        assert_ne!(a, peer_point(2, 0, 0));
+    }
+
+    #[test]
+    fn request_points_distinct_per_probe() {
+        let p0 = request_point(7, 100, 0);
+        let p1 = request_point(7, 100, 1);
+        assert_ne!(p0, p1);
+        assert_ne!(p0, request_point(7, 101, 0));
+    }
+
+    #[test]
+    fn mix_avalanche_rough_check() {
+        // Flipping one input bit should flip ~32 of 64 output bits.
+        let mut total = 0u32;
+        let samples = 256;
+        for i in 0..samples {
+            let x = mix64(i);
+            let y = mix64(i ^ 1);
+            total += (x ^ y).count_ones();
+        }
+        let avg = total as f64 / samples as f64;
+        assert!((24.0..40.0).contains(&avg), "avalanche avg {avg}");
+    }
+}

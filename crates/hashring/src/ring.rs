@@ -1,0 +1,206 @@
+//! The hash ring: peers (with virtual nodes) placed on the `u64` circle.
+
+use crate::hash::peer_point;
+
+/// One placed point on the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingPoint {
+    /// Position on the `u64` circle.
+    pub position: u64,
+    /// Owning peer.
+    pub peer: usize,
+}
+
+/// A consistent-hashing ring over the full `u64` space.
+///
+/// Each peer owns the arcs ending at its points: a key `k` is served by
+/// the owner of the first point at or after `k` (wrapping) — the
+/// "successor", matching Chord's assignment direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    points: Vec<RingPoint>,
+    n_peers: usize,
+}
+
+impl HashRing {
+    /// Places `n_peers` peers with `vnodes_per_peer` virtual nodes each,
+    /// at pseudo-random (seeded) positions.
+    ///
+    /// # Panics
+    /// Panics if `n_peers == 0` or `vnodes_per_peer == 0`.
+    #[must_use]
+    pub fn new(n_peers: usize, vnodes_per_peer: usize, seed: u64) -> Self {
+        assert!(n_peers > 0, "need at least one peer");
+        assert!(vnodes_per_peer > 0, "need at least one virtual node");
+        let mut points = Vec::with_capacity(n_peers * vnodes_per_peer);
+        for peer in 0..n_peers {
+            for vnode in 0..vnodes_per_peer {
+                points.push(RingPoint {
+                    position: peer_point(seed, peer as u64, vnode as u64),
+                    peer,
+                });
+            }
+        }
+        Self::from_points(points, n_peers)
+    }
+
+    /// Builds a ring from explicit points (positions need not be sorted).
+    ///
+    /// # Panics
+    /// Panics if `points` is empty, a peer index is out of range, or two
+    /// points collide on the same position (probability ≈ 0 for hashed
+    /// placements; explicit placements must avoid collisions).
+    #[must_use]
+    pub fn from_points(mut points: Vec<RingPoint>, n_peers: usize) -> Self {
+        assert!(!points.is_empty(), "ring needs at least one point");
+        assert!(
+            points.iter().all(|p| p.peer < n_peers),
+            "peer index out of range"
+        );
+        points.sort_by_key(|p| p.position);
+        for w in points.windows(2) {
+            assert_ne!(
+                w[0].position, w[1].position,
+                "two ring points collide at {}",
+                w[0].position
+            );
+        }
+        HashRing { points, n_peers }
+    }
+
+    /// Number of peers.
+    #[must_use]
+    pub fn n_peers(&self) -> usize {
+        self.n_peers
+    }
+
+    /// All points in position order.
+    #[must_use]
+    pub fn points(&self) -> &[RingPoint] {
+        &self.points
+    }
+
+    /// The peer serving `key`: owner of the first point at or after `key`,
+    /// wrapping to the first point.
+    #[must_use]
+    pub fn successor(&self, key: u64) -> usize {
+        self.points[self.successor_index(key)].peer
+    }
+
+    /// Index (into [`Self::points`]) of the successor point of `key`.
+    #[must_use]
+    pub fn successor_index(&self, key: u64) -> usize {
+        let idx = self.points.partition_point(|p| p.position < key);
+        if idx == self.points.len() {
+            0
+        } else {
+            idx
+        }
+    }
+
+    /// Total arc length owned by each peer. An individual point owns the
+    /// arc from its predecessor (exclusive) to itself (inclusive); arc
+    /// lengths therefore sum to 2⁶⁴ exactly (returned per-peer values are
+    /// `u128`-safe but fit `u64` except for a single-point ring, where the
+    /// full circle is capped at `u64::MAX`).
+    #[must_use]
+    pub fn arc_lengths(&self) -> Vec<u64> {
+        let mut lengths = vec![0u64; self.n_peers];
+        let n = self.points.len();
+        if n == 1 {
+            lengths[self.points[0].peer] = u64::MAX; // full circle (≈ 2^64)
+            return lengths;
+        }
+        for i in 0..n {
+            let prev = self.points[(i + n - 1) % n].position;
+            let cur = self.points[i].position;
+            let arc = cur.wrapping_sub(prev);
+            lengths[self.points[i].peer] = lengths[self.points[i].peer].saturating_add(arc);
+        }
+        lengths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ring() -> HashRing {
+        // Points at 100 (peer 0), 200 (peer 1), 300 (peer 0).
+        HashRing::from_points(
+            vec![
+                RingPoint { position: 200, peer: 1 },
+                RingPoint { position: 100, peer: 0 },
+                RingPoint { position: 300, peer: 0 },
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn successor_lookup_with_wrap() {
+        let r = tiny_ring();
+        assert_eq!(r.successor(0), 0); // -> point 100
+        assert_eq!(r.successor(100), 0); // inclusive
+        assert_eq!(r.successor(101), 1); // -> point 200
+        assert_eq!(r.successor(250), 0); // -> point 300
+        assert_eq!(r.successor(301), 0); // wraps -> point 100
+        assert_eq!(r.successor(u64::MAX), 0);
+    }
+
+    #[test]
+    fn arc_lengths_sum_to_circle() {
+        let r = tiny_ring();
+        let arcs = r.arc_lengths();
+        // Arcs: point100 owns (300, 100] = wrapping 100-300 = 2^64-200;
+        // point200 owns (100,200] = 100; point300 owns (200,300] = 100.
+        assert_eq!(arcs[1], 100);
+        assert_eq!(arcs[0], (100u64.wrapping_sub(300)).wrapping_add(100));
+        // Total wraps to 0 mod 2^64:
+        let total = arcs.iter().fold(0u64, |acc, &a| acc.wrapping_add(a));
+        assert_eq!(total, 0); // == 2^64 ≡ 0
+    }
+
+    #[test]
+    fn hashed_ring_covers_all_peers() {
+        let r = HashRing::new(50, 4, 99);
+        assert_eq!(r.points().len(), 200);
+        let arcs = r.arc_lengths();
+        assert!(arcs.iter().all(|&a| a > 0), "every peer owns some arc");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = HashRing::new(10, 3, 5);
+        let b = HashRing::new(10, 3, 5);
+        assert_eq!(a, b);
+        let c = HashRing::new(10, 3, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn single_point_ring_owns_everything() {
+        let r = HashRing::from_points(vec![RingPoint { position: 7, peer: 0 }], 1);
+        assert_eq!(r.successor(0), 0);
+        assert_eq!(r.successor(u64::MAX), 0);
+        assert_eq!(r.arc_lengths(), vec![u64::MAX]);
+    }
+
+    #[test]
+    #[should_panic(expected = "collide")]
+    fn colliding_points_rejected() {
+        let _ = HashRing::from_points(
+            vec![
+                RingPoint { position: 5, peer: 0 },
+                RingPoint { position: 5, peer: 1 },
+            ],
+            2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_peer_index_rejected() {
+        let _ = HashRing::from_points(vec![RingPoint { position: 5, peer: 3 }], 2);
+    }
+}

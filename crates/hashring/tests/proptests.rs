@@ -1,0 +1,117 @@
+//! Property-based tests of the consistent-hashing substrate.
+
+use bnb_distributions::Xoshiro256PlusPlus;
+use bnb_hashring::chord::ChordOverlay;
+use bnb_hashring::ring::{HashRing, RingPoint};
+use bnb_hashring::ChurnSimulator;
+use proptest::prelude::*;
+
+/// Strategy: a set of distinct ring positions assigned round-robin to
+/// `n_peers` peers.
+fn arb_ring() -> impl Strategy<Value = (HashRing, Vec<u64>)> {
+    (2usize..6, prop::collection::btree_set(any::<u64>(), 2..40)).prop_map(
+        |(n_peers, positions)| {
+            let positions: Vec<u64> = positions.into_iter().collect();
+            let points: Vec<RingPoint> = positions
+                .iter()
+                .enumerate()
+                .map(|(i, &position)| RingPoint { position, peer: i % n_peers })
+                .collect();
+            (HashRing::from_points(points, n_peers), positions)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The successor of a key is the owner of the first point at or
+    /// after it (naive reference implementation).
+    #[test]
+    fn successor_matches_naive_scan((ring, _) in arb_ring(), key in any::<u64>()) {
+        let naive = ring
+            .points()
+            .iter()
+            .filter(|p| p.position >= key)
+            .min_by_key(|p| p.position)
+            .or_else(|| ring.points().iter().min_by_key(|p| p.position))
+            .unwrap();
+        prop_assert_eq!(ring.successor(key), naive.peer);
+    }
+
+    /// Arc lengths wrap to exactly the full circle.
+    #[test]
+    fn arcs_cover_the_circle((ring, positions) in arb_ring()) {
+        prop_assume!(positions.len() >= 2);
+        let arcs = ring.arc_lengths();
+        let total = arcs.iter().fold(0u64, |acc, &a| acc.wrapping_add(a));
+        prop_assert_eq!(total, 0u64); // ≡ 2^64 mod 2^64
+    }
+
+    /// Chord lookups agree with direct successor lookups from any start.
+    #[test]
+    fn chord_lookup_agrees_with_ring(
+        (ring, _) in arb_ring(),
+        key in any::<u64>(),
+        start_raw in any::<usize>(),
+    ) {
+        let overlay = ChordOverlay::new(ring.clone());
+        let start = start_raw % ring.points().len();
+        let lookup = overlay.lookup(start, key);
+        prop_assert_eq!(lookup.peer, ring.successor(key));
+        // Hops are bounded by the point count (greedy progress).
+        prop_assert!(lookup.hops <= ring.points().len());
+    }
+
+    /// A join never moves keys between two *surviving* peers: the only
+    /// keys that move are those acquired by the new peer.
+    #[test]
+    fn join_only_moves_keys_to_the_joiner(
+        n_peers in 2usize..20,
+        n_keys in 10usize..300,
+        seed in any::<u64>(),
+    ) {
+        let mut sim = ChurnSimulator::new(n_peers, 2, n_keys, seed);
+        let before = sim.owners().to_vec();
+        let outcome = sim.join();
+        let new_id = n_peers as u64; // ids are dense from 0
+        let mut moved = 0;
+        for (old, new) in before.iter().zip(sim.owners()) {
+            if old != new {
+                moved += 1;
+                prop_assert_eq!(*new, new_id, "key moved to a pre-existing peer");
+            }
+        }
+        prop_assert_eq!(moved, outcome.moved_keys);
+    }
+}
+
+/// Deterministic statistical check: with many vnodes, per-peer arc shares
+/// concentrate around 1/n.
+#[test]
+fn vnode_shares_concentrate() {
+    let n = 64;
+    let ring = HashRing::new(n, 128, 99);
+    let arcs = bnb_hashring::arcs::arc_probabilities(&ring);
+    let avg = 1.0 / n as f64;
+    for (peer, &p) in arcs.iter().enumerate() {
+        assert!(
+            p > avg * 0.5 && p < avg * 1.7,
+            "peer {peer}: share {p} vs avg {avg}"
+        );
+    }
+}
+
+/// Deterministic check: ring points are sorted and belong to valid peers.
+#[test]
+fn ring_points_are_sorted_and_valid() {
+    let mut rng = Xoshiro256PlusPlus::from_u64_seed(4);
+    for _ in 0..20 {
+        let n = 1 + (rng.next_below(50) as usize);
+        let v = 1 + (rng.next_below(8) as usize);
+        let ring = HashRing::new(n, v, rng.next());
+        assert_eq!(ring.points().len(), n * v);
+        assert!(ring.points().windows(2).all(|w| w[0].position < w[1].position));
+        assert!(ring.points().iter().all(|p| p.peer < n));
+    }
+}

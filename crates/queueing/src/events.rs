@@ -1,0 +1,141 @@
+//! Event heap and simulation clock.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation time in abstract units (service requirements are Exp(1),
+/// server speeds are jobs-per-unit-time).
+pub type Time = f64;
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A new job enters the system.
+    Arrival,
+    /// The job at the head of `server`'s queue completes.
+    Departure {
+        /// Index of the completing server.
+        server: usize,
+    },
+}
+
+/// Heap entry: events ordered by time, ties broken by insertion sequence
+/// so the simulation is fully deterministic.
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
+    time: Time,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is NaN.
+    pub fn schedule(&mut self, time: Time, event: Event) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        self.heap.push(Scheduled { time, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, Event::Arrival);
+        q.schedule(1.0, Event::Departure { server: 7 });
+        q.schedule(2.0, Event::Arrival);
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, Event::Departure { server: 0 });
+        q.schedule(1.0, Event::Departure { server: 1 });
+        q.schedule(1.0, Event::Departure { server: 2 });
+        let servers: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Departure { server } => server,
+                Event::Arrival => usize::MAX,
+            })
+            .collect();
+        assert_eq!(servers, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, Event::Arrival);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_rejected() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, Event::Arrival);
+    }
+}

@@ -1,0 +1,35 @@
+//! # bnb-queueing
+//!
+//! A discrete-event queueing substrate for the *Balls into non-uniform
+//! bins* reproduction.
+//!
+//! The paper insists (§1) that a bin's "capacity" is not a volume limit
+//! but *"speed, bandwidth or compression ratio"*. The static game is the
+//! snapshot view; the dynamic view is a queueing system: `n` servers
+//! where server `i` drains work at rate `c_i`, jobs arrive in a Poisson
+//! stream, and the d-choice protocol becomes **JSQ(d)** — join the
+//! shortest of `d` sampled queues (Mitzenmacher's supermarket model,
+//! generalised to heterogeneous speeds and capacity-proportional
+//! sampling).
+//!
+//! * [`events`] — the event heap and simulation clock,
+//! * [`server`] — heterogeneous-speed server state with time-integrated
+//!   queue-length accounting,
+//! * [`router`] — routing policies (JSQ(d) with the paper's capacity
+//!   tie-break, least-work, random),
+//! * [`system`] — the simulator: arrivals, departures, metrics.
+//!
+//! The test-suite verifies textbook laws (M/M/1 mean queue length,
+//! stability for ρ < 1, the d=1 → d=2 collapse of the maximum queue)
+//! so the substrate can be trusted under the extension experiment E6.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod events;
+pub mod router;
+pub mod server;
+pub mod system;
+
+pub use router::RoutingPolicy;
+pub use system::{QueueMetrics, QueueSystem, SystemConfig};

@@ -1,0 +1,154 @@
+//! Routing policies: which server a new job joins.
+
+use crate::server::Server;
+use bnb_distributions::Xoshiro256PlusPlus;
+
+/// How an arriving job picks its server among the `d` sampled candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Join the candidate minimising the *normalised* post-join queue
+    /// `(q_i + 1)/c_i`, ties towards the faster server — the queueing
+    /// analog of the paper's Algorithm 1.
+    #[default]
+    ShortestNormalizedQueue,
+    /// Classic JSQ(d): join the candidate with the fewest jobs,
+    /// ignoring speeds; ties uniform.
+    ShortestQueue,
+    /// Join a uniformly random candidate (one-choice behaviour).
+    Random,
+}
+
+impl RoutingPolicy {
+    /// Applies the policy over `candidates` (indices into `servers`,
+    /// duplicates treated as a set).
+    ///
+    /// # Panics
+    /// Panics if `candidates` is empty.
+    pub fn choose(
+        &self,
+        servers: &[Server],
+        candidates: &[usize],
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> usize {
+        assert!(!candidates.is_empty(), "need at least one candidate");
+        match self {
+            RoutingPolicy::Random => {
+                candidates[rng.next_below(candidates.len() as u64) as usize]
+            }
+            RoutingPolicy::ShortestQueue => {
+                pick_min(candidates, rng, |i| (servers[i].queue_len(), 0))
+            }
+            RoutingPolicy::ShortestNormalizedQueue => pick_min(candidates, rng, |i| {
+                // Exact rational order via cross-multiplication is
+                // delegated to bnb_core::Load; tuple with inverted speed
+                // implements the capacity tie-break.
+                (servers[i].post_join_load(), u64::MAX - servers[i].speed())
+            }),
+        }
+    }
+}
+
+/// Reservoir-tied argmin over the candidate *set*.
+fn pick_min<K: Ord>(
+    candidates: &[usize],
+    rng: &mut Xoshiro256PlusPlus,
+    key: impl Fn(usize) -> K,
+) -> usize {
+    let mut best = candidates[0];
+    let mut best_key = key(best);
+    let mut ties = 1u64;
+    for idx in 1..candidates.len() {
+        let cand = candidates[idx];
+        if candidates[..idx].contains(&cand) {
+            continue;
+        }
+        let k = key(cand);
+        match k.cmp(&best_key) {
+            std::cmp::Ordering::Less => {
+                best = cand;
+                best_key = k;
+                ties = 1;
+            }
+            std::cmp::Ordering::Equal => {
+                ties += 1;
+                if rng.next_below(ties) == 0 {
+                    best = cand;
+                }
+            }
+            std::cmp::Ordering::Greater => {}
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn servers() -> Vec<Server> {
+        // speeds 1 and 10; give the fast one 4 queued jobs.
+        let mut v = vec![Server::new(1), Server::new(10)];
+        for t in 0..4 {
+            v[1].join(t as f64);
+        }
+        v
+    }
+
+    #[test]
+    fn shortest_queue_ignores_speed() {
+        let s = servers();
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(1);
+        // q = 0 vs 4: plain JSQ picks the empty slow server.
+        assert_eq!(
+            RoutingPolicy::ShortestQueue.choose(&s, &[0, 1], &mut rng),
+            0
+        );
+    }
+
+    #[test]
+    fn normalized_queue_prefers_fast_server() {
+        let s = servers();
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(2);
+        // post-join: 1/1 = 1 vs 5/10 = 0.5: normalised JSQ picks fast.
+        assert_eq!(
+            RoutingPolicy::ShortestNormalizedQueue.choose(&s, &[0, 1], &mut rng),
+            1
+        );
+    }
+
+    #[test]
+    fn speed_tiebreak_on_equal_normalized_queue() {
+        // (q+1)/c equal: 1/2 vs 5/10 -> 0.5 == 0.5; pick the faster.
+        let mut v = vec![Server::new(2), Server::new(10)];
+        for t in 0..4 {
+            v[1].join(t as f64);
+        }
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(3);
+        for _ in 0..20 {
+            assert_eq!(
+                RoutingPolicy::ShortestNormalizedQueue.choose(&v, &[0, 1], &mut rng),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_candidates_do_not_bias() {
+        let v = vec![Server::new(1), Server::new(1)];
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(4);
+        let picks0 = (0..10_000)
+            .filter(|_| RoutingPolicy::ShortestQueue.choose(&v, &[0, 0, 1], &mut rng) == 0)
+            .count();
+        assert!((4000..6000).contains(&picks0), "{picks0}");
+    }
+
+    #[test]
+    fn random_policy_is_uniform_over_list() {
+        let v = vec![Server::new(1), Server::new(1)];
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(5);
+        let picks0 = (0..10_000)
+            .filter(|_| RoutingPolicy::Random.choose(&v, &[0, 1], &mut rng) == 0)
+            .count();
+        assert!((4000..6000).contains(&picks0), "{picks0}");
+    }
+}

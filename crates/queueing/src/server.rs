@@ -1,0 +1,158 @@
+//! Heterogeneous-speed server state.
+
+use crate::events::Time;
+
+/// One server: a FIFO queue drained at rate `speed` (the bin's
+/// "capacity" in the paper's reading), with time-integrated queue-length
+/// accounting for steady-state metrics.
+#[derive(Debug, Clone)]
+pub struct Server {
+    speed: u64,
+    queue: u64,
+    /// Integral of the queue length over time (for time averages).
+    queue_time_integral: f64,
+    /// Last time the queue length changed.
+    last_change: Time,
+    /// Largest queue length ever observed.
+    max_queue: u64,
+    /// Completed jobs.
+    completed: u64,
+}
+
+impl Server {
+    /// Creates an idle server with the given speed.
+    ///
+    /// # Panics
+    /// Panics if `speed == 0`.
+    #[must_use]
+    pub fn new(speed: u64) -> Self {
+        assert!(speed > 0, "server speed must be positive");
+        Server {
+            speed,
+            queue: 0,
+            queue_time_integral: 0.0,
+            last_change: 0.0,
+            max_queue: 0,
+            completed: 0,
+        }
+    }
+
+    /// Service speed (jobs of unit work per unit time).
+    #[must_use]
+    pub fn speed(&self) -> u64 {
+        self.speed
+    }
+
+    /// Current queue length (including the job in service).
+    #[must_use]
+    pub fn queue_len(&self) -> u64 {
+        self.queue
+    }
+
+    /// The queue length a ball would see *after* joining — the queueing
+    /// analog of the paper's post-allocation load, normalised by speed:
+    /// `(queue + 1) / speed` compared exactly via `bnb_core::Load`.
+    #[must_use]
+    pub fn post_join_load(&self) -> bnb_core::Load {
+        bnb_core::Load::new(self.queue + 1, self.speed)
+    }
+
+    /// Largest queue length observed so far.
+    #[must_use]
+    pub fn max_queue(&self) -> u64 {
+        self.max_queue
+    }
+
+    /// Number of completed jobs.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    fn account(&mut self, now: Time) {
+        debug_assert!(now >= self.last_change, "time went backwards");
+        self.queue_time_integral += self.queue as f64 * (now - self.last_change);
+        self.last_change = now;
+    }
+
+    /// A job joins at time `now`. Returns `true` if the server was idle
+    /// (the caller must then schedule the first departure).
+    pub fn join(&mut self, now: Time) -> bool {
+        self.account(now);
+        self.queue += 1;
+        self.max_queue = self.max_queue.max(self.queue);
+        self.queue == 1
+    }
+
+    /// The in-service job completes at time `now`. Returns `true` if
+    /// another job is waiting (the caller must schedule its departure).
+    ///
+    /// # Panics
+    /// Panics if the queue is empty.
+    pub fn depart(&mut self, now: Time) -> bool {
+        assert!(self.queue > 0, "departure from an empty server");
+        self.account(now);
+        self.queue -= 1;
+        self.completed += 1;
+        self.queue > 0
+    }
+
+    /// Time-averaged queue length up to `now`.
+    #[must_use]
+    pub fn mean_queue(&self, now: Time) -> f64 {
+        if now <= 0.0 {
+            return 0.0;
+        }
+        let integral = self.queue_time_integral + self.queue as f64 * (now - self.last_change);
+        integral / now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_depart_bookkeeping() {
+        let mut s = Server::new(2);
+        assert!(s.join(0.0), "idle server starts service");
+        assert!(!s.join(1.0), "busy server queues");
+        assert_eq!(s.queue_len(), 2);
+        assert_eq!(s.max_queue(), 2);
+        assert!(s.depart(2.0), "one job remains");
+        assert!(!s.depart(3.0), "now empty");
+        assert_eq!(s.completed(), 2);
+        assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn time_average_is_exact_for_step_function() {
+        let mut s = Server::new(1);
+        s.join(0.0); // q=1 on [0,2)
+        s.join(2.0); // q=2 on [2,3)
+        s.depart(3.0); // q=1 on [3,4)
+        s.depart(4.0); // q=0 on [4,8)
+        // integral = 1*2 + 2*1 + 1*1 + 0*4 = 5; mean over [0,8] = 0.625
+        assert!((s.mean_queue(8.0) - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn post_join_load_uses_speed() {
+        let s_fast = Server::new(10);
+        let s_slow = Server::new(1);
+        assert!(s_fast.post_join_load() < s_slow.post_join_load());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty server")]
+    fn departure_from_empty_panics() {
+        let mut s = Server::new(1);
+        s.depart(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn zero_speed_rejected() {
+        let _ = Server::new(0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Chi-square goodness-of-fit testing.
+//!
+//! Used by the `bnb-distributions` test-suite to verify that the alias
+//! sampler, Fenwick sampler and binomial variate generators actually
+//! produce the distributions they claim. Implemented from scratch: the
+//! statistic, the regularised incomplete gamma function, and the p-value.
+
+/// Result of a chi-square goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chi2Outcome {
+    /// The chi-square statistic Σ (obs − exp)² / exp.
+    pub statistic: f64,
+    /// Degrees of freedom used (`categories − 1 − constraints`).
+    pub dof: usize,
+    /// Upper-tail p-value P(X² ≥ statistic).
+    pub p_value: f64,
+}
+
+impl Chi2Outcome {
+    /// Whether the test fails to reject the null hypothesis at
+    /// significance `alpha` — i.e. the sample is consistent with the
+    /// expected distribution.
+    #[must_use]
+    pub fn consistent_at(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// Computes the chi-square statistic for observed counts against expected
+/// counts. Categories with `expected <= 0` are skipped (they contribute no
+/// information and would divide by zero).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn chi_square_statistic(observed: &[u64], expected: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected.len(), "category count mismatch");
+    observed
+        .iter()
+        .zip(expected)
+        .filter(|(_, &e)| e > 0.0)
+        .map(|(&o, &e)| {
+            let diff = o as f64 - e;
+            diff * diff / e
+        })
+        .sum()
+}
+
+/// Full chi-square GOF test of observed counts against expected
+/// probabilities. `probabilities` must sum to ≈ 1; expected counts are
+/// `p_i · n`. `extra_constraints` reduces the degrees of freedom further
+/// (e.g. 1 if a parameter was estimated from the data).
+///
+/// # Panics
+/// Panics on length mismatch or if fewer than two categories have positive
+/// probability.
+#[must_use]
+pub fn chi_square_test(
+    observed: &[u64],
+    probabilities: &[f64],
+    extra_constraints: usize,
+) -> Chi2Outcome {
+    assert_eq!(observed.len(), probabilities.len(), "category count mismatch");
+    let n: u64 = observed.iter().sum();
+    let expected: Vec<f64> = probabilities.iter().map(|&p| p * n as f64).collect();
+    let effective = probabilities.iter().filter(|&&p| p > 0.0).count();
+    assert!(effective >= 2, "need at least two categories with positive probability");
+    let dof = effective - 1 - extra_constraints.min(effective - 2);
+    let statistic = chi_square_statistic(observed, &expected);
+    let p_value = chi2_sf(statistic, dof as f64);
+    Chi2Outcome { statistic, dof, p_value }
+}
+
+/// Survival function of the chi-square distribution with `k` degrees of
+/// freedom: `P(X ≥ x) = 1 − P(k/2, x/2)` where `P` is the regularised
+/// lower incomplete gamma function.
+#[must_use]
+pub fn chi2_sf(x: f64, k: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    1.0 - lower_regularized_gamma(k / 2.0, x / 2.0)
+}
+
+/// Regularised lower incomplete gamma function P(a, x).
+///
+/// Series expansion for `x < a + 1`, continued fraction (Lentz) otherwise —
+/// the standard Numerical-Recipes split, accurate to ~1e-12 for the ranges
+/// used in tests.
+#[must_use]
+pub fn lower_regularized_gamma(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "shape parameter must be positive");
+    assert!(x >= 0.0, "argument must be non-negative");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series representation.
+        let mut term = 1.0 / a;
+        let mut sum = term;
+        let mut ap = a;
+        for _ in 0..500 {
+            ap += 1.0;
+            term *= x / ap;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-16 {
+                break;
+            }
+        }
+        (sum.ln() + a * x.ln() - x - ln_gamma(a)).exp()
+    } else {
+        // Continued fraction for Q(a,x), then P = 1 - Q.
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / 1e-300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        let q = (a * x.ln() - x - ln_gamma(a)).exp() * h;
+        1.0 - q
+    }
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g=7, n=9).
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires positive argument");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = sqrt(pi)
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_gamma_basics() {
+        // P(a, 0) = 0; P(a, inf-ish) -> 1.
+        assert_eq!(lower_regularized_gamma(2.0, 0.0), 0.0);
+        assert!((lower_regularized_gamma(2.0, 100.0) - 1.0).abs() < 1e-12);
+        // P(1, x) = 1 - exp(-x).
+        for x in [0.1f64, 0.7, 1.3, 2.9, 10.0] {
+            let expected: f64 = 1.0 - (-x).exp();
+            assert!(
+                (lower_regularized_gamma(1.0, x) - expected).abs() < 1e-10,
+                "P(1,{x})"
+            );
+        }
+    }
+
+    #[test]
+    fn chi2_sf_known_values() {
+        // For k=1: P(X >= 3.841) ≈ 0.05.
+        assert!((chi2_sf(3.841, 1.0) - 0.05).abs() < 2e-3);
+        // For k=2 the chi-square is exponential(1/2): SF(x) = exp(-x/2).
+        assert!((chi2_sf(4.0, 2.0) - (-2.0f64).exp()).abs() < 1e-10);
+        // For k=10: P(X >= 18.307) ≈ 0.05.
+        assert!((chi2_sf(18.307, 10.0) - 0.05).abs() < 2e-3);
+        assert_eq!(chi2_sf(0.0, 5.0), 1.0);
+    }
+
+    #[test]
+    fn statistic_zero_for_perfect_fit() {
+        let observed = [25u64, 25, 25, 25];
+        let expected = [25.0, 25.0, 25.0, 25.0];
+        assert_eq!(chi_square_statistic(&observed, &expected), 0.0);
+    }
+
+    #[test]
+    fn fair_die_consistent_biased_die_rejected() {
+        // Near-uniform counts: consistent with fair die.
+        let fair = [100u64, 105, 95, 99, 101, 100];
+        let probs = [1.0 / 6.0; 6];
+        let outcome = chi_square_test(&fair, &probs, 0);
+        assert!(outcome.consistent_at(0.01), "p={}", outcome.p_value);
+
+        // Grossly biased counts: rejected.
+        let biased = [300u64, 60, 60, 60, 60, 60];
+        let outcome = chi_square_test(&biased, &probs, 0);
+        assert!(!outcome.consistent_at(0.01), "p={}", outcome.p_value);
+    }
+
+    #[test]
+    fn zero_probability_categories_are_skipped() {
+        let observed = [50u64, 50, 0];
+        let probs = [0.5, 0.5, 0.0];
+        let outcome = chi_square_test(&observed, &probs, 0);
+        assert_eq!(outcome.dof, 1);
+        assert!(outcome.consistent_at(0.05));
+    }
+}

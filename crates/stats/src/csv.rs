@@ -1,0 +1,94 @@
+//! Minimal dependency-free CSV output for experiment results.
+
+use crate::series::SeriesSet;
+use std::io::{self, Write};
+
+/// Escapes one CSV field per RFC 4180: fields containing commas, quotes or
+/// newlines are quoted, with embedded quotes doubled.
+#[must_use]
+pub fn escape_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Writes one CSV row.
+///
+/// # Errors
+/// Propagates I/O errors from the underlying writer.
+pub fn write_row<W: Write>(w: &mut W, fields: &[&str]) -> io::Result<()> {
+    let escaped: Vec<String> = fields.iter().map(|f| escape_field(f)).collect();
+    writeln!(w, "{}", escaped.join(","))
+}
+
+/// Serialises a [`SeriesSet`] in long format:
+/// `series,x,y,std_err` with a header row.
+///
+/// # Errors
+/// Propagates I/O errors from the underlying writer.
+pub fn write_series_set<W: Write>(w: &mut W, set: &SeriesSet) -> io::Result<()> {
+    write_row(w, &["series", "x", "y", "std_err"])?;
+    for s in &set.series {
+        for p in &s.points {
+            write_row(
+                w,
+                &[
+                    s.label.as_str(),
+                    &format!("{}", p.x),
+                    &format!("{}", p.y),
+                    &format!("{}", p.std_err),
+                ],
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Renders a [`SeriesSet`] to a CSV string.
+#[must_use]
+pub fn series_set_to_string(set: &SeriesSet) -> String {
+    let mut buf = Vec::new();
+    write_series_set(&mut buf, set).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("CSV output is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    #[test]
+    fn plain_fields_pass_through() {
+        assert_eq!(escape_field("abc"), "abc");
+        assert_eq!(escape_field("1.5"), "1.5");
+    }
+
+    #[test]
+    fn special_fields_are_quoted() {
+        assert_eq!(escape_field("a,b"), "\"a,b\"");
+        assert_eq!(escape_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape_field("line\nbreak"), "\"line\nbreak\"");
+    }
+
+    #[test]
+    fn row_round_trip() {
+        let mut buf = Vec::new();
+        write_row(&mut buf, &["a", "b,c", "d"]).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "a,\"b,c\",d\n");
+    }
+
+    #[test]
+    fn series_set_long_format() {
+        let mut set = SeriesSet::new("figX", "t", "x", "y");
+        let mut s = Series::new("curve,1");
+        s.push(1.0, 2.0, 0.5);
+        set.push(s);
+        let text = series_set_to_string(&set);
+        let mut lines = text.lines();
+        assert_eq!(lines.next().unwrap(), "series,x,y,std_err");
+        assert_eq!(lines.next().unwrap(), "\"curve,1\",1,2,0.5");
+        assert!(lines.next().is_none());
+    }
+}

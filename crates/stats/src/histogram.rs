@@ -1,0 +1,207 @@
+//! Fixed-width histograms over `f64` observations.
+
+/// A histogram with `bins` equal-width buckets covering `[lo, hi)`.
+///
+/// Observations below `lo` land in an underflow counter, observations at or
+/// above `hi` in an overflow counter, so no sample is silently dropped.
+///
+/// ```
+/// use bnb_stats::Histogram;
+/// let mut h = Histogram::new(0.0, 4.0, 4);
+/// for v in [0.5, 1.5, 1.7, 3.9, -1.0, 10.0] { h.record(v); }
+/// assert_eq!(h.counts(), &[1, 2, 0, 1]);
+/// assert_eq!(h.underflow(), 1);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    width: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` buckets.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0`, if `lo >= hi`, or if either bound is not finite.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo < hi, "lo must be strictly below hi");
+        Histogram {
+            lo,
+            hi,
+            width: (hi - lo) / bins as f64,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, value: f64) {
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((value - self.lo) / self.width) as usize;
+            // Guard against the rare float-rounding case where `idx == bins`.
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Records every value of a slice.
+    pub fn record_all(&mut self, values: &[f64]) {
+        for &v in values {
+            self.record(v);
+        }
+    }
+
+    /// Merges another histogram with identical geometry.
+    ///
+    /// # Panics
+    /// Panics if the two histograms have different bounds or bin counts.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo, other.lo, "histogram lo bounds differ");
+        assert_eq!(self.hi, other.hi, "histogram hi bounds differ");
+        assert_eq!(self.counts.len(), other.counts.len(), "bin counts differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
+    /// Per-bucket counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of observations below the histogram range.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations at or above the histogram range.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of recorded observations, including under/overflow.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Midpoint of bucket `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len());
+        self.lo + (i as f64 + 0.5) * self.width
+    }
+
+    /// `(lo, hi)` edges of bucket `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len());
+        (self.lo + i as f64 * self.width, self.lo + (i + 1) as f64 * self.width)
+    }
+
+    /// Empirical probability mass per bucket (excluding under/overflow).
+    #[must_use]
+    pub fn normalized(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.0);
+        h.record(9.999);
+        h.record(5.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.counts()[5], 1);
+    }
+
+    #[test]
+    fn boundary_values() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(0.5); // exactly on the inner edge -> second bucket
+        assert_eq!(h.counts(), &[0, 1]);
+        h.record(1.0); // hi is exclusive
+        assert_eq!(h.overflow(), 1);
+        h.record(-0.0001);
+        assert_eq!(h.underflow(), 1);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 4.0, 4);
+        let mut b = Histogram::new(0.0, 4.0, 4);
+        a.record_all(&[0.5, 1.5]);
+        b.record_all(&[1.7, 3.2, 9.0]);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 2, 0, 1]);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin counts differ")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(0.0, 4.0, 4);
+        let b = Histogram::new(0.0, 4.0, 8);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn centers_and_edges() {
+        let h = Histogram::new(1.0, 3.0, 4);
+        assert!((h.bin_center(0) - 1.25).abs() < 1e-12);
+        let (lo, hi) = h.bin_edges(3);
+        assert!((lo - 2.5).abs() < 1e-12);
+        assert!((hi - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_sums_to_in_range_fraction() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.record_all(&[0.5, 1.5, 5.0]);
+        let p = h.normalized();
+        assert!((p.iter().sum::<f64>() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Exact quantiles of in-memory samples.
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of `values` using linear
+/// interpolation between order statistics (type-7 / R default definition).
+///
+/// The input does not need to be sorted; a sorted copy is made internally.
+/// Returns `None` for an empty slice.
+///
+/// ```
+/// use bnb_stats::quantile;
+/// let v = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&v, 0.0), Some(1.0));
+/// assert_eq!(quantile(&v, 1.0), Some(4.0));
+/// assert_eq!(quantile(&v, 0.5), Some(2.5));
+/// ```
+///
+/// # Panics
+/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+#[must_use]
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Same as [`quantile`] but assumes `sorted` is already ascending;
+/// O(1) and allocation-free.
+///
+/// # Panics
+/// Panics if `sorted` is empty or `q` outside `[0,1]`.
+#[must_use]
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Median shortcut: `quantile(values, 0.5)`.
+#[must_use]
+pub fn median(values: &[f64]) -> Option<f64> {
+    quantile(values, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_returns_none() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile(&[42.0], 0.0), Some(42.0));
+        assert_eq!(quantile(&[42.0], 0.37), Some(42.0));
+        assert_eq!(quantile(&[42.0], 1.0), Some(42.0));
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let v = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(median(&v), Some(5.0));
+        assert_eq!(quantile(&v, 0.25), Some(3.0));
+        assert_eq!(quantile(&v, 0.75), Some(7.0));
+    }
+
+    #[test]
+    fn interpolation_between_order_statistics() {
+        let v = [0.0, 10.0];
+        assert_eq!(quantile(&v, 0.3), Some(3.0));
+    }
+
+    #[test]
+    fn median_of_even_count() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn out_of_range_level_panics() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+}

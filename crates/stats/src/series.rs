@@ -1,0 +1,236 @@
+//! Labelled data series — the artefact every reproduced figure is made of.
+
+use crate::Summary;
+
+/// One point of a series: an x-coordinate with the aggregated y statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Independent variable (e.g. bin index, % of large bins, total capacity).
+    pub x: f64,
+    /// Mean of the dependent variable over all repetitions.
+    pub y: f64,
+    /// Standard error of `y` (0 when only one repetition was run).
+    pub std_err: f64,
+}
+
+/// A named curve: what one legend entry of a paper figure denotes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label, e.g. `"2-bins"` or `"lin a=4"`.
+    pub label: String,
+    /// Points in ascending x order (enforced only by convention; use
+    /// [`Series::sort_by_x`] if construction order differs).
+    pub points: Vec<Point>,
+}
+
+impl Series {
+    /// Creates an empty series with the given label.
+    #[must_use]
+    pub fn new(label: impl Into<String>) -> Self {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64, std_err: f64) {
+        self.points.push(Point { x, y, std_err });
+    }
+
+    /// Appends a point taking mean/stderr from a [`Summary`].
+    pub fn push_summary(&mut self, x: f64, summary: &Summary) {
+        self.push(x, summary.mean(), summary.std_err());
+    }
+
+    /// Builds a series directly from `(x, y)` pairs with zero stderr.
+    #[must_use]
+    pub fn from_xy(label: impl Into<String>, xy: &[(f64, f64)]) -> Self {
+        let mut s = Series::new(label);
+        for &(x, y) in xy {
+            s.push(x, y, 0.0);
+        }
+        s
+    }
+
+    /// Sorts points by x (stable; NaN-free input assumed).
+    pub fn sort_by_x(&mut self) {
+        self.points
+            .sort_by(|a, b| a.x.partial_cmp(&b.x).expect("NaN x in series"));
+    }
+
+    /// The y values as a vector, in point order.
+    #[must_use]
+    pub fn ys(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.y).collect()
+    }
+
+    /// The x values as a vector, in point order.
+    #[must_use]
+    pub fn xs(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.x).collect()
+    }
+
+    /// Largest y value, or `None` when empty.
+    #[must_use]
+    pub fn max_y(&self) -> Option<f64> {
+        self.points.iter().map(|p| p.y).fold(None, |acc, y| {
+            Some(match acc {
+                None => y,
+                Some(m) => m.max(y),
+            })
+        })
+    }
+
+    /// Smallest y value, or `None` when empty.
+    #[must_use]
+    pub fn min_y(&self) -> Option<f64> {
+        self.points.iter().map(|p| p.y).fold(None, |acc, y| {
+            Some(match acc {
+                None => y,
+                Some(m) => m.min(y),
+            })
+        })
+    }
+
+    /// Whether the y values never increase by more than `slack` from one
+    /// point to the next — "decreasing up to Monte-Carlo noise", used by the
+    /// integration tests for the monotone figures.
+    #[must_use]
+    pub fn is_decreasing_within(&self, slack: f64) -> bool {
+        self.points.windows(2).all(|w| w[1].y <= w[0].y + slack)
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// A complete figure: several series plus axis metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSet {
+    /// Figure identifier, e.g. `"fig06"`.
+    pub id: String,
+    /// Human title, e.g. `"Bins of size 1 and 10: maximum load"`.
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// y-axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl SeriesSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        SeriesSet {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a curve.
+    pub fn push(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Finds a curve by label.
+    #[must_use]
+    pub fn get(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Renders the set as gnuplot-friendly text: one `# series` header per
+    /// curve followed by `x y stderr` rows, blank-line separated.
+    #[must_use]
+    pub fn to_plot_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}: {}", self.id, self.title);
+        let _ = writeln!(out, "# x: {}  y: {}", self.x_label, self.y_label);
+        for s in &self.series {
+            let _ = writeln!(out, "\n# series: {}", s.label);
+            for p in &s.points {
+                let _ = writeln!(out, "{} {} {}", p.x, p.y, p.std_err);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_accessors() {
+        let mut s = Series::new("curve");
+        s.push(1.0, 2.0, 0.1);
+        s.push(2.0, 1.5, 0.1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.xs(), vec![1.0, 2.0]);
+        assert_eq!(s.ys(), vec![2.0, 1.5]);
+        assert_eq!(s.max_y(), Some(2.0));
+        assert_eq!(s.min_y(), Some(1.5));
+    }
+
+    #[test]
+    fn from_summary_point() {
+        let sum = Summary::from_slice(&[2.0, 4.0]);
+        let mut s = Series::new("x");
+        s.push_summary(10.0, &sum);
+        assert_eq!(s.points[0].x, 10.0);
+        assert_eq!(s.points[0].y, 3.0);
+        assert!(s.points[0].std_err > 0.0);
+    }
+
+    #[test]
+    fn decreasing_within_slack() {
+        let s = Series::from_xy("d", &[(0.0, 3.0), (1.0, 2.5), (2.0, 2.55), (3.0, 1.0)]);
+        assert!(s.is_decreasing_within(0.1));
+        assert!(!s.is_decreasing_within(0.01));
+    }
+
+    #[test]
+    fn sort_by_x_orders_points() {
+        let mut s = Series::from_xy("d", &[(2.0, 1.0), (0.0, 3.0), (1.0, 2.0)]);
+        s.sort_by_x();
+        assert_eq!(s.xs(), vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn series_set_lookup_and_render() {
+        let mut set = SeriesSet::new("fig00", "demo", "x", "y");
+        set.push(Series::from_xy("a", &[(0.0, 1.0)]));
+        set.push(Series::from_xy("b", &[(0.0, 2.0)]));
+        assert!(set.get("a").is_some());
+        assert!(set.get("missing").is_none());
+        let text = set.to_plot_text();
+        assert!(text.contains("# series: a"));
+        assert!(text.contains("# series: b"));
+        assert!(text.contains("0 2 0"));
+    }
+
+    #[test]
+    fn empty_series_extrema() {
+        let s = Series::new("e");
+        assert!(s.is_empty());
+        assert_eq!(s.max_y(), None);
+        assert_eq!(s.min_y(), None);
+    }
+}

@@ -1,0 +1,225 @@
+//! Dependency-free SVG line charts for [`SeriesSet`]s.
+//!
+//! The `repro` binary writes one SVG per regenerated figure so the
+//! reproduction can be eyeballed against the paper without any plotting
+//! toolchain. Deliberately minimal: linear axes, auto-scaled ranges,
+//! polyline per series, legend, tick labels.
+
+use crate::series::SeriesSet;
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 860.0;
+const HEIGHT: f64 = 520.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 230.0;
+const MARGIN_T: f64 = 50.0;
+const MARGIN_B: f64 = 60.0;
+
+/// Line colours cycled across series (readable on white).
+const COLORS: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#e377c2", "#17becf",
+];
+
+/// Renders the set as a standalone SVG document.
+///
+/// Empty sets (or sets with no finite points) render a header-only chart
+/// rather than failing.
+#[must_use]
+pub fn render_svg(set: &SeriesSet) -> String {
+    let (x_min, x_max, y_min, y_max) = data_range(set);
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let sx = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min).max(1e-300) * plot_w;
+    let sy = |y: f64| MARGIN_T + plot_h - (y - y_min) / (y_max - y_min).max(1e-300) * plot_h;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">"#
+    );
+    let _ = write!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    // Title and axis labels.
+    let _ = write!(
+        svg,
+        r#"<text x="{:.1}" y="24" font-family="sans-serif" font-size="15" font-weight="bold">{}</text>"#,
+        MARGIN_L,
+        escape(&set.title)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="12" text-anchor="middle">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        HEIGHT - 14.0,
+        escape(&set.x_label)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="16" y="{:.1}" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 {:.1})">{}</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        escape(&set.y_label)
+    );
+    // Plot frame.
+    let _ = write!(
+        svg,
+        r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#444" stroke-width="1"/>"##
+    );
+    // Ticks: 5 per axis.
+    for i in 0..=5 {
+        let fx = x_min + (x_max - x_min) * i as f64 / 5.0;
+        let px = sx(fx);
+        let _ = write!(
+            svg,
+            r##"<line x1="{px:.1}" y1="{:.1}" x2="{px:.1}" y2="{:.1}" stroke="#bbb" stroke-width="0.5"/>"##,
+            MARGIN_T,
+            MARGIN_T + plot_h
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{px:.1}" y="{:.1}" font-family="sans-serif" font-size="10" text-anchor="middle">{}</text>"#,
+            MARGIN_T + plot_h + 16.0,
+            fmt_tick(fx)
+        );
+        let fy = y_min + (y_max - y_min) * i as f64 / 5.0;
+        let py = sy(fy);
+        let _ = write!(
+            svg,
+            r##"<line x1="{MARGIN_L}" y1="{py:.1}" x2="{:.1}" y2="{py:.1}" stroke="#bbb" stroke-width="0.5"/>"##,
+            MARGIN_L + plot_w
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{py:.1}" font-family="sans-serif" font-size="10" text-anchor="end" dominant-baseline="middle">{}</text>"#,
+            MARGIN_L - 6.0,
+            fmt_tick(fy)
+        );
+    }
+    // Series polylines + legend.
+    for (i, series) in set.series.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let mut points = String::new();
+        for p in &series.points {
+            if p.x.is_finite() && p.y.is_finite() {
+                let _ = write!(points, "{:.2},{:.2} ", sx(p.x), sy(p.y));
+            }
+        }
+        let _ = write!(
+            svg,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.6"/>"#,
+            points.trim_end()
+        );
+        let ly = MARGIN_T + 14.0 + i as f64 * 18.0;
+        let lx = WIDTH - MARGIN_R + 14.0;
+        let _ = write!(
+            svg,
+            r#"<line x1="{lx:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2.5"/>"#,
+            lx + 22.0
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="11" dominant-baseline="middle">{}</text>"#,
+            lx + 28.0,
+            ly,
+            escape(&series.label)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Finite data range with a 5% y padding; degenerate ranges expand to a
+/// unit box so the scale functions stay well-defined.
+fn data_range(set: &SeriesSet) -> (f64, f64, f64, f64) {
+    let mut x_min = f64::INFINITY;
+    let mut x_max = f64::NEG_INFINITY;
+    let mut y_min = f64::INFINITY;
+    let mut y_max = f64::NEG_INFINITY;
+    for s in &set.series {
+        for p in &s.points {
+            if p.x.is_finite() && p.y.is_finite() {
+                x_min = x_min.min(p.x);
+                x_max = x_max.max(p.x);
+                y_min = y_min.min(p.y);
+                y_max = y_max.max(p.y);
+            }
+        }
+    }
+    if !x_min.is_finite() {
+        return (0.0, 1.0, 0.0, 1.0);
+    }
+    if x_max - x_min < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    let pad = ((y_max - y_min) * 0.05).max(1e-12);
+    (x_min, x_max, y_min - pad, y_max + pad)
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v.abs() >= 10_000.0 || (v - v.round()).abs() < 1e-9 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    fn demo() -> SeriesSet {
+        let mut set = SeriesSet::new("figX", "demo <title>", "x axis", "y axis");
+        set.push(Series::from_xy("curve & one", &[(0.0, 1.0), (1.0, 2.0), (2.0, 1.5)]));
+        set.push(Series::from_xy("curve two", &[(0.0, 0.5), (2.0, 0.9)]));
+        set
+    }
+
+    #[test]
+    fn renders_wellformed_svg() {
+        let svg = render_svg(&demo());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        // Legend entries present & escaped.
+        assert!(svg.contains("curve &amp; one"));
+        assert!(svg.contains("demo &lt;title&gt;"));
+        assert!(!svg.contains("<title>"));
+    }
+
+    #[test]
+    fn empty_set_renders_without_panicking() {
+        let set = SeriesSet::new("e", "empty", "x", "y");
+        let svg = render_svg(&set);
+        assert!(svg.contains("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 0);
+    }
+
+    #[test]
+    fn constant_series_handled() {
+        let mut set = SeriesSet::new("c", "const", "x", "y");
+        set.push(Series::from_xy("flat", &[(0.0, 5.0), (1.0, 5.0)]));
+        let svg = render_svg(&set);
+        assert!(svg.contains("<polyline"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn points_fall_inside_canvas() {
+        let svg = render_svg(&demo());
+        // Extract the polyline coordinates and check bounds.
+        for part in svg.split("points=\"").skip(1) {
+            let coords = part.split('"').next().unwrap();
+            for pair in coords.split_whitespace() {
+                let (x, y) = pair.split_once(',').unwrap();
+                let x: f64 = x.parse().unwrap();
+                let y: f64 = y.parse().unwrap();
+                assert!((0.0..=WIDTH).contains(&x), "x={x}");
+                assert!((0.0..=HEIGHT).contains(&y), "y={y}");
+            }
+        }
+    }
+}

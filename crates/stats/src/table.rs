@@ -1,0 +1,134 @@
+//! Plain-text table rendering for the `repro` CLI output.
+
+/// A simple column-aligned text table.
+///
+/// ```
+/// use bnb_stats::TextTable;
+/// let mut t = TextTable::new(vec!["x".into(), "max load".into()]);
+/// t.row(vec!["0".into(), "3.02".into()]);
+/// t.row(vec!["100".into(), "1.21".into()]);
+/// let s = t.render();
+/// assert!(s.contains("max load"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: Vec<String>) -> Self {
+        TextTable { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows extend the column count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Convenience: append a row of floats with the given precision.
+    pub fn row_f64(&mut self, cells: &[f64], precision: usize) {
+        self.rows
+            .push(cells.iter().map(|v| format!("{v:.precision$}")).collect());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with a header underline and right-padded columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let n_cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; n_cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<w$}"));
+                if i + 1 != widths.len() {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&render_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n_cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name".into(), "value".into()]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "2.5".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        // Both value cells start at the same column.
+        let col_a = lines[2].find('1').unwrap();
+        let col_b = lines[3].find('2').unwrap();
+        assert_eq!(col_a, col_b);
+    }
+
+    #[test]
+    fn row_f64_formats_precision() {
+        let mut t = TextTable::new(vec!["x".into(), "y".into()]);
+        t.row_f64(&[1.23456, 2.0], 3);
+        let s = t.render();
+        assert!(s.contains("1.235"));
+        assert!(s.contains("2.000"));
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        t.row(vec!["x".into()]);
+        let s = t.render();
+        assert!(s.contains('3'));
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new(vec!["only".into()]);
+        let s = t.render();
+        assert!(s.starts_with("only"));
+        assert_eq!(s.lines().count(), 2);
+    }
+}

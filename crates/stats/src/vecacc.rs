@@ -1,0 +1,156 @@
+//! Position-wise averaging of whole vectors.
+//!
+//! The paper's load-distribution figures (Figs 1–5, 10–13) plot, for each
+//! *position* of the normalised (sorted) load vector, the average load at
+//! that position over 10 000 repetitions. [`MeanAccumulator`] performs that
+//! aggregation without retaining the individual vectors.
+
+/// Accumulates element-wise sums of equal-length `f64` slices and returns
+/// element-wise means (plus standard errors if requested).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeanAccumulator {
+    sums: Vec<f64>,
+    sq_sums: Vec<f64>,
+    count: u64,
+}
+
+impl MeanAccumulator {
+    /// Creates an accumulator for vectors of length `len`.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        MeanAccumulator { sums: vec![0.0; len], sq_sums: vec![0.0; len], count: 0 }
+    }
+
+    /// Adds one vector observation.
+    ///
+    /// # Panics
+    /// Panics if `values.len()` differs from the accumulator length.
+    pub fn push_slice(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.sums.len(), "vector length mismatch");
+        for (i, &v) in values.iter().enumerate() {
+            self.sums[i] += v;
+            self.sq_sums[i] += v * v;
+        }
+        self.count += 1;
+    }
+
+    /// Merges another accumulator of the same length (parallel reduction).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn merge(&mut self, other: &MeanAccumulator) {
+        assert_eq!(self.sums.len(), other.sums.len(), "vector length mismatch");
+        for i in 0..self.sums.len() {
+            self.sums[i] += other.sums[i];
+            self.sq_sums[i] += other.sq_sums[i];
+        }
+        self.count += other.count;
+    }
+
+    /// Element-wise means. All zeros when nothing was pushed.
+    #[must_use]
+    pub fn means(&self) -> Vec<f64> {
+        if self.count == 0 {
+            return vec![0.0; self.sums.len()];
+        }
+        self.sums.iter().map(|&s| s / self.count as f64).collect()
+    }
+
+    /// Element-wise standard errors of the mean.
+    #[must_use]
+    pub fn std_errs(&self) -> Vec<f64> {
+        if self.count < 2 {
+            return vec![0.0; self.sums.len()];
+        }
+        let n = self.count as f64;
+        self.sums
+            .iter()
+            .zip(&self.sq_sums)
+            .map(|(&s, &sq)| {
+                let mean = s / n;
+                let var = ((sq / n - mean * mean) * n / (n - 1.0)).max(0.0);
+                (var / n).sqrt()
+            })
+            .collect()
+    }
+
+    /// Number of vectors pushed.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Vector length this accumulator was built for.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// Whether the accumulator tracks zero-length vectors.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sums.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_of_two_vectors() {
+        let mut acc = MeanAccumulator::new(3);
+        acc.push_slice(&[1.0, 2.0, 3.0]);
+        acc.push_slice(&[3.0, 2.0, 1.0]);
+        assert_eq!(acc.means(), vec![2.0, 2.0, 2.0]);
+        assert_eq!(acc.count(), 2);
+    }
+
+    #[test]
+    fn empty_accumulator_means_are_zero() {
+        let acc = MeanAccumulator::new(2);
+        assert_eq!(acc.means(), vec![0.0, 0.0]);
+        assert_eq!(acc.std_errs(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn std_errs_match_direct_formula() {
+        let mut acc = MeanAccumulator::new(1);
+        let data = [1.0, 2.0, 3.0, 4.0];
+        for &v in &data {
+            acc.push_slice(&[v]);
+        }
+        // sample sd of 1..4 = sqrt(5/3); stderr = sd/2
+        let expected = (5.0f64 / 3.0).sqrt() / 2.0;
+        assert!((acc.std_errs()[0] - expected).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut a = MeanAccumulator::new(2);
+        let mut b = MeanAccumulator::new(2);
+        let mut seq = MeanAccumulator::new(2);
+        let vs = [[1.0, 5.0], [2.0, 6.0], [3.0, 7.0], [4.0, 8.0]];
+        for (i, v) in vs.iter().enumerate() {
+            if i < 2 {
+                a.push_slice(v);
+            } else {
+                b.push_slice(v);
+            }
+            seq.push_slice(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.means(), seq.means());
+        assert_eq!(a.count(), seq.count());
+        for (x, y) in a.std_errs().iter().zip(seq.std_errs()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_length_panics() {
+        let mut acc = MeanAccumulator::new(2);
+        acc.push_slice(&[1.0]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests of the statistics substrate.
+
+use bnb_stats::quantile::quantile_sorted;
+use bnb_stats::{quantile, Histogram, MeanAccumulator, Summary};
+use proptest::prelude::*;
+
+fn finite_values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Merging any split of a sample equals the sequential summary.
+    #[test]
+    fn summary_merge_is_split_invariant(values in finite_values(), split in 0usize..200) {
+        let split = split.min(values.len());
+        let seq = Summary::from_slice(&values);
+        let mut a = Summary::from_slice(&values[..split]);
+        let b = Summary::from_slice(&values[split..]);
+        a.merge(&b);
+        prop_assert_eq!(a.count(), seq.count());
+        prop_assert!((a.mean() - seq.mean()).abs() <= 1e-6 * (1.0 + seq.mean().abs()));
+        prop_assert!(
+            (a.variance() - seq.variance()).abs() <= 1e-4 * (1.0 + seq.variance().abs())
+        );
+        prop_assert_eq!(a.min(), seq.min());
+        prop_assert_eq!(a.max(), seq.max());
+    }
+
+    /// Mean lies within [min, max]; variance is non-negative.
+    #[test]
+    fn summary_bounds(values in finite_values()) {
+        let s = Summary::from_slice(&values);
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.variance() >= 0.0);
+    }
+
+    /// Quantiles are monotone in the level and bounded by the extremes.
+    #[test]
+    fn quantiles_are_monotone(values in finite_values(), q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&values, lo).unwrap();
+        let b = quantile(&values, hi).unwrap();
+        prop_assert!(a <= b + 1e-12);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-12 && b <= max + 1e-12);
+    }
+
+    /// Sorted-input fast path agrees with the general entry point.
+    #[test]
+    fn quantile_sorted_agrees(values in finite_values(), q in 0.0f64..=1.0) {
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(quantile(&values, q).unwrap(), quantile_sorted(&sorted, q));
+    }
+
+    /// No observation is ever lost by a histogram.
+    #[test]
+    fn histogram_conserves_observations(
+        values in finite_values(),
+        bins in 1usize..50,
+    ) {
+        let mut h = Histogram::new(-1000.0, 1000.0, bins);
+        h.record_all(&values);
+        prop_assert_eq!(h.total(), values.len() as u64);
+        let in_range = values.iter().filter(|&&v| (-1000.0..1000.0).contains(&v)).count() as u64;
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), in_range);
+    }
+
+    /// MeanAccumulator means equal per-position arithmetic means.
+    #[test]
+    fn mean_accumulator_matches_naive(
+        rows in prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 5), 1..50),
+    ) {
+        let mut acc = MeanAccumulator::new(5);
+        for row in &rows {
+            acc.push_slice(row);
+        }
+        let means = acc.means();
+        for j in 0..5 {
+            let naive: f64 = rows.iter().map(|r| r[j]).sum::<f64>() / rows.len() as f64;
+            prop_assert!((means[j] - naive).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! P2P motivation (§1 of the paper): consistent hashing makes bins
+//! non-uniform. This example builds a Chord-like ring, measures the arc
+//! imbalance, routes requests with the Byers et al. d-point game, and
+//! shows the bridge to the abstract weighted balls-into-bins game.
+//!
+//! ```text
+//! cargo run --release --example p2p_ring
+//! ```
+
+use balls_into_bins::core::prelude::*;
+use balls_into_bins::distributions::Xoshiro256PlusPlus;
+use balls_into_bins::hashring::arcs::arc_stats;
+use balls_into_bins::hashring::byers::ring_selection;
+use balls_into_bins::hashring::{ByersGame, ChordOverlay, HashRing};
+
+fn main() {
+    let n_peers = 1_000;
+    let ring = HashRing::new(n_peers, 1, 0xC0FFEE);
+
+    // 1. The imbalance that motivates the paper.
+    let stats = arc_stats(&ring);
+    println!(
+        "ring with {n_peers} peers (1 vnode): max arc / avg arc = {:.2} (ln n = {:.2})",
+        stats.max_over_avg,
+        (n_peers as f64).ln()
+    );
+
+    // 2. Route m = n requests with 1 and 2 probes.
+    let mut rng = Xoshiro256PlusPlus::from_u64_seed(7);
+    for d in [1usize, 2] {
+        let mut game = ByersGame::new(ring.clone(), d, 0xC0FFEE);
+        game.throw_many(n_peers as u64, &mut rng);
+        println!("Byers game, d = {d}: max requests on any peer = {}", game.max_load());
+    }
+
+    // 3. The bridge: the ring *is* a weighted balls-into-bins game whose
+    // selection weights are the arc fractions.
+    let selection = ring_selection(&ring);
+    let caps = CapacityVector::uniform(n_peers, 1);
+    let config = GameConfig::with_d(2)
+        .policy(Policy::FewestBalls)
+        .selection(selection);
+    let bins = run_game(&caps, n_peers as u64, &config, 99);
+    println!(
+        "abstract weighted game with arc weights: max load = {}",
+        bins.max_load().as_f64()
+    );
+
+    // 4. And the overlay really routes in O(log n) hops.
+    let overlay = ChordOverlay::new(ring);
+    let mut total_hops = 0;
+    let lookups = 1_000;
+    let mut rng = Xoshiro256PlusPlus::from_u64_seed(11);
+    for _ in 0..lookups {
+        let start = rng.next_below(n_peers as u64) as usize;
+        total_hops += overlay.lookup(start, rng.next()).hops;
+    }
+    println!(
+        "Chord lookups: average hops = {:.2} (log2 n = {:.2})",
+        total_hops as f64 / lookups as f64,
+        (n_peers as f64).log2()
+    );
+}

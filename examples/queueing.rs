@@ -1,0 +1,56 @@
+//! Capacity as *speed*: the queueing reading of the paper's model.
+//!
+//! Servers of speed 1 and 10 serve Poisson arrivals; the d-choice
+//! protocol becomes "join the shortest *normalised* queue". Watch the
+//! maximum normalised queue across routing rules and utilisations.
+//!
+//! ```text
+//! cargo run --release --example queueing
+//! ```
+
+use balls_into_bins::core::{CapacityVector, Selection};
+use balls_into_bins::queueing::{QueueSystem, RoutingPolicy, SystemConfig};
+use balls_into_bins::stats::TextTable;
+
+fn run(rho: f64, d: usize, routing: RoutingPolicy, seed: u64) -> (f64, f64) {
+    let speeds = CapacityVector::two_class(100, 1, 100, 10);
+    let config = SystemConfig {
+        d,
+        routing,
+        selection: Selection::ProportionalToCapacity,
+        rho,
+    };
+    let mut sys = QueueSystem::new(&speeds, config, seed);
+    let metrics = sys.run_arrivals(300_000);
+    (metrics.max_normalized_queue, metrics.mean_queue_len)
+}
+
+fn main() {
+    println!(
+        "200 servers (speeds 1 and 10), Poisson arrivals, Exp(1) work,\n\
+         300k arrivals per cell; entries are max(q/c) | mean queue:\n"
+    );
+    let mut table = TextTable::new(vec![
+        "rho".into(),
+        "d=1 random".into(),
+        "d=2 plain JSQ".into(),
+        "d=2 normalised JSQ".into(),
+    ]);
+    for rho in [0.5, 0.7, 0.9, 0.95] {
+        let (r1, m1) = run(rho, 1, RoutingPolicy::Random, 1);
+        let (r2, m2) = run(rho, 2, RoutingPolicy::ShortestQueue, 2);
+        let (r3, m3) = run(rho, 2, RoutingPolicy::ShortestNormalizedQueue, 3);
+        table.row(vec![
+            format!("{rho:.2}"),
+            format!("{r1:.2} | {m1:.2}"),
+            format!("{r2:.2} | {m2:.2}"),
+            format!("{r3:.2} | {m3:.2}"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Two choices collapse the worst queue; normalising by speed (the\n\
+         paper's load notion) additionally protects the slow servers that\n\
+         plain JSQ overloads relative to their capacity."
+    );
+}

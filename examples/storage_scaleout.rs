@@ -1,0 +1,54 @@
+//! Storage scale-out (§4.3 of the paper): a disk fleet grows in batches,
+//! each generation bigger than the last; old disks stay. How does the
+//! maximum load evolve as the system grows?
+//!
+//! ```text
+//! cargo run --release --example storage_scaleout
+//! ```
+
+use balls_into_bins::core::prelude::*;
+use balls_into_bins::stats::TextTable;
+
+fn mean_max_load(caps: &CapacityVector, reps: u64, seed: u64) -> f64 {
+    let config = GameConfig::default();
+    let mut total = 0.0;
+    for rep in 0..reps {
+        let bins = run_game(caps, caps.total(), &config, seed ^ (rep * 7919));
+        total += bins.max_load().as_f64();
+    }
+    total / reps as f64
+}
+
+fn main() {
+    let reps = 40;
+    let models: Vec<(&str, GrowthModel)> = vec![
+        ("baseline (all cap 2)", GrowthModel::Constant(2)),
+        ("linear a=2", GrowthModel::Linear { first: 2, a: 2 }),
+        ("linear a=6", GrowthModel::Linear { first: 2, a: 6 }),
+        ("exponential b=1.2", GrowthModel::Exponential { first: 2, b: 1.2 }),
+    ];
+
+    let mut table = TextTable::new(
+        std::iter::once("disks".to_string())
+            .chain(models.iter().map(|(n, _)| (*n).to_string()))
+            .collect(),
+    );
+
+    for disks in [2usize, 100, 200, 400, 600, 800, 1000] {
+        let mut row = vec![disks.to_string()];
+        for (_, model) in &models {
+            let caps = model.paper_schedule(disks);
+            row.push(format!("{:.3}", mean_max_load(&caps, reps, 0xD15C)));
+        }
+        table.row(row);
+    }
+
+    println!("Mean maximum load while scaling out (m = C, d = 2, {reps} reps):\n");
+    println!("{}", table.render());
+    println!(
+        "Note how every growth model drives the maximum load towards the\n\
+         optimum of 1 as capacity becomes heterogeneous, while the uniform\n\
+         baseline stays stuck near its ln ln n / 2 + 1 plateau — the paper's\n\
+         argument for buying bigger disks without retiring old ones."
+    );
+}

@@ -1,0 +1,40 @@
+//! # balls-into-bins
+//!
+//! Facade crate for the reproduction of *Balls into non-uniform bins*
+//! (Berenbrink, Brinkmann, Friedetzky, Nagel; IPDPS 2010 / JPDC 2014).
+//!
+//! Re-exports the workspace crates under stable names:
+//!
+//! * [`core`] — the model: capacities, exact loads, Algorithm 1 and the
+//!   baseline policies, the simulation engine, slot vectors,
+//!   majorisation, growth models, theory bounds.
+//! * [`distributions`] — PRNGs and weighted samplers (alias, Fenwick,
+//!   cumulative) plus binomial/geometric/Zipf variates.
+//! * [`hashring`] — the consistent-hashing substrate: rings, arcs, the
+//!   Byers et al. d-point game, Chord finger tables.
+//! * [`stats`] — summaries, histograms, series, chi-square, CSV/tables.
+//! * [`experiments`] — runners for all 18 paper figures and the `repro`
+//!   CLI.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use balls_into_bins::core::prelude::*;
+//!
+//! // 100 bins, half capacity 1 and half capacity 10; m = C balls;
+//! // d = 2 choices proportional to capacity; Algorithm 1 allocation.
+//! let caps = CapacityVector::two_class(50, 1, 50, 10);
+//! let bins = run_game(&caps, caps.total(), &GameConfig::default(), 42);
+//! assert_eq!(bins.total_balls(), caps.total());
+//! assert!(bins.max_load().as_f64() < 4.0); // ln ln n / ln 2 + O(1)
+//! ```
+
+#![deny(missing_docs)]
+
+pub use bnb_analysis as analysis;
+pub use bnb_core as core;
+pub use bnb_distributions as distributions;
+pub use bnb_experiments as experiments;
+pub use bnb_hashring as hashring;
+pub use bnb_queueing as queueing;
+pub use bnb_stats as stats;

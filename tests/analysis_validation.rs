@@ -1,0 +1,82 @@
+//! Cross-crate validation of the executable analysis (`bnb-analysis`)
+//! against the simulator (`bnb-core`).
+
+use balls_into_bins::analysis::layers::{check_decay, layer_count, layer_profile};
+use balls_into_bins::analysis::{classify, small_ball_bound, Regime};
+use balls_into_bins::analysis::lemma2::measure_small_balls;
+use balls_into_bins::core::prelude::*;
+
+/// The Lemma 2(1) closed form dominates the empirical tail of |B_s| on a
+/// workload with a *large* small-capacity share (harder than the one the
+/// crate-level test uses).
+#[test]
+fn lemma2_bound_on_fat_small_share() {
+    let caps = CapacityVector::two_class(400, 1, 100, 50);
+    let c_small = 400u64;
+    let c_total = caps.total();
+    let reps = 300u64;
+    let samples: Vec<u64> = (0..reps)
+        .map(|s| measure_small_balls(&caps, 2, 2, 0xFA7 + s).xs)
+        .collect();
+    // E[X_s] = C (Cs/C)^2 ≈ 5400 * (400/5400)^2 ≈ 29.6; the bound is
+    // informative from roughly k = e·Cs²/C ≈ 80 upwards.
+    for k in [90u64, 110, 140] {
+        let bound = small_ball_bound(k, c_small, c_total);
+        let empirical = samples.iter().filter(|&&x| x >= k).count() as f64 / reps as f64;
+        assert!(
+            empirical <= bound + 0.02,
+            "k={k}: empirical {empirical} vs bound {bound}"
+        );
+    }
+}
+
+/// Regime classification agrees with simulated behaviour across the
+/// boundary: a Theorem-1 workload shows constant max load; a
+/// Theorem-3-only workload grows with ln ln n.
+#[test]
+fn regimes_separate_constant_from_growing_load() {
+    // Theorem-1 (case 4): n bins, C ≈ n ln n, tiny small capacity.
+    let n = 2_000usize;
+    let big = ((n as f64).ln() * 2.0) as u64; // comfortably "big"
+    let caps_t1 = CapacityVector::two_class(8, 1, n - 8, big);
+    let regime = classify(n, caps_t1.total(), 8, 2.0, 1.0);
+    assert!(regime.constant_max_load(), "expected a Theorem-1 case, got {regime:?}");
+    let bins = run_game(&caps_t1, caps_t1.total(), &GameConfig::default(), 3);
+    assert!(bins.max_load().as_f64() <= 4.0);
+
+    // All-unit-capacity workload at m = n: Theorem3Only.
+    let caps_t3 = CapacityVector::uniform(n, 1);
+    assert_eq!(
+        classify(n, caps_t3.total(), caps_t3.total(), 2.0, 1.0),
+        Regime::Theorem3Only
+    );
+    let bins = run_game(&caps_t3, caps_t3.total(), &GameConfig::default(), 3);
+    assert!(
+        bins.max_load().as_f64() >= 2.0,
+        "standard game should exceed load 2 at n=2000"
+    );
+}
+
+/// The layered-induction engine: two-choice layer profiles on the
+/// *heterogeneous* game still decay super-exponentially, and the layer
+/// count matches Theorem 3's bound.
+#[test]
+fn heterogeneous_layer_profile_decays() {
+    let caps = CapacityVector::two_class(10_000, 1, 10_000, 10);
+    let mut ok = 0;
+    let seeds = 6;
+    for seed in 0..seeds {
+        let bins = run_game(&caps, caps.total(), &GameConfig::with_d(2), 40 + seed);
+        let p = layer_profile(&bins);
+        if check_decay(&p, 2, 2.0, 40.0).is_none() {
+            ok += 1;
+        }
+        let bound = theory::theorem3_bound(caps.n(), 2, 3.0);
+        assert!(
+            (layer_count(&p) as f64) <= bound + 1.0,
+            "seed {seed}: layers {} vs {bound}",
+            layer_count(&p)
+        );
+    }
+    assert!(ok >= seeds - 1, "decay held only {ok}/{seeds} times");
+}

@@ -1,0 +1,65 @@
+//! End-to-end checks of the experiment harness: every registered figure
+//! runs at test scale, produces well-formed output, and is deterministic.
+
+use balls_into_bins::experiments::{registry, Ctx};
+use balls_into_bins::stats::csv::series_set_to_string;
+
+#[test]
+fn every_figure_runs_and_produces_series() {
+    let ctx = Ctx::test_scale();
+    for spec in registry() {
+        let set = (spec.run)(&ctx);
+        assert_eq!(set.id, spec.id, "{}: id mismatch", spec.id);
+        assert!(!set.series.is_empty(), "{}: no series", spec.id);
+        for s in &set.series {
+            assert!(!s.is_empty(), "{}/{}: empty series", spec.id, s.label);
+            for p in &s.points {
+                assert!(p.x.is_finite() && p.y.is_finite(), "{}: non-finite point", spec.id);
+                assert!(p.std_err >= 0.0, "{}: negative stderr", spec.id);
+            }
+        }
+    }
+}
+
+#[test]
+fn figures_are_deterministic_under_a_seed() {
+    let ctx = Ctx::test_scale();
+    // A representative subset (the cheap ones) re-run exactly.
+    for id in ["fig02", "fig06", "fig10", "fig17"] {
+        let spec = balls_into_bins::experiments::find_figure(id).unwrap();
+        let a = (spec.run)(&ctx);
+        let b = (spec.run)(&ctx);
+        assert_eq!(
+            series_set_to_string(&a),
+            series_set_to_string(&b),
+            "{id}: output changed between identical runs"
+        );
+    }
+}
+
+#[test]
+fn master_seed_changes_results() {
+    let ctx_a = Ctx::test_scale();
+    let ctx_b = Ctx { master_seed: ctx_a.master_seed ^ 0xFFFF, ..ctx_a };
+    let spec = balls_into_bins::experiments::find_figure("fig06").unwrap();
+    let a = (spec.run)(&ctx_a);
+    let b = (spec.run)(&ctx_b);
+    assert_ne!(
+        series_set_to_string(&a),
+        series_set_to_string(&b),
+        "different master seeds should yield different Monte-Carlo noise"
+    );
+}
+
+#[test]
+fn csv_round_trip_structure() {
+    let ctx = Ctx::test_scale();
+    let spec = balls_into_bins::experiments::find_figure("fig08").unwrap();
+    let set = (spec.run)(&ctx);
+    let csv = series_set_to_string(&set);
+    let mut lines = csv.lines();
+    assert_eq!(lines.next().unwrap(), "series,x,y,std_err");
+    let n_rows = lines.count();
+    let n_points: usize = set.series.iter().map(|s| s.len()).sum();
+    assert_eq!(n_rows, n_points);
+}

@@ -1,0 +1,51 @@
+//! Property-based validation of the paper's Lemma 1 coupling: the slot
+//! load vector of the heterogeneous process stays majorised by that of
+//! the unit-bin process under shared randomness, for *arbitrary* capacity
+//! vectors.
+
+use balls_into_bins::core::slots::LemmaOneCoupling;
+use balls_into_bins::distributions::Xoshiro256PlusPlus;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 1 invariant after every single ball, on random capacity
+    /// vectors and random d.
+    #[test]
+    fn coupling_maintains_majorisation(
+        capacities in prop::collection::vec(1u64..12, 2..10),
+        d in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let total: u64 = capacities.iter().sum();
+        let m = 2 * total; // beyond m = C to stress the invariant
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(seed);
+        let mut coupling = LemmaOneCoupling::new(capacities, d);
+        for ball in 0..m {
+            coupling.step(&mut rng);
+            prop_assert!(
+                coupling.q_majorizes_p(),
+                "majorisation violated after ball {ball}"
+            );
+        }
+        // Consequence used in the paper: max load of P ≤ max load of Q.
+        prop_assert!(coupling.p().max_load() <= coupling.q().max_load());
+    }
+
+    /// Ball conservation under the coupling.
+    #[test]
+    fn coupling_conserves_balls(
+        capacities in prop::collection::vec(1u64..8, 2..8),
+        seed in any::<u64>(),
+    ) {
+        let total: u64 = capacities.iter().sum();
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(seed);
+        let mut coupling = LemmaOneCoupling::new(capacities, 2);
+        for _ in 0..total {
+            coupling.step(&mut rng);
+        }
+        prop_assert_eq!(coupling.p().total_balls(), total);
+        prop_assert_eq!(coupling.q().total_balls(), total);
+    }
+}

@@ -1,0 +1,64 @@
+//! Cross-crate test: weighted rendezvous hashing as a placement layer
+//! compared with the paper's selection model.
+
+use balls_into_bins::core::prelude::*;
+use balls_into_bins::hashring::hash::mix64;
+use balls_into_bins::hashring::Rendezvous;
+
+/// A rendezvous owner draw is statistically the same one-choice process
+/// as the paper's capacity-proportional selection: equal per-node shares.
+#[test]
+fn rendezvous_share_equals_proportional_selection_share() {
+    let capacities = [1u64, 2, 4, 8, 16];
+    let total: u64 = capacities.iter().sum();
+    let r = Rendezvous::from_capacities(&capacities, 11);
+    let n_keys = 150_000u64;
+    let mut counts = [0u64; 5];
+    for k in 0..n_keys {
+        counts[r.owner(mix64(k))] += 1;
+    }
+    for (i, &c) in capacities.iter().enumerate() {
+        let expected = c as f64 / total as f64 * n_keys as f64;
+        assert!(
+            (counts[i] as f64 - expected).abs() < 5.0 * expected.sqrt(),
+            "node {i}: {} vs {expected}",
+            counts[i]
+        );
+    }
+}
+
+/// Rendezvous top-d candidates + the paper's protocol = a placement
+/// scheme with both balanced shares *and* bounded maximum load: routing
+/// the keys' top-2 candidates through Algorithm 1 beats pure
+/// one-choice rendezvous on max load.
+#[test]
+fn top_two_rendezvous_with_protocol_beats_owner_only() {
+    let n = 500usize;
+    let capacities: Vec<u64> = (0..n).map(|i| if i % 2 == 0 { 1 } else { 8 }).collect();
+    let caps = CapacityVector::from_vec(capacities.clone());
+    let r = Rendezvous::from_capacities(&capacities, 3);
+    let m = caps.total();
+
+    // Owner-only placement.
+    let mut owner_bins = BinArray::new(capacities.clone());
+    for k in 0..m {
+        owner_bins.add_ball(r.owner(mix64(k)));
+    }
+
+    // Top-2 candidates + Algorithm 1 allocation.
+    let mut proto_bins = BinArray::new(capacities);
+    let mut rng = balls_into_bins::distributions::Xoshiro256PlusPlus::from_u64_seed(5);
+    for k in 0..m {
+        let cands = r.top_d(mix64(k), 2);
+        let pick = Policy::PaperProtocol.choose(&proto_bins, &cands, &mut rng);
+        proto_bins.add_ball(pick);
+    }
+
+    let owner_max = owner_bins.max_load().as_f64();
+    let proto_max = proto_bins.max_load().as_f64();
+    assert!(
+        proto_max < owner_max,
+        "protocol placement ({proto_max}) should beat owner-only ({owner_max})"
+    );
+    assert_eq!(proto_bins.total_balls(), m);
+}

@@ -1,0 +1,97 @@
+//! Cross-crate integration: the consistent-hashing substrate and the
+//! abstract weighted game describe the same process.
+
+use balls_into_bins::core::prelude::*;
+use balls_into_bins::distributions::Xoshiro256PlusPlus;
+use balls_into_bins::hashring::arcs::{arc_probabilities, arc_stats};
+use balls_into_bins::hashring::byers::ring_selection;
+use balls_into_bins::hashring::{ByersGame, HashRing};
+
+/// A request that probes once lands on each peer with probability equal
+/// to its arc fraction — measured end to end.
+#[test]
+fn single_probe_distribution_matches_arcs() {
+    let ring = HashRing::new(16, 1, 123);
+    let probs = arc_probabilities(&ring);
+    let mut rng = Xoshiro256PlusPlus::from_u64_seed(5);
+    let mut game = ByersGame::new(ring, 1, 123);
+    let m = 100_000u64;
+    game.throw_many(m, &mut rng);
+    for (peer, &p) in probs.iter().enumerate() {
+        let expected = p * m as f64;
+        let got = game.loads()[peer] as f64;
+        assert!(
+            (got - expected).abs() <= 5.0 * expected.sqrt() + 10.0,
+            "peer {peer}: {got} vs expected {expected}"
+        );
+    }
+}
+
+/// Byers' observation, reproduced end to end: despite a Θ(log n) arc
+/// imbalance, two probes keep the max load small — and the equivalent
+/// abstract game with the same weights agrees.
+#[test]
+fn byers_and_abstract_game_agree_on_max_load() {
+    let n = 1_024usize;
+    let m = n as u64;
+    let reps = 12u64;
+    let mut ring_mean = 0.0;
+    let mut abstract_mean = 0.0;
+    for seed in 0..reps {
+        let ring = HashRing::new(n, 1, seed);
+        assert!(arc_stats(&ring).max_over_avg > 2.0, "ring should be imbalanced");
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(seed ^ 0x99);
+        let mut bg = ByersGame::new(ring.clone(), 2, seed);
+        bg.throw_many(m, &mut rng);
+        ring_mean += bg.max_load() as f64;
+
+        let caps = CapacityVector::uniform(n, 1);
+        let config = GameConfig::with_d(2)
+            .policy(Policy::FewestBalls)
+            .selection(ring_selection(&ring));
+        let bins = run_game(&caps, m, &config, seed ^ 0xAA);
+        abstract_mean += bins.max_load().as_f64();
+    }
+    ring_mean /= reps as f64;
+    abstract_mean /= reps as f64;
+    assert!(
+        (ring_mean - abstract_mean).abs() < 0.5,
+        "ring game {ring_mean} vs abstract game {abstract_mean}"
+    );
+    // Both bounded by the Byers et al. result (generous O(1)).
+    let bound = balls_into_bins::core::theory::azar_bound(n, 2, 2.5);
+    assert!(ring_mean <= bound, "ring mean {ring_mean} above {bound}");
+}
+
+/// Virtual nodes act like capacity: a peer with k vnodes behaves like a
+/// bin of capacity ≈ k under proportional selection. Verify the weight
+/// vector the ring induces concentrates on the multi-vnode peer.
+#[test]
+fn virtual_nodes_scale_selection_weight() {
+    // Peer 0 gets 32 vnodes, peers 1..=8 get 1 each, over several seeds.
+    let mut share0 = 0.0;
+    let reps = 10;
+    for seed in 0..reps {
+        let mut points = Vec::new();
+        for v in 0..32u64 {
+            points.push(balls_into_bins::hashring::ring::RingPoint {
+                position: balls_into_bins::hashring::hash::peer_point(seed, 0, v),
+                peer: 0,
+            });
+        }
+        for p in 1..9usize {
+            points.push(balls_into_bins::hashring::ring::RingPoint {
+                position: balls_into_bins::hashring::hash::peer_point(seed, p as u64, 0),
+                peer: p,
+            });
+        }
+        let ring = HashRing::from_points(points, 9);
+        share0 += arc_probabilities(&ring)[0];
+    }
+    share0 /= reps as f64;
+    // Expected share = 32/40 = 0.8; concentration over 10 seeds is loose.
+    assert!(
+        (share0 - 0.8).abs() < 0.12,
+        "32-of-40-vnodes peer owns {share0} of the ring, expected ≈ 0.8"
+    );
+}

@@ -1,0 +1,143 @@
+//! Integration tests validating the paper's analytical results against
+//! the simulator — each test names the theorem/observation it checks.
+
+use balls_into_bins::core::prelude::*;
+use balls_into_bins::core::theory;
+
+fn mean_max_load(caps: &CapacityVector, config: &GameConfig, reps: u64, seed: u64) -> f64 {
+    let mut total = 0.0;
+    for rep in 0..reps {
+        let bins = run_game(caps, caps.total(), config, seed ^ (rep * 2_654_435_761));
+        total += bins.max_load().as_f64();
+    }
+    total / reps as f64
+}
+
+/// Theorem 3: m = C balls, heterogeneous bins, d ≥ 2 ⇒ max load ≤
+/// ln ln n / ln d + O(1) w.h.p.
+#[test]
+fn theorem3_bound_holds_for_mixed_bins() {
+    let caps = CapacityVector::two_class(2_000, 1, 2_000, 10);
+    for d in [2usize, 3, 4] {
+        let config = GameConfig::with_d(d);
+        let max = mean_max_load(&caps, &config, 10, 0x7E03 + d as u64);
+        let bound = theory::theorem3_bound(caps.n(), d, 2.5);
+        assert!(
+            max <= bound,
+            "d={d}: mean max load {max} exceeds Theorem 3 bound {bound}"
+        );
+    }
+}
+
+/// Observation 2 / §4.1: for n uniform bins of capacity c and m = C,
+/// the max load sits near 1 + ln ln n / c (c ≥ 2).
+#[test]
+fn observation2_matches_uniform_simulation() {
+    let n = 5_000;
+    for c in [2u64, 4, 8] {
+        let caps = CapacityVector::uniform(n, c);
+        let max = mean_max_load(&caps, &GameConfig::with_d(2), 15, 0x0B52 + c);
+        let predicted = 1.0 + theory::ln_ln(n as f64) / c as f64;
+        // The paper reports "very close"; allow ±35% of the additive term
+        // plus a small absolute epsilon.
+        let tol = 0.35 * theory::ln_ln(n as f64) / c as f64 + 0.1;
+        assert!(
+            (max - predicted).abs() <= tol,
+            "c={c}: simulated {max} vs predicted {predicted} (tol {tol})"
+        );
+    }
+}
+
+/// Observation 1: big bins (capacity ≥ r ln n) never exceed load 4.
+#[test]
+fn observation1_big_bins_stay_below_four() {
+    let n = 1_000usize;
+    let big_cap = theory::big_bin_threshold(n, 1.5).ceil() as u64; // ≈ 10.4 -> 11
+    let caps = CapacityVector::two_class(n / 2, 1, n / 2, big_cap);
+    for seed in 0..10u64 {
+        let bins = run_game(&caps, caps.total(), &GameConfig::with_d(2), 0xB16 + seed);
+        for i in 0..bins.n() {
+            if bins.capacity(i) >= big_cap {
+                let load = bins.load(i).as_f64();
+                assert!(
+                    load <= theory::OBSERVATION1_BIG_BIN_LOAD,
+                    "big bin {i} reached load {load}"
+                );
+            }
+        }
+    }
+}
+
+/// Theorem 5: ignoring the small bins entirely (probability 0) yields a
+/// constant maximum load when a constant fraction of bins is big enough.
+#[test]
+fn theorem5_big_bins_only_distribution_gives_constant_load() {
+    let n = 2_000usize;
+    let q: u64 = 8; // q(n) = Θ(ln ln n)-ish for this n
+    let caps = CapacityVector::two_class(n / 2, 1, n / 2, q);
+    let selection = Selection::OnlyCapacityAtLeast(q);
+    let config = GameConfig::with_d(2).selection(selection);
+    // m = C = n/2 + q·n/2; k = m / (α n q) with α = 1/2: k ≈ 1 + 1/q.
+    let max = mean_max_load(&caps, &config, 10, 0x7E05);
+    // Corollary-style constant: k/α + O(1) with k ≈ (1+q)/(2q)·2 ≈ 1.125·2.
+    let bound = theory::corollary1_bound(2.0 * (1.0 + 1.0 / q as f64), 1.0);
+    assert!(
+        max <= bound,
+        "big-bins-only selection: mean max load {max} above constant bound {bound}"
+    );
+}
+
+/// §4.1 sanity: the c = 1 uniform game is the classic standard game with
+/// the Azar et al. bound.
+#[test]
+fn unit_capacity_game_matches_azar_bound() {
+    let n = 10_000;
+    let caps = CapacityVector::uniform(n, 1);
+    let max = mean_max_load(&caps, &GameConfig::with_d(2), 10, 0xA2A);
+    let bound = theory::azar_bound(n, 2, 2.0);
+    assert!(max <= bound, "standard game max {max} vs bound {bound}");
+    // And it is non-trivial: strictly above the average load of 1.
+    assert!(max > 1.5, "standard game max {max} suspiciously low");
+}
+
+/// Wieder-style contrast (related work §1.1): with *uniform* selection
+/// probabilities over heterogeneous bins, the load balance for m = C is
+/// worse than with proportional probabilities.
+#[test]
+fn proportional_selection_beats_uniform_on_heterogeneous_bins() {
+    let caps = CapacityVector::two_class(1_000, 1, 1_000, 10);
+    let prop = mean_max_load(
+        &caps,
+        &GameConfig::with_d(2),
+        15,
+        0x11,
+    );
+    let unif = mean_max_load(
+        &caps,
+        &GameConfig::with_d(2).selection(Selection::Uniform),
+        15,
+        0x22,
+    );
+    assert!(
+        prop < unif,
+        "proportional ({prop}) should beat uniform ({unif}) at m = C"
+    );
+}
+
+/// The capacity tie-break of Algorithm 1 (step 4-5) does not hurt:
+/// it performs at least as well as breaking ties uniformly.
+#[test]
+fn capacity_tiebreak_does_not_hurt() {
+    let caps = CapacityVector::two_class(1_000, 1, 1_000, 4);
+    let with_tb = mean_max_load(&caps, &GameConfig::with_d(2), 25, 0x33);
+    let without_tb = mean_max_load(
+        &caps,
+        &GameConfig::with_d(2).policy(Policy::LeastLoadedPost),
+        25,
+        0x44,
+    );
+    assert!(
+        with_tb <= without_tb + 0.12,
+        "algorithm 1 ({with_tb}) regressed vs no-tie-break ({without_tb})"
+    );
+}
