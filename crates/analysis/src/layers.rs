@@ -29,12 +29,7 @@ pub fn layer_profile(bins: &BinArray) -> Vec<f64> {
 /// beyond `start_level`: `profile[ℓ+1] ≤ slack · profile[ℓ]^power` for
 /// every applicable level. Returns the first violating level, if any.
 #[must_use]
-pub fn check_decay(
-    profile: &[f64],
-    start_level: usize,
-    power: f64,
-    slack: f64,
-) -> Option<usize> {
+pub fn check_decay(profile: &[f64], start_level: usize, power: f64, slack: f64) -> Option<usize> {
     for level in start_level..profile.len().saturating_sub(1) {
         let beta = profile[level];
         let next = profile[level + 1];

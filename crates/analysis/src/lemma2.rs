@@ -23,8 +23,7 @@ use bnb_distributions::{AliasTable, WeightedSampler, Xoshiro256PlusPlus};
 pub fn small_ball_bound(k: u64, c_small: u64, c_total: u64) -> f64 {
     assert!(k > 0, "k must be positive");
     assert!(c_total > 0, "total capacity must be positive");
-    let base =
-        std::f64::consts::E * (c_small as f64).powi(2) / (k as f64 * c_total as f64);
+    let base = std::f64::consts::E * (c_small as f64).powi(2) / (k as f64 * c_total as f64);
     base.powf(k as f64).min(1.0)
 }
 
@@ -36,8 +35,8 @@ pub fn small_ball_bound(k: u64, c_small: u64, c_total: u64) -> f64 {
 pub fn collision_bound(lambda: u64, k: u64, c_small: u64) -> f64 {
     assert!(lambda > 0, "lambda must be positive");
     assert!(c_small > 0, "small capacity must be positive");
-    let base = std::f64::consts::E * (k as f64).powi(3)
-        / (lambda as f64 * (c_small as f64).powi(2));
+    let base =
+        std::f64::consts::E * (k as f64).powi(3) / (lambda as f64 * (c_small as f64).powi(2));
     base.powf(lambda as f64).min(1.0)
 }
 
@@ -170,8 +169,7 @@ mod tests {
             if bound >= 1.0 {
                 continue;
             }
-            let empirical =
-                samples.iter().filter(|&&x| x >= k).count() as f64 / reps as f64;
+            let empirical = samples.iter().filter(|&&x| x >= k).count() as f64 / reps as f64;
             // 3-sigma slack on the empirical estimate.
             let slack = 3.0 * (bound * (1.0 - bound) / reps as f64).sqrt() + 0.01;
             assert!(

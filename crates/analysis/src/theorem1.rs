@@ -99,7 +99,7 @@ mod tests {
     fn case_boundaries_are_ordered() {
         let n = 100usize;
         let c = 10_000u64; // = n^2
-        // n^{3/4} ≈ 31.6 < n = 100 < n·r·ln n ≈ 921.
+                           // n^{3/4} ≈ 31.6 < n = 100 < n·r·ln n ≈ 921.
         assert_eq!(classify(n, c, 31, R, CC), Regime::Case1);
         assert_eq!(classify(n, c, 90, R, CC), Regime::Case2);
         assert_eq!(classify(n, c, 900, R, CC), Regime::Case3);

@@ -15,7 +15,11 @@ fn queueing_throughput(c: &mut Criterion) {
     group.throughput(Throughput::Elements(ARRIVALS));
     let speeds = CapacityVector::two_class(500, 1, 500, 10);
     for (name, routing, d) in [
-        ("normalised_jsq_d2", RoutingPolicy::ShortestNormalizedQueue, 2),
+        (
+            "normalised_jsq_d2",
+            RoutingPolicy::ShortestNormalizedQueue,
+            2,
+        ),
         ("plain_jsq_d2", RoutingPolicy::ShortestQueue, 2),
         ("random_d1", RoutingPolicy::Random, 1),
     ] {

@@ -31,7 +31,9 @@ impl CapacityVector {
     #[must_use]
     pub fn uniform(n: usize, c: u64) -> Self {
         assert!(n > 0 && c > 0, "n and c must be positive");
-        CapacityVector { capacities: vec![c; n] }
+        CapacityVector {
+            capacities: vec![c; n],
+        }
     }
 
     /// A two-class mix: `n_small` bins of `c_small` followed by `n_large`
@@ -42,8 +44,14 @@ impl CapacityVector {
     #[must_use]
     pub fn two_class(n_small: usize, c_small: u64, n_large: usize, c_large: u64) -> Self {
         assert!(n_small + n_large > 0, "need at least one bin");
-        assert!(n_small == 0 || c_small > 0, "small capacity must be positive");
-        assert!(n_large == 0 || c_large > 0, "large capacity must be positive");
+        assert!(
+            n_small == 0 || c_small > 0,
+            "small capacity must be positive"
+        );
+        assert!(
+            n_large == 0 || c_large > 0,
+            "large capacity must be positive"
+        );
         let mut capacities = Vec::with_capacity(n_small + n_large);
         capacities.extend(std::iter::repeat_n(c_small, n_small));
         capacities.extend(std::iter::repeat_n(c_large, n_large));

@@ -34,9 +34,7 @@ impl Selection {
     pub fn weights(&self, capacities: &[u64]) -> Vec<f64> {
         match self {
             Selection::Uniform => vec![1.0; capacities.len()],
-            Selection::ProportionalToCapacity => {
-                capacities.iter().map(|&c| c as f64).collect()
-            }
+            Selection::ProportionalToCapacity => capacities.iter().map(|&c| c as f64).collect(),
             Selection::CapacityPower(t) => {
                 assert!(t.is_finite(), "exponent must be finite");
                 capacities.iter().map(|&c| (c as f64).powf(*t)).collect()

@@ -212,13 +212,7 @@ mod tests {
         let mut hits_large = 0;
         let reps = 2000;
         for seed in 0..reps {
-            let mut g = DynamicGame::new(
-                &caps,
-                1,
-                Policy::FirstChoice,
-                &Selection::Uniform,
-                seed,
-            );
+            let mut g = DynamicGame::new(&caps, 1, Policy::FirstChoice, &Selection::Uniform, seed);
             // Manually stack the bins.
             for _ in 0..10 {
                 g.bins.add_ball(0);

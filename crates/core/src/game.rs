@@ -35,7 +35,10 @@ impl GameConfig {
     /// The paper's default game with the given number of choices.
     #[must_use]
     pub fn with_d(d: usize) -> Self {
-        GameConfig { d, ..GameConfig::default() }
+        GameConfig {
+            d,
+            ..GameConfig::default()
+        }
     }
 
     /// Builder-style: replace the policy.
@@ -108,8 +111,13 @@ impl Game {
     #[inline]
     pub fn throw(&mut self) -> usize {
         let mut buf = [0usize; MAX_D];
-        let candidates =
-            draw_candidates(&self.sampler, self.d, self.choice_mode, &mut self.rng, &mut buf);
+        let candidates = draw_candidates(
+            &self.sampler,
+            self.d,
+            self.choice_mode,
+            &mut self.rng,
+            &mut buf,
+        );
         let target = self.policy.choose(&self.bins, candidates, &mut self.rng);
         self.bins.add_ball(target);
         target
@@ -186,12 +194,7 @@ impl Game {
 /// One-shot convenience: run a complete game of `m` balls and return the
 /// final bin state.
 #[must_use]
-pub fn run_game(
-    capacities: &CapacityVector,
-    m: u64,
-    config: &GameConfig,
-    seed: u64,
-) -> BinArray {
+pub fn run_game(capacities: &CapacityVector, m: u64, config: &GameConfig, seed: u64) -> BinArray {
     let mut game = config.build(capacities, seed);
     game.throw_many(m);
     game.bins.clone()
@@ -269,10 +272,7 @@ mod tests {
         let two = run_game(&caps, 5000, &GameConfig::with_d(2), 21);
         let max1 = one.max_load().as_f64();
         let max2 = two.max_load().as_f64();
-        assert!(
-            max2 < max1,
-            "d=2 max {max2} should beat d=1 max {max1}"
-        );
+        assert!(max2 < max1, "d=2 max {max2} should beat d=1 max {max1}");
         // ln ln n / ln 2 + O(1) ≈ 2.1 + O(1); allow generous headroom.
         assert!(max2 <= 5.0, "two-choice max load {max2} suspiciously high");
     }

@@ -63,7 +63,10 @@ impl Load {
     #[must_use]
     #[inline]
     pub fn after_one_more(&self) -> Load {
-        Load { balls: self.balls + 1, capacity: self.capacity }
+        Load {
+            balls: self.balls + 1,
+            capacity: self.capacity,
+        }
     }
 
     /// Floating approximation, for metrics and plotting only — never used
@@ -85,8 +88,7 @@ impl Load {
 impl PartialEq for Load {
     #[inline]
     fn eq(&self, other: &Self) -> bool {
-        self.balls as u128 * other.capacity as u128
-            == other.balls as u128 * self.capacity as u128
+        self.balls as u128 * other.capacity as u128 == other.balls as u128 * self.capacity as u128
     }
 }
 

@@ -112,7 +112,11 @@ mod tests {
         assert!(majorizes_f64(&[1.5, 0.5], &[1.0, 1.0], 1e-12));
         assert!(!majorizes_f64(&[1.0, 1.0], &[1.5, 0.5], 1e-12));
         // Borderline case rescued by tolerance.
-        assert!(majorizes_f64(&[1.0 - 1e-13, 1.0], &[1.0, 1.0 - 1e-13], 1e-9));
+        assert!(majorizes_f64(
+            &[1.0 - 1e-13, 1.0],
+            &[1.0, 1.0 - 1e-13],
+            1e-9
+        ));
     }
 
     #[test]

@@ -55,18 +55,10 @@ impl Policy {
             Policy::PaperProtocol => {
                 choose_minimal(bins, candidates, rng, Criterion::PostLoadThenCapacity)
             }
-            Policy::LeastLoadedPost => {
-                choose_minimal(bins, candidates, rng, Criterion::PostLoad)
-            }
-            Policy::LeastLoadedPrior => {
-                choose_minimal(bins, candidates, rng, Criterion::PriorLoad)
-            }
-            Policy::FewestBalls => {
-                choose_minimal(bins, candidates, rng, Criterion::BallCount)
-            }
-            Policy::RandomOfChosen => {
-                candidates[rng.next_below(candidates.len() as u64) as usize]
-            }
+            Policy::LeastLoadedPost => choose_minimal(bins, candidates, rng, Criterion::PostLoad),
+            Policy::LeastLoadedPrior => choose_minimal(bins, candidates, rng, Criterion::PriorLoad),
+            Policy::FewestBalls => choose_minimal(bins, candidates, rng, Criterion::BallCount),
+            Policy::RandomOfChosen => candidates[rng.next_below(candidates.len() as u64) as usize],
             Policy::FirstChoice => candidates[0],
         }
     }

@@ -10,6 +10,7 @@
 pub use crate::bins::BinArray;
 pub use crate::capacity::CapacityVector;
 pub use crate::choice::{ChoiceMode, Selection};
+pub use crate::dynamic::DynamicGame;
 pub use crate::game::{run_game, Game, GameConfig};
 pub use crate::growth::GrowthModel;
 pub use crate::load::Load;
@@ -17,7 +18,6 @@ pub use crate::metrics::{
     fraction_of_balls_in_big_bins, max_load, max_load_capacity_class, max_minus_average,
     run_metrics, small_bin_has_max, RunMetrics,
 };
-pub use crate::dynamic::DynamicGame;
 pub use crate::policy::Policy;
 pub use crate::theory;
 pub use crate::weighted::{WeightedBinArray, WeightedGame};

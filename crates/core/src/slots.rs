@@ -63,7 +63,11 @@ pub fn normalized_slot_vector(bins: &BinArray) -> Vec<SlotEntry> {
     for i in 0..bins.n() {
         let bin_load = bins.load(i);
         for slot_balls in bin_slot_loads(bins.balls(i), bins.capacity(i)) {
-            entries.push(SlotEntry { slot_balls, bin_load, bin: i });
+            entries.push(SlotEntry {
+                slot_balls,
+                bin_load,
+                bin: i,
+            });
         }
     }
     entries.sort_by(|a, b| {

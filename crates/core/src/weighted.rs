@@ -34,7 +34,10 @@ impl WeightedBinArray {
     #[must_use]
     pub fn new(capacities: Vec<u64>) -> Self {
         assert!(!capacities.is_empty(), "need at least one bin");
-        assert!(capacities.iter().all(|&c| c > 0), "capacities must be positive");
+        assert!(
+            capacities.iter().all(|&c| c > 0),
+            "capacities must be positive"
+        );
         let total = capacities.iter().sum();
         let n = capacities.len();
         WeightedBinArray {
@@ -105,7 +108,10 @@ impl WeightedBinArray {
     /// Maximum exact load.
     #[must_use]
     pub fn max_load(&self) -> Load {
-        (0..self.n()).map(|i| self.load(i)).max().expect("non-empty")
+        (0..self.n())
+            .map(|i| self.load(i))
+            .max()
+            .expect("non-empty")
     }
 
     /// Average load `total mass / total capacity`.
@@ -160,8 +166,13 @@ impl WeightedGame {
     pub fn throw(&mut self, size: u64) -> usize {
         assert!(size > 0, "ball size must be positive");
         let mut buf = [0usize; MAX_D];
-        let candidates =
-            draw_candidates(&self.sampler, self.d, self.choice_mode, &mut self.rng, &mut buf);
+        let candidates = draw_candidates(
+            &self.sampler,
+            self.d,
+            self.choice_mode,
+            &mut self.rng,
+            &mut buf,
+        );
         let target = self.choose(candidates, size);
         self.bins.add_ball(target, size);
         target
@@ -272,13 +283,7 @@ mod tests {
     fn big_ball_prefers_big_bin() {
         // A size-10 ball into empty bins: post loads 10/1 vs 10/10 = 1.
         let caps = CapacityVector::from_vec(vec![1, 10]);
-        let mut wg = WeightedGame::new(
-            &caps,
-            2,
-            Policy::PaperProtocol,
-            &Selection::Uniform,
-            1,
-        );
+        let mut wg = WeightedGame::new(&caps, 2, Policy::PaperProtocol, &Selection::Uniform, 1);
         // Force both candidates by relying on d=2 with replacement over
         // 2 bins — run a few throws and check the big ball never lands in
         // the tiny bin while the big bin is clearly better.
@@ -312,13 +317,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "size must be positive")]
     fn zero_size_rejected() {
-        let mut wg = WeightedGame::new(
-            &caps(),
-            2,
-            Policy::PaperProtocol,
-            &Selection::Uniform,
-            1,
-        );
+        let mut wg = WeightedGame::new(&caps(), 2, Policy::PaperProtocol, &Selection::Uniform, 1);
         wg.throw(0);
     }
 

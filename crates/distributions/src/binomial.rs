@@ -272,8 +272,10 @@ mod tests {
         let b = Binomial::new(30, 0.9);
         let mut rng = Xoshiro256PlusPlus::from_u64_seed(55);
         let n_samples = 30_000;
-        let mean: f64 =
-            (0..n_samples).map(|_| b.sample(&mut rng) as f64).sum::<f64>() / n_samples as f64;
+        let mean: f64 = (0..n_samples)
+            .map(|_| b.sample(&mut rng) as f64)
+            .sum::<f64>()
+            / n_samples as f64;
         assert!((mean - 27.0).abs() < 0.1, "mean {mean}");
     }
 

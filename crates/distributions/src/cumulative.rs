@@ -34,7 +34,11 @@ impl CumulativeSampler {
             cumulative.push(acc);
         }
         assert!(acc > 0.0, "total weight must be positive");
-        CumulativeSampler { cumulative, weights: weights.to_vec(), total: acc }
+        CumulativeSampler {
+            cumulative,
+            weights: weights.to_vec(),
+            total: acc,
+        }
     }
 
     /// Weight of index `i`.

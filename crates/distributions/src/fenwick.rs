@@ -35,7 +35,10 @@ impl FenwickSampler {
     /// is zero.)
     #[must_use]
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "fenwick sampler needs at least one weight");
+        assert!(
+            !weights.is_empty(),
+            "fenwick sampler needs at least one weight"
+        );
         let n = weights.len();
         let mut tree = vec![0.0; n + 1];
         let mut total = 0.0;
@@ -51,7 +54,11 @@ impl FenwickSampler {
                 tree[parent] += tree[i];
             }
         }
-        let top_bit = if n == 0 { 0 } else { usize::BITS as usize - 1 - n.leading_zeros() as usize };
+        let top_bit = if n == 0 {
+            0
+        } else {
+            usize::BITS as usize - 1 - n.leading_zeros() as usize
+        };
         FenwickSampler {
             tree,
             weights: weights.to_vec(),

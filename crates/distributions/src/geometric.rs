@@ -21,7 +21,10 @@ impl Geometric {
     #[must_use]
     pub fn new(p: f64) -> Self {
         assert!(p > 0.0 && p <= 1.0, "p must be in (0,1], got {p}");
-        Geometric { p, ln_q: (1.0 - p).ln() }
+        Geometric {
+            p,
+            ln_q: (1.0 - p).ln(),
+        }
     }
 
     /// Success probability.

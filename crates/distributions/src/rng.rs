@@ -80,7 +80,9 @@ impl Xoshiro256PlusPlus {
     #[must_use]
     pub fn from_u64_seed(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);
-        Xoshiro256PlusPlus { s: [sm.next(), sm.next(), sm.next(), sm.next()] }
+        Xoshiro256PlusPlus {
+            s: [sm.next(), sm.next(), sm.next(), sm.next()],
+        }
     }
 
     /// Produces the next 64-bit output.

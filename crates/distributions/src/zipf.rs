@@ -31,7 +31,11 @@ impl Zipf {
         assert!(n > 0, "support must be non-empty");
         assert!(s.is_finite() && s >= 0.0, "exponent must be >= 0");
         let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
-        Zipf { n, s, table: CumulativeSampler::new(&weights) }
+        Zipf {
+            n,
+            s,
+            table: CumulativeSampler::new(&weights),
+        }
     }
 
     /// Upper end of the support.

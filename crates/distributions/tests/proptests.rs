@@ -9,9 +9,8 @@ use proptest::prelude::*;
 
 /// Strategy: a non-degenerate weight vector.
 fn arb_weights() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.0f64..100.0, 1..40).prop_filter("needs positive total", |w| {
-        w.iter().sum::<f64>() > 1e-9
-    })
+    prop::collection::vec(0.0f64..100.0, 1..40)
+        .prop_filter("needs positive total", |w| w.iter().sum::<f64>() > 1e-9)
 }
 
 proptest! {
@@ -115,8 +114,14 @@ fn samplers_pass_chi_square_against_exact_distribution() {
     let n_draws = 120_000;
     for (name, sampler) in [
         ("alias", &AliasTable::new(&weights) as &dyn WeightedSampler),
-        ("fenwick", &FenwickSampler::new(&weights) as &dyn WeightedSampler),
-        ("cumulative", &CumulativeSampler::new(&weights) as &dyn WeightedSampler),
+        (
+            "fenwick",
+            &FenwickSampler::new(&weights) as &dyn WeightedSampler,
+        ),
+        (
+            "cumulative",
+            &CumulativeSampler::new(&weights) as &dyn WeightedSampler,
+        ),
     ] {
         let mut rng = Xoshiro256PlusPlus::from_u64_seed(0xC415_2024);
         let mut counts = vec![0u64; weights.len()];

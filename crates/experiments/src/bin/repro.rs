@@ -75,23 +75,25 @@ fn parse_args() -> Result<Args, String> {
             }
             "--seed" => {
                 let v = iter.next().ok_or("--seed needs a value")?;
-                args.ctx.master_seed =
-                    v.parse().map_err(|e| format!("bad --seed {v}: {e}"))?;
+                args.ctx.master_seed = v.parse().map_err(|e| format!("bad --seed {v}: {e}"))?;
             }
             "--reps-scale" => {
                 let v = iter.next().ok_or("--reps-scale needs a value")?;
-                args.ctx.rep_factor =
-                    v.parse().map_err(|e| format!("bad --reps-scale {v}: {e}"))?;
+                args.ctx.rep_factor = v
+                    .parse()
+                    .map_err(|e| format!("bad --reps-scale {v}: {e}"))?;
             }
             "--size-scale" => {
                 let v = iter.next().ok_or("--size-scale needs a value")?;
-                args.ctx.size_factor =
-                    v.parse().map_err(|e| format!("bad --size-scale {v}: {e}"))?;
+                args.ctx.size_factor = v
+                    .parse()
+                    .map_err(|e| format!("bad --size-scale {v}: {e}"))?;
             }
             "--ball-budget" => {
                 let v = iter.next().ok_or("--ball-budget needs a value")?;
-                args.ctx.ball_budget =
-                    v.parse().map_err(|e| format!("bad --ball-budget {v}: {e}"))?;
+                args.ctx.ball_budget = v
+                    .parse()
+                    .map_err(|e| format!("bad --ball-budget {v}: {e}"))?;
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option '{other}'\n\n{}", usage()));
@@ -143,7 +145,10 @@ fn main() -> ExitCode {
         let set = (spec.run)(&ctx);
         let elapsed = start.elapsed();
         println!("{}", summarize_figure(&set));
-        println!("   ({} in {:.2?}, seed {})\n", spec.paper_ref, elapsed, ctx.master_seed);
+        println!(
+            "   ({} in {:.2?}, seed {})\n",
+            spec.paper_ref, elapsed, ctx.master_seed
+        );
         if let Some(dir) = &args.out {
             match write_figure(dir, &set) {
                 Ok(path) => println!("   wrote {}\n", path.display()),
@@ -162,20 +167,20 @@ fn main() -> ExitCode {
 /// them (see each figure module's `DEFAULT_REPS` and `PAPER_REPS`).
 fn full_scale_factor(id: &str) -> f64 {
     match id {
-        "fig01" => 50.0,            // 200 -> 10_000
-        "fig02" => 2.5,             // 4_000 -> 10_000
-        "fig03" => 5.0,             // 2_000 -> 10_000
-        "fig04" => 12.5,            // 800 -> 10_000
-        "fig05" => 33.4,            // 300 -> ~10_000
-        "fig06" | "fig07" => 25.0,  // 400 -> 10_000
-        "fig08" => 167.0,           // 60 -> ~10_000
-        "fig09" => 25.0,            // 400 -> 10_000
-        "fig10" => 3.4,             // 3_000 -> ~10_000
+        "fig01" => 50.0,                      // 200 -> 10_000
+        "fig02" => 2.5,                       // 4_000 -> 10_000
+        "fig03" => 5.0,                       // 2_000 -> 10_000
+        "fig04" => 12.5,                      // 800 -> 10_000
+        "fig05" => 33.4,                      // 300 -> ~10_000
+        "fig06" | "fig07" => 25.0,            // 400 -> 10_000
+        "fig08" => 167.0,                     // 60 -> ~10_000
+        "fig09" => 25.0,                      // 400 -> 10_000
+        "fig10" => 3.4,                       // 3_000 -> ~10_000
         "fig11" | "fig12" | "fig13" => 100.0, // 100 -> 10_000
-        "fig14" | "fig15" => 167.0, // 60 -> ~10_000
-        "fig16" => 1250.0,          // 8 -> 10_000 (see module docs)
-        "fig17" => 834.0,           // 1_200 -> ~10^6
-        "fig18" => 400.0,           // 2_500 -> 10^6
+        "fig14" | "fig15" => 167.0,           // 60 -> ~10_000
+        "fig16" => 1250.0,                    // 8 -> 10_000 (see module docs)
+        "fig17" => 834.0,                     // 1_200 -> ~10^6
+        "fig18" => 400.0,                     // 2_500 -> 10^6
         _ => 1.0,
     }
 }

@@ -36,7 +36,12 @@ impl Ctx {
     /// A context scaled down for fast tests.
     #[must_use]
     pub fn test_scale() -> Self {
-        Ctx { rep_factor: 0.08, size_factor: 0.1, ball_budget: 300_000, ..Ctx::default() }
+        Ctx {
+            rep_factor: 0.08,
+            size_factor: 0.1,
+            ball_budget: 300_000,
+            ..Ctx::default()
+        }
     }
 
     /// Applies `rep_factor` to a figure's default repetition count
@@ -66,7 +71,11 @@ mod tests {
 
     #[test]
     fn scaling_applies_with_floors() {
-        let ctx = Ctx { rep_factor: 0.01, size_factor: 0.001, ..Ctx::default() };
+        let ctx = Ctx {
+            rep_factor: 0.01,
+            size_factor: 0.001,
+            ..Ctx::default()
+        };
         assert_eq!(ctx.reps(100), 2);
         assert_eq!(ctx.size(10_000, 64), 64);
     }

@@ -66,13 +66,22 @@ mod tests {
         // At the largest n, d ordering must hold (with slack for noise
         // between adjacent d).
         let last = |label: &str| set.get(label).unwrap().points.last().unwrap().y;
-        assert!(last("d=1") > last("d=2"), "{} vs {}", last("d=1"), last("d=2"));
+        assert!(
+            last("d=1") > last("d=2"),
+            "{} vs {}",
+            last("d=1"),
+            last("d=2")
+        );
         assert!(last("d=2") >= last("d=4") - 0.2);
     }
 
     #[test]
     fn one_choice_grows_with_n_two_choice_stays_flat() {
-        let ctx = Ctx { rep_factor: 0.2, size_factor: 0.25, ..Ctx::default() };
+        let ctx = Ctx {
+            rep_factor: 0.2,
+            size_factor: 0.25,
+            ..Ctx::default()
+        };
         let set = run(&ctx);
         let d1 = set.get("d=1").unwrap();
         let d2 = set.get("d=2").unwrap();

@@ -21,7 +21,10 @@ const DEFAULT_REPS: usize = 300;
 #[must_use]
 pub fn selections() -> Vec<(String, Selection)> {
     vec![
-        ("proportional (t=1)".into(), Selection::ProportionalToCapacity),
+        (
+            "proportional (t=1)".into(),
+            Selection::ProportionalToCapacity,
+        ),
         ("uniform (t=0)".into(), Selection::Uniform),
         ("tilted (t=1.5)".into(), Selection::CapacityPower(1.5)),
     ]

@@ -56,13 +56,7 @@ pub fn run(ctx: &Ctx) -> SeriesSet {
 
 /// One run: throw size-`1 + Geometric` balls until total mass reaches C.
 fn one_run(caps: &CapacityVector, d: usize, policy: Policy, mean_size: u64, seed: u64) -> f64 {
-    let mut game = WeightedGame::new(
-        caps,
-        d,
-        policy,
-        &Selection::ProportionalToCapacity,
-        seed,
-    );
+    let mut game = WeightedGame::new(caps, d, policy, &Selection::ProportionalToCapacity, seed);
     let target = caps.total();
     if mean_size == 1 {
         game.throw_sizes(std::iter::repeat_n(1u64, target as usize));

@@ -108,7 +108,10 @@ mod tests {
     fn deviation_from_average_is_m_invariant() {
         // The paper's central observation for these figures: the spread
         // (max - min of the mean curve) does not grow with m.
-        let ctx = Ctx { rep_factor: 0.1, ..Ctx::default() };
+        let ctx = Ctx {
+            rep_factor: 0.1,
+            ..Ctx::default()
+        };
         let spread = |set: &SeriesSet, label: &str| {
             let s = set.get(label).unwrap();
             s.max_y().unwrap() - s.min_y().unwrap()
@@ -128,7 +131,10 @@ mod tests {
 
     #[test]
     fn averages_track_multiplier() {
-        let ctx = Ctx { rep_factor: 0.05, ..Ctx::default() };
+        let ctx = Ctx {
+            rep_factor: 0.05,
+            ..Ctx::default()
+        };
         let f3 = run_multiplier(&ctx, 10);
         for s in &f3.series {
             let avg: f64 = s.ys().iter().sum::<f64>() / s.len() as f64;

@@ -85,7 +85,11 @@ pub fn run_fig07(ctx: &Ctx) -> SeriesSet {
             let bins = run_game(&caps, caps.total(), &config, seed);
             small_bin_has_max(&bins, SMALL)
         });
-        series.push(pct as f64, summary.mean() * 100.0, summary.std_err() * 100.0);
+        series.push(
+            pct as f64,
+            summary.mean() * 100.0,
+            summary.std_err() * 100.0,
+        );
     }
     set.push(series);
     set
@@ -119,7 +123,10 @@ mod tests {
         let s = &set.series[0];
         let first = s.points.first().unwrap().y;
         let last = s.points.last().unwrap().y;
-        assert!(first > 80.0, "with no large bins the small ones hold the max: {first}");
+        assert!(
+            first > 80.0,
+            "with no large bins the small ones hold the max: {first}"
+        );
         assert_eq!(last, 0.0, "with no small bins the fraction is zero");
         // Mid-sweep it must actually transition.
         let mid = s.points[s.len() / 2].y;

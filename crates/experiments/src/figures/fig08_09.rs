@@ -115,7 +115,10 @@ mod tests {
         let s = &set.series[0];
         let first = s.points.first().unwrap().y;
         let last = s.points.last().unwrap().y;
-        assert!(first > last + 0.4, "expected decrease, got {first} -> {last}");
+        assert!(
+            first > last + 0.4,
+            "expected decrease, got {first} -> {last}"
+        );
         assert!(last < 2.0, "high-capacity end should be near 1, got {last}");
     }
 
@@ -126,8 +129,14 @@ mod tests {
         let size1 = set.get("max load in bin of size 1").unwrap();
         let first = size1.points.first().unwrap().y;
         let last = size1.points.last().unwrap().y;
-        assert!(first > 60.0, "all-size-1 start: max must sit in size-1 bins ({first})");
-        assert!(last < first, "size-1 share must decline ({first} -> {last})");
+        assert!(
+            first > 60.0,
+            "all-size-1 start: max must sit in size-1 bins ({first})"
+        );
+        assert!(
+            last < first,
+            "size-1 share must decline ({first} -> {last})"
+        );
         // Percentages stay in [0, 100].
         for s in &set.series {
             assert!(s.ys().iter().all(|&y| (0.0..=100.0).contains(&y)));

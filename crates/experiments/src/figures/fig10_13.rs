@@ -43,9 +43,7 @@ fn run_distribution(
     };
     let mut set = SeriesSet::new(
         id,
-        format!(
-            "{n} bins of capacity {c_small} and {c_large}{class_note} ({reps} reps)"
-        ),
+        format!("{n} bins of capacity {c_small} and {c_large}{class_note} ({reps} reps)"),
         "bin rank (sorted by load, descending)",
         "load",
     );
@@ -65,19 +63,13 @@ fn run_distribution(
             Some(_) => n_small,
             None => n,
         };
-        let acc = mc_vector(
-            reps,
-            ctx.master_seed,
-            exp_base + k as u64,
-            veclen,
-            |seed| {
-                let bins = run_game(&caps, caps.total(), &config, seed);
-                match class_filter {
-                    Some(c) => bins.class_normalized_loads_f64(c),
-                    None => bins.normalized_loads_f64(),
-                }
-            },
-        );
+        let acc = mc_vector(reps, ctx.master_seed, exp_base + k as u64, veclen, |seed| {
+            let bins = run_game(&caps, caps.total(), &config, seed);
+            match class_filter {
+                Some(c) => bins.class_normalized_loads_f64(c),
+                None => bins.normalized_loads_f64(),
+            }
+        });
         let means = acc.means();
         let errs = acc.std_errs();
         let mut series = Series::new(format!(
@@ -121,7 +113,10 @@ mod tests {
 
     #[test]
     fn fig10_more_large_bins_flatten_distribution() {
-        let ctx = Ctx { rep_factor: 0.05, ..Ctx::default() };
+        let ctx = Ctx {
+            rep_factor: 0.05,
+            ..Ctx::default()
+        };
         let set = run_fig10(&ctx);
         assert_eq!(set.series.len(), 5);
         let spread = |s: &bnb_stats::Series| s.max_y().unwrap() - s.min_y().unwrap();

@@ -39,7 +39,13 @@ fn bin_counts(max_bins: usize) -> Vec<usize> {
     xs
 }
 
-fn run_models(ctx: &Ctx, id: &str, title: &str, models: Vec<(String, GrowthModel)>, exp_base: u64) -> SeriesSet {
+fn run_models(
+    ctx: &Ctx,
+    id: &str,
+    title: &str,
+    models: Vec<(String, GrowthModel)>,
+    exp_base: u64,
+) -> SeriesSet {
     let max_bins = ctx.size(PAPER_MAX_BINS, 40);
     let reps = ctx.reps(DEFAULT_REPS);
     let mut set = SeriesSet::new(
@@ -84,7 +90,13 @@ pub fn run_fig14(ctx: &Ctx) -> SeriesSet {
     for a in LINEAR_A {
         models.push((format!("lin a={a}"), GrowthModel::Linear { first: 2, a }));
     }
-    run_models(ctx, "fig14", "Linear growth between generations", models, 1400)
+    run_models(
+        ctx,
+        "fig14",
+        "Linear growth between generations",
+        models,
+        1400,
+    )
 }
 
 /// Runs Figure 15 (exponential growth).
@@ -95,9 +107,18 @@ pub fn run_fig15(ctx: &Ctx) -> SeriesSet {
         GrowthModel::Constant(2),
     )];
     for b in EXPONENTIAL_B {
-        models.push((format!("exp b={b:.2}"), GrowthModel::Exponential { first: 2, b }));
+        models.push((
+            format!("exp b={b:.2}"),
+            GrowthModel::Exponential { first: 2, b },
+        ));
     }
-    run_models(ctx, "fig15", "Exponential growth between generations", models, 1500)
+    run_models(
+        ctx,
+        "fig15",
+        "Exponential growth between generations",
+        models,
+        1500,
+    )
 }
 
 #[cfg(test)]
@@ -106,7 +127,11 @@ mod tests {
 
     #[test]
     fn fig14_growth_beats_baseline() {
-        let ctx = Ctx { rep_factor: 0.3, size_factor: 0.3, ..Ctx::default() };
+        let ctx = Ctx {
+            rep_factor: 0.3,
+            size_factor: 0.3,
+            ..Ctx::default()
+        };
         let set = run_fig14(&ctx);
         assert_eq!(set.series.len(), 5);
         let base_last = set.series[0].points.last().unwrap().y;
@@ -140,7 +165,11 @@ mod tests {
 
     #[test]
     fn fig15_exponential_improves_on_baseline_late() {
-        let ctx = Ctx { rep_factor: 0.3, size_factor: 0.3, ..Ctx::default() };
+        let ctx = Ctx {
+            rep_factor: 0.3,
+            size_factor: 0.3,
+            ..Ctx::default()
+        };
         let set = run_fig15(&ctx);
         let base_last = set.series[0].points.last().unwrap().y;
         let b12 = set.get("exp b=1.20").unwrap();

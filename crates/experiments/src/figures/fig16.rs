@@ -35,7 +35,9 @@ pub fn run(ctx: &Ctx) -> SeriesSet {
     // Scale the snapshot count down a little in test contexts to bound
     // runtime; keep the paper's 100 by default.
     let snapshots = if ctx.size_factor < 1.0 {
-        SNAPSHOTS.min((SNAPSHOTS as f64 * ctx.size_factor.max(0.25)) as usize).max(10)
+        SNAPSHOTS
+            .min((SNAPSHOTS as f64 * ctx.size_factor.max(0.25)) as usize)
+            .max(10)
     } else {
         SNAPSHOTS
     };
@@ -49,7 +51,11 @@ pub fn run(ctx: &Ctx) -> SeriesSet {
         let mean_c = mult as f64;
         // Trials for the generalised binomial: keep the paper's 7 for
         // means within reach, widen for larger means.
-        let trials = if mean_c <= 8.0 { 7 } else { (2.0 * mean_c) as u64 };
+        let trials = if mean_c <= 8.0 {
+            7
+        } else {
+            (2.0 * mean_c) as u64
+        };
         let acc = mc_vector(reps, ctx.master_seed, 1600 + k as u64, snapshots, |seed| {
             let mut cap_rng = Xoshiro256PlusPlus::from_u64_seed(seed ^ 0x1616_16FF);
             let caps =
@@ -57,13 +63,9 @@ pub fn run(ctx: &Ctx) -> SeriesSet {
             let cap_total = caps.total();
             let mut game = GameConfig::with_d(2).build(&caps, seed);
             let mut devs = Vec::with_capacity(snapshots);
-            game.throw_with_snapshots(
-                cap_total * snapshots as u64,
-                cap_total,
-                |_thrown, bins| {
-                    devs.push(max_minus_average(bins));
-                },
-            );
+            game.throw_with_snapshots(cap_total * snapshots as u64, cap_total, |_thrown, bins| {
+                devs.push(max_minus_average(bins));
+            });
             devs
         });
         let means = acc.means();
@@ -83,7 +85,11 @@ mod tests {
 
     #[test]
     fn deviation_lines_are_flat_and_ordered() {
-        let ctx = Ctx { rep_factor: 0.5, size_factor: 0.1, ..Ctx::default() };
+        let ctx = Ctx {
+            rep_factor: 0.5,
+            size_factor: 0.1,
+            ..Ctx::default()
+        };
         let set = run(&ctx);
         assert_eq!(set.series.len(), 4);
         for s in &set.series {

@@ -101,18 +101,27 @@ mod tests {
 
     #[test]
     fn fig18_curves_are_u_shaped_with_minimum_right_of_one() {
-        let ctx = Ctx { rep_factor: 0.15, ..Ctx::default() };
+        let ctx = Ctx {
+            rep_factor: 0.15,
+            ..Ctx::default()
+        };
         let set = run_fig18(&ctx);
         let s = set.get("capacities 1 and 3").unwrap();
         // Find argmin.
-        let (argmin, min_y) = s
-            .points
-            .iter()
-            .map(|p| (p.x, p.y))
-            .fold((0.0, f64::INFINITY), |acc, (x, y)| if y < acc.1 { (x, y) } else { acc });
+        let (argmin, min_y) =
+            s.points
+                .iter()
+                .map(|p| (p.x, p.y))
+                .fold(
+                    (0.0, f64::INFINITY),
+                    |acc, (x, y)| if y < acc.1 { (x, y) } else { acc },
+                );
         let at_zero = s.points.first().unwrap().y;
         let at_end = s.points.last().unwrap().y;
-        assert!(min_y < at_zero && min_y < at_end, "curve should be U-shaped");
+        assert!(
+            min_y < at_zero && min_y < at_end,
+            "curve should be U-shaped"
+        );
         assert!(
             argmin > 0.9,
             "optimal exponent should be near/above 1, got {argmin}"
@@ -121,7 +130,10 @@ mod tests {
 
     #[test]
     fn fig17_optimal_exponents_exceed_proportional() {
-        let ctx = Ctx { rep_factor: 0.1, ..Ctx::default() };
+        let ctx = Ctx {
+            rep_factor: 0.1,
+            ..Ctx::default()
+        };
         // Restrict to a cheap subset by shrinking reps only; capacities
         // are inherent to the figure.
         let set = run_fig17(&ctx);

@@ -57,7 +57,10 @@ pub fn summarize_figure(set: &SeriesSet) -> String {
         for s in &set.series {
             out.push_str(&format!("   [{}]\n", s.label));
             for p in &s.points {
-                out.push_str(&format!("      x={:<10} y={:.4} ±{:.4}\n", p.x, p.y, p.std_err));
+                out.push_str(&format!(
+                    "      x={:<10} y={:.4} ±{:.4}\n",
+                    p.x, p.y, p.std_err
+                ));
             }
         }
     }

@@ -95,7 +95,12 @@ pub fn mc_fraction<F>(reps: usize, master: u64, experiment_id: u64, f: F) -> Sum
 where
     F: Fn(u64) -> bool + Sync,
 {
-    mc_scalar(reps, master, experiment_id, |seed| if f(seed) { 1.0 } else { 0.0 })
+    mc_scalar(
+        reps,
+        master,
+        experiment_id,
+        |seed| if f(seed) { 1.0 } else { 0.0 },
+    )
 }
 
 #[cfg(test)]
@@ -116,9 +121,7 @@ mod tests {
 
     #[test]
     fn vector_runner_averages_elementwise() {
-        let acc = mc_vector(100, 1, 2, 3, |seed| {
-            vec![1.0, (seed % 2) as f64, 2.0]
-        });
+        let acc = mc_vector(100, 1, 2, 3, |seed| vec![1.0, (seed % 2) as f64, 2.0]);
         let means = acc.means();
         assert_eq!(acc.count(), 100);
         assert_eq!(means[0], 1.0);

@@ -58,7 +58,10 @@ mod tests {
         let q = u64::MAX / 4;
         let ring = HashRing::from_points(
             (0..4)
-                .map(|i| RingPoint { position: q.wrapping_mul(i as u64 + 1), peer: i })
+                .map(|i| RingPoint {
+                    position: q.wrapping_mul(i as u64 + 1),
+                    peer: i,
+                })
                 .collect(),
             4,
         );

@@ -29,7 +29,13 @@ impl ByersGame {
     pub fn new(ring: HashRing, d: usize, seed: u64) -> Self {
         assert!(d >= 1, "need at least one probe");
         let n = ring.n_peers();
-        ByersGame { ring, loads: vec![0; n], d, seed, next_ball: 0 }
+        ByersGame {
+            ring,
+            loads: vec![0; n],
+            d,
+            seed,
+            next_ball: 0,
+        }
     }
 
     /// Routes the next request, returning the receiving peer.
@@ -40,7 +46,9 @@ impl ByersGame {
         let mut best_load = u64::MAX;
         let mut ties = 0u64;
         for k in 0..self.d {
-            let peer = self.ring.successor(request_point(self.seed, ball, k as u64));
+            let peer = self
+                .ring
+                .successor(request_point(self.seed, ball, k as u64));
             let load = self.loads[peer];
             if load < best_load || best == usize::MAX {
                 best = peer;

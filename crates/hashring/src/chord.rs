@@ -67,7 +67,10 @@ impl ChordOverlay {
             let d_key = dist(cur_pos, key);
             if d_key == 0 {
                 // The current node *is* the successor of key.
-                return Lookup { peer: points[current].peer, hops };
+                return Lookup {
+                    peer: points[current].peer,
+                    hops,
+                };
             }
             // Find the farthest finger that does not overshoot the key:
             // maximal 2^k with successor strictly between current and key.
@@ -93,7 +96,10 @@ impl ChordOverlay {
                     // is our immediate successor (one final hop).
                     let owner = self.ring.successor_index(key);
                     let hops = hops + usize::from(owner != current);
-                    return Lookup { peer: points[owner].peer, hops };
+                    return Lookup {
+                        peer: points[owner].peer,
+                        hops,
+                    };
                 }
             }
         }
@@ -141,7 +147,10 @@ mod tests {
             max_hops as f64 <= 2.5 * log2n,
             "max hops {max_hops} vs 2.5·log2 n"
         );
-        assert!(avg >= 1.0, "non-trivial lookups should take hops, avg {avg}");
+        assert!(
+            avg >= 1.0,
+            "non-trivial lookups should take hops, avg {avg}"
+        );
     }
 
     #[test]

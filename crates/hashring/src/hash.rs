@@ -23,7 +23,11 @@ pub fn peer_point(seed: u64, peer: u64, vnode: u64) -> u64 {
 #[must_use]
 #[inline]
 pub fn request_point(seed: u64, ball: u64, k: u64) -> u64 {
-    mix64(seed ^ mix64(ball.wrapping_mul(0x9FB2_1C65_1E98_DF25).wrapping_add(k) ^ 0x5851_F42D_4C95_7F2D))
+    mix64(
+        seed ^ mix64(
+            ball.wrapping_mul(0x9FB2_1C65_1E98_DF25).wrapping_add(k) ^ 0x5851_F42D_4C95_7F2D,
+        ),
+    )
 }
 
 #[cfg(test)]

@@ -129,9 +129,18 @@ mod tests {
         // Points at 100 (peer 0), 200 (peer 1), 300 (peer 0).
         HashRing::from_points(
             vec![
-                RingPoint { position: 200, peer: 1 },
-                RingPoint { position: 100, peer: 0 },
-                RingPoint { position: 300, peer: 0 },
+                RingPoint {
+                    position: 200,
+                    peer: 1,
+                },
+                RingPoint {
+                    position: 100,
+                    peer: 0,
+                },
+                RingPoint {
+                    position: 300,
+                    peer: 0,
+                },
             ],
             2,
         )
@@ -180,7 +189,13 @@ mod tests {
 
     #[test]
     fn single_point_ring_owns_everything() {
-        let r = HashRing::from_points(vec![RingPoint { position: 7, peer: 0 }], 1);
+        let r = HashRing::from_points(
+            vec![RingPoint {
+                position: 7,
+                peer: 0,
+            }],
+            1,
+        );
         assert_eq!(r.successor(0), 0);
         assert_eq!(r.successor(u64::MAX), 0);
         assert_eq!(r.arc_lengths(), vec![u64::MAX]);
@@ -191,8 +206,14 @@ mod tests {
     fn colliding_points_rejected() {
         let _ = HashRing::from_points(
             vec![
-                RingPoint { position: 5, peer: 0 },
-                RingPoint { position: 5, peer: 1 },
+                RingPoint {
+                    position: 5,
+                    peer: 0,
+                },
+                RingPoint {
+                    position: 5,
+                    peer: 1,
+                },
             ],
             2,
         );
@@ -201,6 +222,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn bad_peer_index_rejected() {
-        let _ = HashRing::from_points(vec![RingPoint { position: 5, peer: 3 }], 2);
+        let _ = HashRing::from_points(
+            vec![RingPoint {
+                position: 5,
+                peer: 3,
+            }],
+            2,
+        );
     }
 }

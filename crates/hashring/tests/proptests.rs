@@ -15,7 +15,10 @@ fn arb_ring() -> impl Strategy<Value = (HashRing, Vec<u64>)> {
             let points: Vec<RingPoint> = positions
                 .iter()
                 .enumerate()
-                .map(|(i, &position)| RingPoint { position, peer: i % n_peers })
+                .map(|(i, &position)| RingPoint {
+                    position,
+                    peer: i % n_peers,
+                })
                 .collect();
             (HashRing::from_points(points, n_peers), positions)
         },
@@ -111,7 +114,10 @@ fn ring_points_are_sorted_and_valid() {
         let v = 1 + (rng.next_below(8) as usize);
         let ring = HashRing::new(n, v, rng.next());
         assert_eq!(ring.points().len(), n * v);
-        assert!(ring.points().windows(2).all(|w| w[0].position < w[1].position));
+        assert!(ring
+            .points()
+            .windows(2)
+            .all(|w| w[0].position < w[1].position));
         assert!(ring.points().iter().all(|p| p.peer < n));
     }
 }

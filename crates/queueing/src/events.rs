@@ -61,7 +61,10 @@ impl EventQueue {
     /// Creates an empty queue.
     #[must_use]
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedules `event` at absolute time `time`.
@@ -70,7 +73,11 @@ impl EventQueue {
     /// Panics if `time` is NaN.
     pub fn schedule(&mut self, time: Time, event: Event) {
         assert!(!time.is_nan(), "event time must not be NaN");
-        self.heap.push(Scheduled { time, seq: self.seq, event });
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
     }
 

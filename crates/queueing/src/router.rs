@@ -32,9 +32,7 @@ impl RoutingPolicy {
     ) -> usize {
         assert!(!candidates.is_empty(), "need at least one candidate");
         match self {
-            RoutingPolicy::Random => {
-                candidates[rng.next_below(candidates.len() as u64) as usize]
-            }
+            RoutingPolicy::Random => candidates[rng.next_below(candidates.len() as u64) as usize],
             RoutingPolicy::ShortestQueue => {
                 pick_min(candidates, rng, |i| (servers[i].queue_len(), 0))
             }

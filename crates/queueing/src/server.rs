@@ -132,7 +132,7 @@ mod tests {
         s.join(2.0); // q=2 on [2,3)
         s.depart(3.0); // q=1 on [3,4)
         s.depart(4.0); // q=0 on [4,8)
-        // integral = 1*2 + 2*1 + 1*1 + 0*4 = 5; mean over [0,8] = 0.625
+                       // integral = 1*2 + 2*1 + 1*1 + 0*4 = 5; mean over [0,8] = 0.625
         assert!((s.mean_queue(8.0) - 0.625).abs() < 1e-12);
     }
 

@@ -140,8 +140,7 @@ impl QueueSystem {
 
     fn schedule_departure(&mut self, server: usize) {
         // Exp(1) work at rate `speed` => Exp(speed) service time.
-        let service = Exponential::new(self.servers[server].speed() as f64)
-            .sample(&mut self.rng);
+        let service = Exponential::new(self.servers[server].speed() as f64).sample(&mut self.rng);
         self.events
             .schedule(self.now + service, Event::Departure { server });
     }
@@ -164,7 +163,12 @@ impl QueueSystem {
         QueueMetrics {
             mean_queue_len: mean,
             max_normalized_queue: max_norm,
-            max_queue_len: self.servers.iter().map(Server::max_queue).max().unwrap_or(0),
+            max_queue_len: self
+                .servers
+                .iter()
+                .map(Server::max_queue)
+                .max()
+                .unwrap_or(0),
             completed: self.servers.iter().map(Server::completed).sum(),
             horizon: self.now,
         }
@@ -189,7 +193,11 @@ mod tests {
 
     fn uniform_system(n: usize, rho: f64, d: usize, seed: u64) -> QueueSystem {
         let speeds = CapacityVector::uniform(n, 1);
-        let config = SystemConfig { d, rho, ..SystemConfig::default() };
+        let config = SystemConfig {
+            d,
+            rho,
+            ..SystemConfig::default()
+        };
         QueueSystem::new(&speeds, config, seed)
     }
 
@@ -232,7 +240,10 @@ mod tests {
     #[test]
     fn faster_servers_complete_more_jobs() {
         let speeds = CapacityVector::two_class(5, 1, 5, 10);
-        let config = SystemConfig { rho: 0.8, ..SystemConfig::default() };
+        let config = SystemConfig {
+            rho: 0.8,
+            ..SystemConfig::default()
+        };
         let mut sys = QueueSystem::new(&speeds, config, 3);
         sys.run_arrivals(50_000);
         let slow: u64 = sys.servers()[..5].iter().map(Server::completed).sum();
@@ -249,7 +260,11 @@ mod tests {
         // queues; the paper-style normalised rule keeps them shallow.
         let speeds = CapacityVector::two_class(50, 1, 50, 10);
         let run = |routing: RoutingPolicy, seed: u64| {
-            let config = SystemConfig { rho: 0.9, routing, ..SystemConfig::default() };
+            let config = SystemConfig {
+                rho: 0.9,
+                routing,
+                ..SystemConfig::default()
+            };
             let mut sys = QueueSystem::new(&speeds, config, seed);
             sys.run_arrivals(150_000).max_normalized_queue
         };
@@ -274,6 +289,13 @@ mod tests {
     #[should_panic(expected = "stability")]
     fn overloaded_system_rejected() {
         let speeds = CapacityVector::uniform(2, 1);
-        let _ = QueueSystem::new(&speeds, SystemConfig { rho: 1.5, ..Default::default() }, 0);
+        let _ = QueueSystem::new(
+            &speeds,
+            SystemConfig {
+                rho: 1.5,
+                ..Default::default()
+            },
+            0,
+        );
     }
 }

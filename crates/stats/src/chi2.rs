@@ -60,15 +60,26 @@ pub fn chi_square_test(
     probabilities: &[f64],
     extra_constraints: usize,
 ) -> Chi2Outcome {
-    assert_eq!(observed.len(), probabilities.len(), "category count mismatch");
+    assert_eq!(
+        observed.len(),
+        probabilities.len(),
+        "category count mismatch"
+    );
     let n: u64 = observed.iter().sum();
     let expected: Vec<f64> = probabilities.iter().map(|&p| p * n as f64).collect();
     let effective = probabilities.iter().filter(|&&p| p > 0.0).count();
-    assert!(effective >= 2, "need at least two categories with positive probability");
+    assert!(
+        effective >= 2,
+        "need at least two categories with positive probability"
+    );
     let dof = effective - 1 - extra_constraints.min(effective - 2);
     let statistic = chi_square_statistic(observed, &expected);
     let p_value = chi2_sf(statistic, dof as f64);
-    Chi2Outcome { statistic, dof, p_value }
+    Chi2Outcome {
+        statistic,
+        dof,
+        p_value,
+    }
 }
 
 /// Survival function of the chi-square distribution with `k` degrees of

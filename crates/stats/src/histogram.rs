@@ -122,7 +122,10 @@ impl Histogram {
     #[must_use]
     pub fn bin_edges(&self, i: usize) -> (f64, f64) {
         assert!(i < self.counts.len());
-        (self.lo + i as f64 * self.width, self.lo + (i + 1) as f64 * self.width)
+        (
+            self.lo + i as f64 * self.width,
+            self.lo + (i + 1) as f64 * self.width,
+        )
     }
 
     /// Empirical probability mass per bucket (excluding under/overflow).
@@ -132,7 +135,10 @@ impl Histogram {
         if total == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
     }
 }
 

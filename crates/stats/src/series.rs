@@ -27,7 +27,10 @@ impl Series {
     /// Creates an empty series with the given label.
     #[must_use]
     pub fn new(label: impl Into<String>) -> Self {
-        Series { label: label.into(), points: Vec::new() }
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Appends a point.

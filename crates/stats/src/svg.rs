@@ -163,7 +163,9 @@ fn fmt_tick(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -173,7 +175,10 @@ mod tests {
 
     fn demo() -> SeriesSet {
         let mut set = SeriesSet::new("figX", "demo <title>", "x axis", "y axis");
-        set.push(Series::from_xy("curve & one", &[(0.0, 1.0), (1.0, 2.0), (2.0, 1.5)]));
+        set.push(Series::from_xy(
+            "curve & one",
+            &[(0.0, 1.0), (1.0, 2.0), (2.0, 1.5)],
+        ));
         set.push(Series::from_xy("curve two", &[(0.0, 0.5), (2.0, 0.9)]));
         set
     }

@@ -20,7 +20,10 @@ impl TextTable {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new(headers: Vec<String>) -> Self {
-        TextTable { headers, rows: Vec::new() }
+        TextTable {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row. Rows shorter than the header are padded with empty

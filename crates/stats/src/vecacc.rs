@@ -18,7 +18,11 @@ impl MeanAccumulator {
     /// Creates an accumulator for vectors of length `len`.
     #[must_use]
     pub fn new(len: usize) -> Self {
-        MeanAccumulator { sums: vec![0.0; len], sq_sums: vec![0.0; len], count: 0 }
+        MeanAccumulator {
+            sums: vec![0.0; len],
+            sq_sums: vec![0.0; len],
+            count: 0,
+        }
     }
 
     /// Adds one vector observation.

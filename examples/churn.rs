@@ -28,7 +28,10 @@ fn main() {
         game.insert();
     }
     let mut table = TextTable::new(vec!["churn sweeps".into(), "max load".into()]);
-    table.row(vec!["0".into(), format!("{:.4}", game.bins().max_load().as_f64())]);
+    table.row(vec![
+        "0".into(),
+        format!("{:.4}", game.bins().max_load().as_f64()),
+    ]);
     for sweep in 1..=5 {
         game.churn(caps.total());
         table.row(vec![
@@ -67,9 +70,7 @@ fn main() {
             format!("{:.4}", 1.0 / outcome.n_peers as f64),
         ]);
     }
-    println!(
-        "Peer churn on a consistent-hashing ring (50k tracked keys):\n"
-    );
+    println!("Peer churn on a consistent-hashing ring (50k tracked keys):\n");
     println!("{}", table.render());
     println!(
         "Each membership change moves ≈ 1/n of the keys — the minimal-\n\

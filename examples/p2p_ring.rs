@@ -30,7 +30,10 @@ fn main() {
     for d in [1usize, 2] {
         let mut game = ByersGame::new(ring.clone(), d, 0xC0FFEE);
         game.throw_many(n_peers as u64, &mut rng);
-        println!("Byers game, d = {d}: max requests on any peer = {}", game.max_load());
+        println!(
+            "Byers game, d = {d}: max requests on any peer = {}",
+            game.max_load()
+        );
     }
 
     // 3. The bridge: the ring *is* a weighted balls-into-bins game whose

@@ -11,11 +11,7 @@ fn main() {
     // 1 000 bins: half capacity 1, half capacity 10 (the paper's Figure 6
     // setting at the 50% mark).
     let caps = CapacityVector::two_class(500, 1, 500, 10);
-    println!(
-        "bins: {}   total capacity C: {}",
-        caps.n(),
-        caps.total()
-    );
+    println!("bins: {}   total capacity C: {}", caps.n(), caps.total());
 
     // The paper's defaults: d = 2 choices, selection probability
     // proportional to capacity, Algorithm 1 allocation.
@@ -34,7 +30,11 @@ fn main() {
     println!(
         "Theorem 3 bound (slack 2): {:.4}  ->  {}",
         bound,
-        if metrics.max_load <= bound { "holds" } else { "violated!" }
+        if metrics.max_load <= bound {
+            "holds"
+        } else {
+            "violated!"
+        }
     );
 
     // The same workload with only one choice per ball, for contrast.

@@ -25,7 +25,10 @@ fn main() {
         ("baseline (all cap 2)", GrowthModel::Constant(2)),
         ("linear a=2", GrowthModel::Linear { first: 2, a: 2 }),
         ("linear a=6", GrowthModel::Linear { first: 2, a: 6 }),
-        ("exponential b=1.2", GrowthModel::Exponential { first: 2, b: 1.2 }),
+        (
+            "exponential b=1.2",
+            GrowthModel::Exponential { first: 2, b: 1.2 },
+        ),
     ];
 
     let mut table = TextTable::new(

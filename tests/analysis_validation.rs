@@ -2,8 +2,8 @@
 //! against the simulator (`bnb-core`).
 
 use balls_into_bins::analysis::layers::{check_decay, layer_count, layer_profile};
-use balls_into_bins::analysis::{classify, small_ball_bound, Regime};
 use balls_into_bins::analysis::lemma2::measure_small_balls;
+use balls_into_bins::analysis::{classify, small_ball_bound, Regime};
 use balls_into_bins::core::prelude::*;
 
 /// The Lemma 2(1) closed form dominates the empirical tail of |B_s| on a
@@ -40,7 +40,10 @@ fn regimes_separate_constant_from_growing_load() {
     let big = ((n as f64).ln() * 2.0) as u64; // comfortably "big"
     let caps_t1 = CapacityVector::two_class(8, 1, n - 8, big);
     let regime = classify(n, caps_t1.total(), 8, 2.0, 1.0);
-    assert!(regime.constant_max_load(), "expected a Theorem-1 case, got {regime:?}");
+    assert!(
+        regime.constant_max_load(),
+        "expected a Theorem-1 case, got {regime:?}"
+    );
     let bins = run_game(&caps_t1, caps_t1.total(), &GameConfig::default(), 3);
     assert!(bins.max_load().as_f64() <= 4.0);
 

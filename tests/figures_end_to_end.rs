@@ -14,7 +14,11 @@ fn every_figure_runs_and_produces_series() {
         for s in &set.series {
             assert!(!s.is_empty(), "{}/{}: empty series", spec.id, s.label);
             for p in &s.points {
-                assert!(p.x.is_finite() && p.y.is_finite(), "{}: non-finite point", spec.id);
+                assert!(
+                    p.x.is_finite() && p.y.is_finite(),
+                    "{}: non-finite point",
+                    spec.id
+                );
                 assert!(p.std_err >= 0.0, "{}: negative stderr", spec.id);
             }
         }
@@ -40,7 +44,10 @@ fn figures_are_deterministic_under_a_seed() {
 #[test]
 fn master_seed_changes_results() {
     let ctx_a = Ctx::test_scale();
-    let ctx_b = Ctx { master_seed: ctx_a.master_seed ^ 0xFFFF, ..ctx_a };
+    let ctx_b = Ctx {
+        master_seed: ctx_a.master_seed ^ 0xFFFF,
+        ..ctx_a
+    };
     let spec = balls_into_bins::experiments::find_figure("fig06").unwrap();
     let a = (spec.run)(&ctx_a);
     let b = (spec.run)(&ctx_b);

@@ -1,0 +1,48 @@
+//! Workspace-level smoke test of the figure registry: every id — the 18
+//! paper figures and the 6 extensions — must resolve through
+//! [`find_figure`] back to its own spec, and must run end-to-end at
+//! minimal repetitions without panicking. This is the cheap CI canary
+//! that keeps the `repro` harness from silently rotting.
+
+use balls_into_bins::experiments::{extras_registry, find_figure, registry, Ctx};
+
+/// The smallest context the knobs allow: repetition counts clamp to 2,
+/// sizes clamp to each figure's floor.
+fn minimal_ctx() -> Ctx {
+    Ctx {
+        rep_factor: 0.001,
+        size_factor: 0.01,
+        ball_budget: 100_000,
+        ..Ctx::default()
+    }
+}
+
+#[test]
+fn every_registry_id_resolves_to_itself() {
+    for spec in registry().iter().chain(extras_registry()) {
+        let found = find_figure(spec.id)
+            .unwrap_or_else(|| panic!("{}: not resolvable via find_figure", spec.id));
+        assert_eq!(found.id, spec.id, "{}: resolved to wrong spec", spec.id);
+        assert_eq!(
+            found.paper_ref, spec.paper_ref,
+            "{}: resolved to wrong spec",
+            spec.id
+        );
+        // The CLI also accepts uppercase ids.
+        assert!(
+            find_figure(&spec.id.to_ascii_uppercase()).is_some(),
+            "{}: uppercase alias not resolvable",
+            spec.id
+        );
+    }
+}
+
+#[test]
+fn every_figure_and_extra_runs_at_minimal_reps() {
+    let ctx = minimal_ctx();
+    for spec in registry().iter().chain(extras_registry()) {
+        let set = (spec.run)(&ctx);
+        assert_eq!(set.id, spec.id, "{}: output id mismatch", spec.id);
+        assert!(!set.series.is_empty(), "{}: produced no series", spec.id);
+    }
+}

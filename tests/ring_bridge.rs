@@ -39,7 +39,10 @@ fn byers_and_abstract_game_agree_on_max_load() {
     let mut abstract_mean = 0.0;
     for seed in 0..reps {
         let ring = HashRing::new(n, 1, seed);
-        assert!(arc_stats(&ring).max_over_avg > 2.0, "ring should be imbalanced");
+        assert!(
+            arc_stats(&ring).max_over_avg > 2.0,
+            "ring should be imbalanced"
+        );
         let mut rng = Xoshiro256PlusPlus::from_u64_seed(seed ^ 0x99);
         let mut bg = ByersGame::new(ring.clone(), 2, seed);
         bg.throw_many(m, &mut rng);

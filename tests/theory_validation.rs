@@ -106,12 +106,7 @@ fn unit_capacity_game_matches_azar_bound() {
 #[test]
 fn proportional_selection_beats_uniform_on_heterogeneous_bins() {
     let caps = CapacityVector::two_class(1_000, 1, 1_000, 10);
-    let prop = mean_max_load(
-        &caps,
-        &GameConfig::with_d(2),
-        15,
-        0x11,
-    );
+    let prop = mean_max_load(&caps, &GameConfig::with_d(2), 15, 0x11);
     let unif = mean_max_load(
         &caps,
         &GameConfig::with_d(2).selection(Selection::Uniform),

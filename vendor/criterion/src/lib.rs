@@ -1,0 +1,270 @@
+//! Offline shim for the subset of the crates.io `criterion` API that this
+//! workspace's benches use (see `vendor/README.md` for the policy).
+//!
+//! Provides [`Criterion`], [`BenchmarkGroup`], [`Bencher`],
+//! [`BenchmarkId`], [`Throughput`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros with `criterion` 0.5-compatible signatures,
+//! so the bench targets compile and run offline. Measurement is
+//! deliberately lightweight — a short warm-up then a fixed time budget
+//! per benchmark, reporting mean wall-clock time per iteration (and
+//! derived throughput when configured) — rather than criterion's full
+//! statistical pipeline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Upper bound on the per-benchmark measurement budget. Keeps full
+/// `cargo bench` runs cheap; the repro binary, not the bench suite, is
+/// responsible for paper-scale statistics.
+const MAX_MEASURE: Duration = Duration::from_millis(200);
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Mirrors `Criterion::configure_from_args`; the shim accepts and
+    /// ignores harness CLI arguments such as `--bench`.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            measurement_time: MAX_MEASURE,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        run_one(&format!("{id}"), MAX_MEASURE, None, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput and timing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration (the shim always uses a short warm-up).
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement budget (capped at the shim's 200 ms
+    /// per-benchmark ceiling).
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t.min(MAX_MEASURE);
+        self
+    }
+
+    /// Sets the sample count (accepted for compatibility; the shim's
+    /// budget is time-based).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling
+    /// throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let label = format!("{}/{id}", self.name);
+        run_one(&label, self.measurement_time, self.throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. (The shim reports incrementally, so this is a
+    /// no-op provided for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures to drive the timing loop.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` within the configured budget.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        black_box(routine()); // warm-up, excluded from timing
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifies one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], so benchmarks can be named by
+/// plain strings or structured ids.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_owned(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+/// Work performed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (e.g. balls thrown) per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+fn run_one<F>(label: &str, budget: Duration, throughput: Option<Throughput>, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        budget,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = if bencher.iters == 0 {
+        Duration::ZERO
+    } else {
+        bencher.elapsed / u32::try_from(bencher.iters.min(u64::from(u32::MAX))).unwrap_or(1)
+    };
+    let mut line = format!(
+        "{label:<60} time: {per_iter:>12.2?}/iter ({} iters)",
+        bencher.iters
+    );
+    if let Some(t) = throughput {
+        let secs = per_iter.as_secs_f64();
+        if secs > 0.0 {
+            let (amount, unit) = match t {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            line.push_str(&format!("  thrpt: {:.3e} {unit}", amount / secs));
+        }
+    }
+    println!("{line}");
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles benchmark functions
+/// into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark registered in this group.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: generates `main` running the
+/// given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,128 @@
+//! Collection strategies, mirroring `proptest::collection` for the
+//! shapes this workspace uses (`vec` and `btree_set`).
+
+use crate::strategy::{Rejection, Strategy};
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// A collection length specification, mirroring
+/// `proptest::collection::SizeRange`: an inclusive lower and upper
+/// bound on the generated length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(self, rng: &mut TestRng) -> usize {
+        if self.hi <= self.lo {
+            return self.lo;
+        }
+        self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            lo: exact,
+            hi: exact,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange {
+            lo: range.start,
+            hi: range.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty collection size range");
+        SizeRange {
+            lo: *range.start(),
+            hi: *range.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<T>`; created by [`vec()`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Rejection> {
+        let len = self.size.pick(rng);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.new_value(rng)?);
+        }
+        Ok(out)
+    }
+}
+
+/// A strategy producing vectors whose elements come from `element` and
+/// whose length falls in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy for `BTreeSet<T>`; created by [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<BTreeSet<S::Value>, Rejection> {
+        let len = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        // Duplicate draws shrink the set; bound the retries so a
+        // low-entropy element strategy rejects instead of spinning.
+        let max_draws = 32 * (len + 4);
+        for _ in 0..max_draws {
+            if out.len() >= len {
+                return Ok(out);
+            }
+            out.insert(self.element.new_value(rng)?);
+        }
+        Err(Rejection(format!(
+            "btree_set: could not reach {len} distinct elements in {max_draws} draws"
+        )))
+    }
+}
+
+/// A strategy producing ordered sets whose elements come from `element`
+/// and whose size falls in `size`.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}

@@ -1,0 +1,243 @@
+//! The [`Strategy`] trait and the combinators / primitive strategies
+//! this workspace uses.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Implements `Debug` as a fixed string (closures and trait objects in
+/// the fields prevent deriving it).
+macro_rules! fmt_as_str {
+    ($name:literal) => {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str($name)
+        }
+    };
+}
+
+/// A strategy rejected the current draw (e.g. a filter miss); the case
+/// is retried with fresh randomness.
+#[derive(Debug, Clone)]
+pub struct Rejection(pub String);
+
+/// Generates values of an associated type from a [`TestRng`], mirroring
+/// `proptest::strategy::Strategy` for the combinators this workspace
+/// uses.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value (or rejects the draw).
+    ///
+    /// # Errors
+    /// Returns a [`Rejection`] when the drawn value fails a filter; the
+    /// runner retries with fresh randomness.
+    fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection>;
+
+    /// Maps generated values through `map`.
+    fn prop_map<O, M>(self, map: M) -> Map<Self, M>
+    where
+        Self: Sized,
+        M: Fn(Self::Value) -> O,
+    {
+        Map { base: self, map }
+    }
+
+    /// Keeps only values satisfying `predicate`; other draws are
+    /// rejected and retried (`reason` shows up if the runner gives up).
+    fn prop_filter<P>(self, reason: impl Into<String>, predicate: P) -> Filter<Self, P>
+    where
+        Self: Sized,
+        P: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            reason: reason.into(),
+            predicate,
+        }
+    }
+
+    /// Erases the concrete strategy type (used by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Always produces a clone of one value, mirroring
+/// `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(self.0.clone())
+    }
+}
+
+/// Map combinator; created by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, M> {
+    base: S,
+    map: M,
+}
+
+impl<S, O, M> Strategy for Map<S, M>
+where
+    S: Strategy,
+    M: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<O, Rejection> {
+        self.base.new_value(rng).map(&self.map)
+    }
+}
+
+/// Filter combinator; created by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, P> {
+    base: S,
+    reason: String,
+    predicate: P,
+}
+
+impl<S, P> Strategy for Filter<S, P>
+where
+    S: Strategy,
+    P: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+        let value = self.base.new_value(rng)?;
+        if (self.predicate)(&value) {
+            Ok(value)
+        } else {
+            Err(Rejection(self.reason.clone()))
+        }
+    }
+}
+
+/// A type-erased strategy; created by [`Strategy::boxed`].
+pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+impl<V> std::fmt::Debug for BoxedStrategy<V> {
+    fmt_as_str!("BoxedStrategy");
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<V, Rejection> {
+        self.0.new_value(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies; produced by
+/// [`crate::prop_oneof!`].
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> std::fmt::Debug for Union<V> {
+    fmt_as_str!("Union");
+}
+
+impl<V> Union<V> {
+    /// A union over the given (non-empty) options.
+    ///
+    /// # Panics
+    /// Panics if `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<V, Rejection> {
+        let index = rng.below(self.options.len() as u64) as usize;
+        self.options[index].new_value(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, rng: &mut TestRng) -> Result<$ty, Rejection> {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                Ok(self.start.wrapping_add(rng.below(span) as $ty))
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, rng: &mut TestRng) -> Result<$ty, Rejection> {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty integer range strategy");
+                let span = (end as u128).wrapping_sub(start as u128).wrapping_add(1);
+                if span > u128::from(u64::MAX) {
+                    return Ok(rng.next_u64() as $ty);
+                }
+                Ok(start.wrapping_add(rng.below(span as u64) as $ty))
+            }
+        }
+    )+};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<f64, Rejection> {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        let value = self.start + rng.next_f64() * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        Ok(if value >= self.end { self.start } else { value })
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<f64, Rejection> {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty f64 range strategy");
+        Ok(start + rng.next_f64() * (end - start))
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+                Ok(($(self.$idx.new_value(rng)?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_strategies! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+}

@@ -1,0 +1,148 @@
+//! The case runner: deterministic generation loop, config, and the
+//! error type the `prop_assert*` macros produce.
+
+use crate::strategy::Strategy;
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`
+/// (exposed in the prelude as `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass: a genuine failure, or a rejected input
+/// (filter / `prop_assume!` miss) that should be re-generated.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// The generated inputs did not satisfy a precondition; the case is
+    /// retried with fresh inputs.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection with the given reason.
+    #[must_use]
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Deterministic generator driving all strategies: SplitMix64, seeded
+/// per test from the test's name.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator with the given state.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniform bits (SplitMix64 step).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be positive.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range handed to a proptest strategy");
+        self.next_u64() % bound
+    }
+}
+
+/// FNV-1a, used to derive a per-test seed from the test name so
+/// distinct tests explore distinct input streams.
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+    hash
+}
+
+/// Runs `config.cases` successful cases of `test` over inputs drawn
+/// from `strategy`, panicking on the first failing case.
+///
+/// # Panics
+/// Panics if a case fails, or if too many consecutive inputs are
+/// rejected (a filter or `prop_assume!` that is almost never
+/// satisfiable).
+pub fn run_cases<S, F>(config: &Config, name: &str, strategy: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::new(fnv1a(name) ^ 0x5EED_5EED_5EED_5EED);
+    let max_rejects = u64::from(config.cases) * 16 + 1024;
+    let mut rejects = 0u64;
+    let mut passed = 0u32;
+    while passed < config.cases {
+        let value = match strategy.new_value(&mut rng) {
+            Ok(value) => value,
+            Err(_) => {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "proptest '{name}': gave up after {rejects} rejected inputs \
+                     ({passed}/{} cases passed)",
+                    config.cases
+                );
+                continue;
+            }
+        };
+        match test(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "proptest '{name}': gave up after {rejects} rejected inputs \
+                     ({passed}/{} cases passed)",
+                    config.cases
+                );
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!("proptest '{name}' failed at case {passed}: {message}");
+            }
+        }
+    }
+}

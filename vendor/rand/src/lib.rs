@@ -1,0 +1,86 @@
+//! Offline shim for the subset of the crates.io `rand` / `rand_core` API
+//! that this workspace uses (see `vendor/README.md` for the policy).
+//!
+//! Provides the [`RngCore`] and [`SeedableRng`] traits plus
+//! [`rand_core::impls::fill_bytes_via_next`], with the same signatures as
+//! `rand` 0.9, so the workspace's generators remain drop-in compatible
+//! with the real crate once registry access is available.
+
+pub use rand_core::{RngCore, SeedableRng};
+
+/// Core RNG traits and helpers, mirroring the `rand_core` facade
+/// re-exported by `rand` 0.9.
+pub mod rand_core {
+    /// A random number generator producing 32- and 64-bit outputs.
+    pub trait RngCore {
+        /// Returns the next 32 bits of randomness.
+        fn next_u32(&mut self) -> u32;
+        /// Returns the next 64 bits of randomness.
+        fn next_u64(&mut self) -> u64;
+        /// Fills `dst` with random bytes.
+        fn fill_bytes(&mut self, dst: &mut [u8]);
+    }
+
+    /// A generator that can be instantiated from a fixed-size seed.
+    pub trait SeedableRng: Sized {
+        /// The seed type, typically a byte array.
+        type Seed;
+
+        /// Creates a generator from a full-entropy seed.
+        fn from_seed(seed: Self::Seed) -> Self;
+
+        /// Creates a generator from a single `u64`, expanding it into a
+        /// full seed in an implementation-defined way.
+        fn seed_from_u64(state: u64) -> Self;
+    }
+
+    /// Helper implementations for [`RngCore`] methods.
+    pub mod impls {
+        use super::RngCore;
+
+        /// Implements `fill_bytes` on top of `next_u64`, little-endian,
+        /// matching `rand_core::impls::fill_bytes_via_next`.
+        pub fn fill_bytes_via_next<R: RngCore + ?Sized>(rng: &mut R, dst: &mut [u8]) {
+            let mut chunks = dst.chunks_exact_mut(8);
+            for chunk in &mut chunks {
+                chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+            }
+            let tail = chunks.into_remainder();
+            if !tail.is_empty() {
+                let word = rng.next_u64().to_le_bytes();
+                tail.copy_from_slice(&word[..tail.len()]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rand_core::impls::fill_bytes_via_next;
+    use super::RngCore;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+        fn fill_bytes(&mut self, dst: &mut [u8]) {
+            fill_bytes_via_next(self, dst);
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_words() {
+        let mut rng = Counter(0);
+        let mut buf = [0xAAu8; 11];
+        rng.fill_bytes(&mut buf);
+        // First word is 1u64 LE, tail comes from 2u64 LE.
+        assert_eq!(&buf[..8], &1u64.to_le_bytes());
+        assert_eq!(&buf[8..], &2u64.to_le_bytes()[..3]);
+    }
+}

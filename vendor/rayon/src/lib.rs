@@ -1,0 +1,147 @@
+//! Offline shim for the subset of the crates.io `rayon` API that this
+//! workspace uses (see `vendor/README.md` for the policy).
+//!
+//! Supports `vec.into_par_iter().map(f).collect::<Vec<_>>()` — the shape
+//! used by the Monte-Carlo runners — with genuine data parallelism on
+//! `std::thread::scope`: the input is split into one contiguous chunk per
+//! available core and mapped on worker threads, preserving input order in
+//! the output. Signatures match `rayon` 1.x so the real crate is a
+//! drop-in replacement once registry access is available.
+
+use std::num::NonZeroUsize;
+
+/// The traits a caller needs in scope, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+/// A parallel iterator, mirroring the `rayon::iter::ParallelIterator`
+/// combinators this workspace uses (`map` followed by `collect`).
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Consumes the iterator, returning all elements in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps each element through `f` (applied on worker threads).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects the mapped elements, preserving input order.
+    fn collect<C>(self) -> C
+    where
+        C: From<Vec<Self::Item>>,
+    {
+        C::from(self.run())
+    }
+}
+
+/// Parallel iterator over an owned `Vec`.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// A parallel map adaptor; created by [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        let items = self.base.run();
+        let f = &self.f;
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(items.len().max(1));
+        if threads <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        // One contiguous chunk per worker keeps output order == input
+        // order after a flatten, with no per-item synchronisation.
+        let chunk_len = items.len().div_ceil(threads);
+        let mut chunks: Vec<Vec<I::Item>> = Vec::with_capacity(threads);
+        let mut rest = items;
+        while rest.len() > chunk_len {
+            let tail = rest.split_off(chunk_len);
+            chunks.push(rest);
+            rest = tail;
+        }
+        chunks.push(rest);
+        let mut mapped: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            mapped = handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon-shim worker panicked"))
+                .collect();
+        });
+        mapped.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, v.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let out: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let out: Vec<u64> = vec![7u64].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}
