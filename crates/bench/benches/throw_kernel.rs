@@ -1,0 +1,84 @@
+//! Batched throw-kernel throughput: the monomorphized `d = 2` kernel
+//! against the scalar one-ball loop and the generic batched path, on the
+//! same grid of scenarios that `bench-snapshot` tracks in
+//! `BENCH_throw.json`.
+//!
+//! `throw_many` and the `throw()` loop are bitwise interchangeable (see
+//! the draw-order contract in `bnb_core::game`), so the gap between the
+//! two series is pure kernel overhead, not different work.
+
+use bnb_core::prelude::*;
+use bnb_distributions::Xoshiro256PlusPlus;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const BALLS_PER_ITER: u64 = 10_000;
+
+fn scenario_caps(scenario: &str, n: usize) -> CapacityVector {
+    match scenario {
+        "uniform" => CapacityVector::uniform(n, 4),
+        "two_class" => CapacityVector::two_class(n / 2, 1, n - n / 2, 8),
+        "zipf" => {
+            let mut rng = Xoshiro256PlusPlus::from_u64_seed(bnb_bench::BENCH_SEED ^ n as u64);
+            CapacityVector::zipf(n, 64, 1.1, &mut rng)
+        }
+        other => unreachable!("unknown scenario {other}"),
+    }
+}
+
+/// Batched kernel vs scalar loop on the paper's default configuration.
+fn kernel_vs_scalar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throw_kernel");
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(BALLS_PER_ITER));
+    for scenario in ["uniform", "two_class", "zipf"] {
+        for n in [1_000usize, 100_000] {
+            let caps = scenario_caps(scenario, n);
+            let config = GameConfig::with_d(2);
+            group.bench_function(BenchmarkId::new(format!("batched_{scenario}"), n), |b| {
+                let mut game = config.build(&caps, bnb_bench::BENCH_SEED);
+                b.iter(|| {
+                    game.throw_many(BALLS_PER_ITER);
+                    game.reset();
+                    black_box(game.bins().total_capacity())
+                });
+            });
+            group.bench_function(BenchmarkId::new(format!("scalar_{scenario}"), n), |b| {
+                let mut game = config.build(&caps, bnb_bench::BENCH_SEED);
+                b.iter(|| {
+                    for _ in 0..BALLS_PER_ITER {
+                        game.throw();
+                    }
+                    game.reset();
+                    black_box(game.bins().total_capacity())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The generic batched path across `d`, outside the monomorphized kernel.
+fn generic_batch_d_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throw_kernel_generic");
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(BALLS_PER_ITER));
+    let caps = scenario_caps("two_class", 100_000);
+    for d in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("paper_d", d), &d, |b, &d| {
+            let config = GameConfig::with_d(d);
+            let mut game = config.build(&caps, bnb_bench::BENCH_SEED);
+            b.iter(|| {
+                game.throw_many(BALLS_PER_ITER);
+                game.reset();
+                black_box(game.bins().total_capacity())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, kernel_vs_scalar, generic_batch_d_sweep);
+criterion_main!(benches);

@@ -3,11 +3,17 @@
 //! Shared helpers for the criterion benchmark suite. The benches
 //! themselves live in `benches/` (one file per concern):
 //!
+//! * `throw_kernel.rs` — the batched throw kernel vs the scalar loop on
+//!   the tracked `BENCH_throw.json` scenario grid,
 //! * `figures.rs` — one bench group per paper figure (scaled down),
 //! * `core_ops.rs` — throw-loop throughput across policies and `d`,
 //! * `samplers.rs` — alias vs. Fenwick vs. cumulative ablation,
 //! * `ablations.rs` — protocol design-choice ablations,
 //! * `hashring.rs` — consistent-hashing substrate throughput.
+//!
+//! The crate also ships the `bench-snapshot` binary, which times the
+//! kernel over the standard grid and writes the machine-readable
+//! `BENCH_throw.json` tracked at the repo root.
 
 #![deny(missing_docs)]
 

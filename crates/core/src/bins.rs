@@ -2,14 +2,24 @@
 
 use crate::load::Load;
 
-/// An array of `n` bins with fixed capacities and mutable ball counts.
+/// One bin's interleaved state: capacity and ball count side by side, so
+/// the throw kernel's load compare touches a single cache line per
+/// candidate instead of one line in a capacity array plus one in a ball
+/// array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BinSlot {
+    pub(crate) capacity: u64,
+    pub(crate) balls: u64,
+}
+
+/// An array of `n` bins with fixed capacities and mutable ball counts,
+/// stored interleaved as `(capacity, balls)` pairs for hot-path locality.
 ///
 /// All load queries return exact [`Load`] rationals; floating-point views
 /// exist only for metrics/plotting.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BinArray {
-    capacities: Vec<u64>,
-    balls: Vec<u64>,
+    slots: Vec<BinSlot>,
     total_capacity: u64,
     total_balls: u64,
 }
@@ -27,10 +37,14 @@ impl BinArray {
             assert!(c > 0, "bin {i} has zero capacity");
             total = total.checked_add(c).expect("total capacity overflows u64");
         }
-        let n = capacities.len();
         BinArray {
-            capacities,
-            balls: vec![0; n],
+            slots: capacities
+                .into_iter()
+                .map(|c| BinSlot {
+                    capacity: c,
+                    balls: 0,
+                })
+                .collect(),
             total_capacity: total,
             total_balls: 0,
         }
@@ -40,35 +54,45 @@ impl BinArray {
     #[must_use]
     #[inline]
     pub fn n(&self) -> usize {
-        self.capacities.len()
+        self.slots.len()
     }
 
     /// Capacity of bin `i`.
     #[must_use]
     #[inline]
     pub fn capacity(&self, i: usize) -> u64 {
-        self.capacities[i]
+        self.slots[i].capacity
     }
 
-    /// All capacities.
+    /// All capacities, in index order (collected from the interleaved
+    /// storage; allocates).
     #[must_use]
-    #[inline]
-    pub fn capacities(&self) -> &[u64] {
-        &self.capacities
+    pub fn capacities(&self) -> Vec<u64> {
+        self.slots.iter().map(|s| s.capacity).collect()
     }
 
     /// Ball count of bin `i`.
     #[must_use]
     #[inline]
     pub fn balls(&self, i: usize) -> u64 {
-        self.balls[i]
+        self.slots[i].balls
     }
 
-    /// All ball counts.
+    /// All ball counts, in index order (collected from the interleaved
+    /// storage; allocates).
+    #[must_use]
+    pub fn ball_counts(&self) -> Vec<u64> {
+        self.slots.iter().map(|s| s.balls).collect()
+    }
+
+    /// `(capacity, balls)` of bin `i` in a single indexed load — the
+    /// accessor the batched throw kernel uses (one bounds check, one
+    /// cache line).
     #[must_use]
     #[inline]
-    pub fn ball_counts(&self) -> &[u64] {
-        &self.balls
+    pub fn capacity_and_balls(&self, i: usize) -> (u64, u64) {
+        let s = &self.slots[i];
+        (s.capacity, s.balls)
     }
 
     /// Total capacity `C = Σ c_i`.
@@ -89,7 +113,8 @@ impl BinArray {
     #[must_use]
     #[inline]
     pub fn load(&self, i: usize) -> Load {
-        Load::new(self.balls[i], self.capacities[i])
+        let s = &self.slots[i];
+        Load::new(s.balls, s.capacity)
     }
 
     /// Exact load bin `i` would have after receiving one more ball —
@@ -97,16 +122,33 @@ impl BinArray {
     #[must_use]
     #[inline]
     pub fn post_alloc_load(&self, i: usize) -> Load {
-        Load::new(self.balls[i] + 1, self.capacities[i])
+        let s = &self.slots[i];
+        Load::new(s.balls + 1, s.capacity)
     }
 
     /// Allocates one ball to bin `i` and returns the ball's *height*
     /// (the bin's load right after the allocation, as defined in §2).
     #[inline]
     pub fn add_ball(&mut self, i: usize) -> Load {
-        self.balls[i] += 1;
+        let s = &mut self.slots[i];
+        s.balls += 1;
         self.total_balls += 1;
-        Load::new(self.balls[i], self.capacities[i])
+        Load::new(s.balls, s.capacity)
+    }
+
+    /// Increments bin `i`'s ball count without updating the aggregate
+    /// total — the batched throw kernel settles the total once per block
+    /// via [`BinArray::settle_total`].
+    #[inline]
+    pub(crate) fn bump_ball(&mut self, i: usize) {
+        self.slots[i].balls += 1;
+    }
+
+    /// Adds `k` balls to the aggregate total (paired with `k` preceding
+    /// [`BinArray::bump_ball`] calls).
+    #[inline]
+    pub(crate) fn settle_total(&mut self, k: u64) {
+        self.total_balls += k;
     }
 
     /// Removes one ball from bin `i` (used by the dynamic/churn games;
@@ -116,14 +158,16 @@ impl BinArray {
     /// Panics if bin `i` is empty.
     #[inline]
     pub fn remove_ball(&mut self, i: usize) {
-        assert!(self.balls[i] > 0, "bin {i} has no ball to remove");
-        self.balls[i] -= 1;
+        assert!(self.slots[i].balls > 0, "bin {i} has no ball to remove");
+        self.slots[i].balls -= 1;
         self.total_balls -= 1;
     }
 
     /// Removes all balls (capacities unchanged).
     pub fn clear(&mut self) {
-        self.balls.fill(0);
+        for s in &mut self.slots {
+            s.balls = 0;
+        }
         self.total_balls = 0;
     }
 
@@ -169,9 +213,11 @@ impl BinArray {
     /// used by the per-class figures 12 and 13.
     #[must_use]
     pub fn class_normalized_loads_f64(&self, c: u64) -> Vec<f64> {
-        let mut loads: Vec<Load> = (0..self.n())
-            .filter(|&i| self.capacities[i] == c)
-            .map(|i| self.load(i))
+        let mut loads: Vec<Load> = self
+            .slots
+            .iter()
+            .filter(|s| s.capacity == c)
+            .map(|s| Load::new(s.balls, s.capacity))
             .collect();
         loads.sort_unstable_by(|a, b| b.cmp(a));
         loads.iter().map(Load::as_f64).collect()

@@ -64,7 +64,14 @@ impl Selection {
     /// Builds the O(1) alias sampler for these weights.
     #[must_use]
     pub fn sampler(&self, capacities: &[u64]) -> AliasTable {
-        AliasTable::new(&self.weights(capacities))
+        self.sampler_of::<AliasTable>(capacities)
+    }
+
+    /// Builds any [`WeightedSampler`] implementation for these weights —
+    /// the constructor behind the generic `Game<S>` engine.
+    #[must_use]
+    pub fn sampler_of<S: WeightedSampler>(&self, capacities: &[u64]) -> S {
+        S::from_weights(&self.weights(capacities))
     }
 }
 
@@ -84,23 +91,27 @@ pub enum ChoiceMode {
 /// Draws `d` candidate indices into `buf` according to `mode`, returning
 /// the filled prefix.
 ///
+/// `d` must lie in `1..=MAX_D`; the game constructors
+/// (`GameConfig::build*`, `DynamicGame::new`) validate this once at
+/// construction time, so the per-ball hot path only re-checks it in
+/// debug builds.
+///
 /// # Panics
-/// Panics if `d == 0`, `d > MAX_D`, or (in [`ChoiceMode::Distinct`] mode)
-/// `d` exceeds the sampler's category count.
+/// Panics (in [`ChoiceMode::Distinct`] mode) if `d` exceeds the
+/// sampler's category count; debug builds additionally assert
+/// `d ∈ 1..=MAX_D`.
 #[inline]
-pub fn draw_candidates<'a>(
-    sampler: &AliasTable,
+pub fn draw_candidates<'a, S: WeightedSampler>(
+    sampler: &S,
     d: usize,
     mode: ChoiceMode,
     rng: &mut Xoshiro256PlusPlus,
     buf: &'a mut [usize; MAX_D],
 ) -> &'a [usize] {
-    assert!((1..=MAX_D).contains(&d), "d must be in 1..={MAX_D}");
+    debug_assert!((1..=MAX_D).contains(&d), "d must be in 1..={MAX_D}");
     match mode {
         ChoiceMode::WithReplacement => {
-            for slot in buf.iter_mut().take(d) {
-                *slot = sampler.sample(rng);
-            }
+            sampler.sample_batch(rng, &mut buf[..d]);
         }
         ChoiceMode::Distinct => {
             assert!(

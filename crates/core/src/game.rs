@@ -1,11 +1,57 @@
 //! The simulation engine: configured games of balls into non-uniform bins.
+//!
+//! The engine is generic over the weighted sampler
+//! ([`Game<S>`](Game) with `S: WeightedSampler`, defaulting to the O(1)
+//! [`AliasTable`]) and routes bulk throws through a batched kernel:
+//! [`Game::throw_many`] hoists the `d`/policy/choice-mode dispatch out of
+//! the per-ball loop and monomorphizes the paper's dominant configuration
+//! (`d = 2`, with-replacement, Algorithm 1) into a two-pass block kernel —
+//! sample a block of candidate pairs through the branchless
+//! [`WeightedSampler::sample_batch`], then allocate with a branch-light
+//! two-candidate compare over [`BinArray`]'s interleaved
+//! `(capacity, balls)` layout.
+//!
+//! ## RNG draw-order contract (since the batched kernel)
+//!
+//! A game consumes randomness from **two** independent deterministic
+//! streams derived from its seed: the *candidate stream* feeds the
+//! weighted sampler (in ball order, `d` draws per ball), and the
+//! *tie-break stream* feeds allocation tie-breaking. Splitting the
+//! streams is what lets the batched kernel pre-sample whole blocks of
+//! candidates without reordering anybody's draws: batched and one-ball
+//! execution consume both streams identically, so [`Game::throw_many`]
+//! is bitwise interchangeable with a loop of [`Game::throw`] under the
+//! same seed. The `d = 2` Algorithm-1 fast path consumes exactly one
+//! tie-break draw per ball (branchless select); every other
+//! configuration draws from the tie stream only on actual ties — each
+//! configuration is internally consistent across scalar and batched
+//! execution. (Version note: the single-stream engine before the batched
+//! kernel interleaved tie-break draws into the candidate stream, so
+//! per-seed traces differ from releases prior to the kernel; every
+//! statistical result is unaffected.)
 
 use crate::bins::BinArray;
 use crate::capacity::CapacityVector;
 use crate::choice::{draw_candidates, ChoiceMode, Selection, MAX_D};
 use crate::load::Load;
 use crate::policy::Policy;
-use bnb_distributions::{AliasTable, Xoshiro256PlusPlus};
+use bnb_distributions::{derive_seed, AliasTable, WeightedSampler, Xoshiro256PlusPlus};
+
+/// Stream id under which a game's tie-break RNG is derived from its seed
+/// (see the module-level draw-order contract).
+const TIE_BREAK_STREAM: u64 = 0x7169_u64; // "ti"
+
+/// Balls per block of the batched `d = 2` kernel: large enough to
+/// amortise the pass switches and keep many cache misses in flight,
+/// small enough that the candidate buffer (2 × 8 B × block) stays a
+/// fraction of L1.
+const KERNEL_BLOCK: usize = 1024;
+
+/// Below this bin count the whole game (bins + alias table) is
+/// cache-resident and the scalar fast path out-runs the block kernel, so
+/// [`Game::throw_many`] dispatches on size. Both paths consume the RNG
+/// streams identically; the cutover never changes results.
+const SCALAR_CUTOVER_BINS: usize = 8192;
 
 /// Configuration of a game: everything except the capacities and the seed.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,20 +108,41 @@ impl GameConfig {
         self
     }
 
-    /// Instantiates a game on the given capacities with its own RNG.
+    /// Instantiates a game on the given capacities with its own RNG,
+    /// using the default [`AliasTable`] sampler.
     ///
     /// # Panics
     /// Panics if `d` is outside `1..=MAX_D` or the selection weights are
     /// invalid for these capacities.
     #[must_use]
     pub fn build(&self, capacities: &CapacityVector, seed: u64) -> Game {
+        self.build_with_sampler::<AliasTable>(capacities, seed)
+    }
+
+    /// Instantiates a game with an explicit sampler implementation —
+    /// the engine is generic over [`WeightedSampler`], so ablations and
+    /// differential tests can run the identical game on e.g. the Fenwick
+    /// or cumulative sampler.
+    ///
+    /// This is the single construction-time validation point for `d`;
+    /// the per-ball hot path only re-checks it via `debug_assert!`.
+    ///
+    /// # Panics
+    /// Panics if `d` is outside `1..=MAX_D` or the selection weights are
+    /// invalid for these capacities.
+    #[must_use]
+    pub fn build_with_sampler<S: WeightedSampler>(
+        &self,
+        capacities: &CapacityVector,
+        seed: u64,
+    ) -> Game<S> {
         assert!(
             self.d >= 1 && self.d <= MAX_D,
             "d must be in 1..={MAX_D}, got {}",
             self.d
         );
         let bins = BinArray::new(capacities.as_slice().to_vec());
-        let sampler = self.selection.sampler(capacities.as_slice());
+        let sampler = self.selection.sampler_of::<S>(capacities.as_slice());
         Game {
             bins,
             sampler,
@@ -83,11 +150,16 @@ impl GameConfig {
             policy: self.policy,
             choice_mode: self.choice_mode,
             rng: Xoshiro256PlusPlus::from_u64_seed(seed),
+            tie_rng: Xoshiro256PlusPlus::from_u64_seed(derive_seed(seed, TIE_BREAK_STREAM, 0)),
         }
     }
 }
 
 /// A running game: bin state + sampler + policy + RNG.
+///
+/// Generic over the weighted sampler (`S`, default [`AliasTable`]); every
+/// existing call site that names `Game` keeps compiling against the alias
+/// default.
 ///
 /// ```
 /// use bnb_core::{CapacityVector, GameConfig};
@@ -97,19 +169,71 @@ impl GameConfig {
 /// assert_eq!(game.bins().total_balls(), caps.total());
 /// ```
 #[derive(Debug, Clone)]
-pub struct Game {
+pub struct Game<S = AliasTable> {
     bins: BinArray,
-    sampler: AliasTable,
+    sampler: S,
     d: usize,
     policy: Policy,
     choice_mode: ChoiceMode,
+    /// Candidate stream (see the module-level draw-order contract).
     rng: Xoshiro256PlusPlus,
+    /// Tie-break stream.
+    tie_rng: Xoshiro256PlusPlus,
 }
 
-impl Game {
+impl<S: WeightedSampler> Game<S> {
+    /// Whether this game runs the paper's dominant configuration, which
+    /// the monomorphized kernel (and the matching one-ball fast path)
+    /// serves.
+    #[inline]
+    fn is_d2_paper(&self) -> bool {
+        self.d == 2
+            && self.choice_mode == ChoiceMode::WithReplacement
+            && self.policy == Policy::PaperProtocol
+    }
+
+    /// Algorithm 1 on exactly two with-replacement candidates, branchless.
+    ///
+    /// Consumes **one** tie-break draw per ball whether or not a tie
+    /// occurs (the draw's top bit is the uniform pick, matching
+    /// `next_below(2)`), so the select compiles to flag arithmetic and a
+    /// conditional move instead of data-dependent branches — mispredicted
+    /// half the time on the frequent exact ties. Both the scalar
+    /// [`Game::throw`] and the batched kernel allocate through this
+    /// helper, which is what keeps the two paths bitwise interchangeable.
+    #[inline]
+    fn alloc_d2_paper(&mut self, c1: usize, c2: usize) -> usize {
+        // Top bit set ⇔ next_below(2) == 1; the reservoir convention in
+        // `Policy::choose` replaces the incumbent on 0.
+        let tie_pick2 = (self.tie_rng.next() >> 63) == 0;
+        let (cap1, b1) = self.bins.capacity_and_balls(c1);
+        let (cap2, b2) = self.bins.capacity_and_balls(c2);
+        // Exact post-allocation load compare ((b+1)/cap) by u128
+        // cross-multiplication, as in `Load::cmp`; then the capacity
+        // tie-break (prefer larger), then the uniform bit. Bitwise `|`/`&`
+        // keep the whole predicate branch-free. A duplicated candidate
+        // (c1 == c2) falls through to the tie bit and picks the same bin
+        // either way.
+        let l1 = (u128::from(b1) + 1) * u128::from(cap2);
+        let l2 = (u128::from(b2) + 1) * u128::from(cap1);
+        let pick2 = (l2 < l1) | ((l2 == l1) & ((cap2 > cap1) | ((cap2 == cap1) & tie_pick2)));
+        if pick2 {
+            c2
+        } else {
+            c1
+        }
+    }
+
     /// Throws one ball; returns the receiving bin's index.
     #[inline]
     pub fn throw(&mut self) -> usize {
+        if self.is_d2_paper() {
+            let c1 = self.sampler.sample(&mut self.rng);
+            let c2 = self.sampler.sample(&mut self.rng);
+            let target = self.alloc_d2_paper(c1, c2);
+            self.bins.add_ball(target);
+            return target;
+        }
         let mut buf = [0usize; MAX_D];
         let candidates = draw_candidates(
             &self.sampler,
@@ -118,7 +242,9 @@ impl Game {
             &mut self.rng,
             &mut buf,
         );
-        let target = self.policy.choose(&self.bins, candidates, &mut self.rng);
+        let target = self
+            .policy
+            .choose(&self.bins, candidates, &mut self.tie_rng);
         self.bins.add_ball(target);
         target
     }
@@ -131,10 +257,96 @@ impl Game {
         (bin, self.bins.load(bin))
     }
 
-    /// Throws `count` balls.
+    /// Throws `count` balls through the batched kernel.
+    ///
+    /// The `d`/policy/choice-mode dispatch happens once per call, not per
+    /// ball: the paper's dominant configuration (`d = 2`, with
+    /// replacement, Algorithm 1) runs a monomorphized two-candidate
+    /// kernel, everything else falls back to the scalar loop. Both paths
+    /// draw from the RNG in exactly the same order as `count` successive
+    /// [`Game::throw`] calls, so a batched run is bitwise identical to a
+    /// one-ball loop under the same seed.
     pub fn throw_many(&mut self, count: u64) {
-        for _ in 0..count {
-            self.throw();
+        if self.is_d2_paper() {
+            if self.bins.n() <= SCALAR_CUTOVER_BINS {
+                // Cache-resident games: the per-ball fast path beats the
+                // block kernel (same stream consumption, so the choice
+                // of path never changes results).
+                for _ in 0..count {
+                    self.throw();
+                }
+            } else {
+                self.throw_batch_d2_paper(count);
+            }
+        } else if self.choice_mode == ChoiceMode::WithReplacement {
+            self.throw_batch_with_replacement(count);
+        } else {
+            // Distinct mode interleaves rejection re-draws into the
+            // candidate stream per ball; it stays on the scalar loop.
+            for _ in 0..count {
+                self.throw();
+            }
+        }
+    }
+
+    /// Batched path for any with-replacement configuration outside the
+    /// monomorphized `d = 2` kernel: candidates for a whole block are
+    /// pre-sampled through [`WeightedSampler::sample_batch`] (identical
+    /// candidate-stream order as per-ball draws), then each ball runs the
+    /// policy on its `d`-slice. Hoists the choice-mode dispatch and
+    /// pipelines the sampler's cache misses; the policy dispatch remains
+    /// per ball but is a perfectly predicted branch.
+    fn throw_batch_with_replacement(&mut self, count: u64) {
+        const GENERIC_BLOCK: usize = 128;
+        let d = self.d;
+        let mut cands = [0usize; MAX_D * GENERIC_BLOCK];
+        let mut remaining = count;
+        while remaining > 0 {
+            let block = GENERIC_BLOCK.min(usize::try_from(remaining).unwrap_or(GENERIC_BLOCK));
+            self.sampler
+                .sample_batch(&mut self.rng, &mut cands[..d * block]);
+            for ball in 0..block {
+                let candidates = &cands[ball * d..(ball + 1) * d];
+                let target = self
+                    .policy
+                    .choose(&self.bins, candidates, &mut self.tie_rng);
+                self.bins.add_ball(target);
+            }
+            remaining -= block as u64;
+        }
+    }
+
+    /// The monomorphized hot kernel: `d = 2`, candidates drawn with
+    /// replacement, Algorithm 1 allocation.
+    ///
+    /// Two passes per block of up to [`KERNEL_BLOCK`] balls:
+    ///
+    /// 1. **Sample** `2·block` candidates through the branchless
+    ///    [`WeightedSampler::sample_batch`] — independent iterations, so
+    ///    the out-of-order window keeps many table-cache misses in
+    ///    flight;
+    /// 2. **Allocate** sequentially through [`Game::alloc_d2_paper`] —
+    ///    one interleaved `(capacity, balls)` line per candidate and a
+    ///    branchless select, so the only branches are perfectly
+    ///    predicted loop/bounds checks and speculation overlaps the bin
+    ///    misses of successive balls too.
+    ///
+    /// Consumes both RNG streams in exactly the order the scalar
+    /// [`Game::throw`] loop does (candidates in ball order, one tie-break
+    /// draw per ball), so the paths stay bitwise interchangeable.
+    fn throw_batch_d2_paper(&mut self, count: u64) {
+        let mut pairs = [0usize; 2 * KERNEL_BLOCK];
+        let mut remaining = count;
+        while remaining > 0 {
+            let block = KERNEL_BLOCK.min(usize::try_from(remaining).unwrap_or(KERNEL_BLOCK));
+            let buf = &mut pairs[..2 * block];
+            self.sampler.sample_batch(&mut self.rng, buf);
+            for i in 0..block {
+                let target = self.alloc_d2_paper(pairs[2 * i], pairs[2 * i + 1]);
+                self.bins.bump_ball(target);
+            }
+            self.bins.settle_total(block as u64);
+            remaining -= block as u64;
         }
     }
 
@@ -145,7 +357,8 @@ impl Game {
 
     /// Throws `count` balls, invoking `snapshot` after every `interval`
     /// balls (used by the heavily-loaded Figure 16: sample every `CAP`
-    /// balls while throwing `100·CAP`).
+    /// balls while throwing `100·CAP`). Each interval runs through the
+    /// batched kernel.
     ///
     /// # Panics
     /// Panics if `interval == 0`.
@@ -159,9 +372,7 @@ impl Game {
         let mut thrown = 0u64;
         while thrown < count {
             let batch = interval.min(count - thrown);
-            for _ in 0..batch {
-                self.throw();
-            }
+            self.throw_many(batch);
             thrown += batch;
             snapshot(thrown, &self.bins);
         }
@@ -220,6 +431,30 @@ mod tests {
         assert_eq!(a, b);
         let c = run_game(&caps, caps.total(), &GameConfig::default(), 100);
         assert_ne!(a, c, "different seeds should differ (w.o.p.)");
+    }
+
+    #[test]
+    fn batched_kernel_matches_scalar_loop_bitwise() {
+        // The d=2 kernel and the one-ball throw() loop must consume the
+        // RNG identically: same bins, same heights, same RNG state. The
+        // bin count sits ABOVE SCALAR_CUTOVER_BINS so throw_many really
+        // dispatches to the block kernel (smaller games take the scalar
+        // fast path and would leave the kernel untested).
+        let n = SCALAR_CUTOVER_BINS + 1808; // 10_000 bins
+        let caps = CapacityVector::two_class(n / 2, 1, n / 2, 8);
+        let mut batched = GameConfig::default().build(&caps, 4242);
+        let mut scalar = GameConfig::default().build(&caps, 4242);
+        // More than one kernel block, with a partial tail block.
+        let m = 3 * 1024 + 77;
+        batched.throw_many(m);
+        for _ in 0..m {
+            scalar.throw();
+        }
+        assert_eq!(batched.bins(), scalar.bins());
+        // RNG states agree iff the next throws land identically.
+        for _ in 0..100 {
+            assert_eq!(batched.throw(), scalar.throw());
+        }
     }
 
     #[test]

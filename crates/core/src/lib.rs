@@ -30,8 +30,10 @@
 //! * [`policy::Policy`] — Algorithm 1 plus the baselines it is compared
 //!   against (classic least-loaded Greedy\[d\], fewest-balls Greedy\[d\] of
 //!   Azar et al., one-choice, random).
-//! * [`game::Game`] — the simulation engine (O(1) sampling via alias
-//!   tables, allocation-free throw loop).
+//! * [`game::Game`] — the simulation engine: generic over the
+//!   [`bnb_distributions::WeightedSampler`] (defaulting to the O(1)
+//!   alias table), with bulk throws routed through a batched,
+//!   monomorphized kernel (see the draw-order contract in [`game`]).
 //! * [`slots`] & [`majorization`] — the slot-vector machinery used in the
 //!   paper's Lemma 1 coupling proof, executable so the dominance argument
 //!   can be property-tested.

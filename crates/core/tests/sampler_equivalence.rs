@@ -1,0 +1,153 @@
+//! Differential tests for the generic `Game<S>` engine.
+//!
+//! Two contracts are pinned here:
+//!
+//! 1. **Statistical equivalence across samplers** — the alias, Fenwick
+//!    and cumulative samplers encode the same selection distribution, so
+//!    games differing only in the sampler implementation must produce
+//!    the same allocation frequencies (they consume randomness
+//!    differently, so traces differ; the distributions must not).
+//! 2. **Bitwise equivalence across execution shapes** — for a fixed
+//!    sampler and seed, the batched [`Game::throw_many`] kernels, the
+//!    scalar [`Game::throw`] loop, and [`Game::throw_with_snapshots`]
+//!    must be interchangeable ball for ball (the two-stream draw-order
+//!    contract documented in `bnb_core::game`).
+
+use bnb_core::prelude::*;
+use bnb_distributions::{AliasTable, CumulativeSampler, FenwickSampler, WeightedSampler};
+
+/// A skewed capacity vector: five octave-spaced classes, eight bins each.
+fn skewed_caps() -> CapacityVector {
+    let mut caps = Vec::new();
+    for &c in &[1u64, 2, 4, 8, 16] {
+        caps.extend(std::iter::repeat_n(c, 8));
+    }
+    CapacityVector::from_vec(caps)
+}
+
+/// Runs `reps` games of `m` balls with sampler `S` and returns the
+/// aggregate per-capacity-class allocation fractions.
+fn class_fractions<S: WeightedSampler>(reps: u64, m: u64) -> Vec<f64> {
+    let caps = skewed_caps();
+    let config = GameConfig::default(); // d = 2, Algorithm 1, proportional
+    let mut class_balls = [0u64; 5];
+    for rep in 0..reps {
+        let mut game = config.build_with_sampler::<S>(&caps, 0xEAA0 + rep);
+        game.throw_many(m);
+        for (i, &count) in game.bins().ball_counts().iter().enumerate() {
+            class_balls[i / 8] += count;
+        }
+    }
+    let total = (reps * m) as f64;
+    class_balls.iter().map(|&b| b as f64 / total).collect()
+}
+
+#[test]
+fn samplers_agree_on_allocation_frequencies() {
+    let reps = 4u64;
+    let m = 50_000u64;
+    let alias = class_fractions::<AliasTable>(reps, m);
+    let fenwick = class_fractions::<FenwickSampler>(reps, m);
+    let cumulative = class_fractions::<CumulativeSampler>(reps, m);
+    let total = (reps * m) as f64;
+    for (name, other) in [("fenwick", &fenwick), ("cumulative", &cumulative)] {
+        for (class, (&a, &b)) in alias.iter().zip(other).enumerate() {
+            // Two independent binomial proportions: 6 sigma on the
+            // difference, plus a floor for the tiny classes.
+            let p = (a + b) / 2.0;
+            let tol = 6.0 * (2.0 * p * (1.0 - p) / total).sqrt() + 1e-4;
+            assert!(
+                (a - b).abs() < tol,
+                "{name} class {class}: alias {a:.5} vs {b:.5} (tol {tol:.5})"
+            );
+        }
+    }
+}
+
+/// Every engine configuration must produce identical games whether balls
+/// are thrown one at a time, in one batch, or in snapshot intervals.
+#[test]
+fn batched_scalar_and_snapshot_paths_agree_bitwise() {
+    let caps = skewed_caps();
+    let configs = [
+        ("d2_paper", GameConfig::default()),
+        ("d1_paper", GameConfig::with_d(1)),
+        (
+            "d3_prior",
+            GameConfig::with_d(3).policy(Policy::LeastLoadedPrior),
+        ),
+        (
+            "d2_random",
+            GameConfig::with_d(2).policy(Policy::RandomOfChosen),
+        ),
+        (
+            "d3_distinct",
+            GameConfig::with_d(3).choice_mode(ChoiceMode::Distinct),
+        ),
+    ];
+    let m = 4_000u64;
+    for (name, config) in configs {
+        let mut batched = config.build(&caps, 77);
+        let mut scalar = config.build(&caps, 77);
+        let mut snapshotted = config.build(&caps, 77);
+        batched.throw_many(m);
+        for _ in 0..m {
+            scalar.throw();
+        }
+        let mut intervals = 0;
+        snapshotted.throw_with_snapshots(m, 333, |_, _| intervals += 1);
+        assert_eq!(batched.bins(), scalar.bins(), "{name}: batched vs scalar");
+        assert_eq!(
+            batched.bins(),
+            snapshotted.bins(),
+            "{name}: batched vs snapshots"
+        );
+        assert!(intervals > 0);
+        // Both RNG streams must be in lockstep afterwards: the next balls
+        // have to land identically.
+        for i in 0..200 {
+            let b = batched.throw();
+            let s = scalar.throw();
+            let p = snapshotted.throw();
+            assert_eq!(b, s, "{name}: ball {i} diverged (scalar)");
+            assert_eq!(b, p, "{name}: ball {i} diverged (snapshot)");
+        }
+    }
+}
+
+/// The bitwise contract holds for non-default samplers too (they share
+/// the generic kernels with the alias default).
+#[test]
+fn batched_paths_agree_bitwise_for_all_samplers() {
+    let caps = skewed_caps();
+    let config = GameConfig::default();
+    let m = 3_000u64;
+    fn check<S: WeightedSampler>(caps: &CapacityVector, config: &GameConfig, m: u64, name: &str) {
+        let mut batched = config.build_with_sampler::<S>(caps, 5150);
+        let mut scalar = config.build_with_sampler::<S>(caps, 5150);
+        batched.throw_many(m);
+        for _ in 0..m {
+            scalar.throw();
+        }
+        assert_eq!(batched.bins(), scalar.bins(), "{name}");
+        for _ in 0..100 {
+            assert_eq!(batched.throw(), scalar.throw(), "{name}: post-run");
+        }
+    }
+    check::<AliasTable>(&caps, &config, m, "alias");
+    check::<FenwickSampler>(&caps, &config, m, "fenwick");
+    check::<CumulativeSampler>(&caps, &config, m, "cumulative");
+}
+
+/// `run_game` (used by every figure) must keep going through the batched
+/// kernel: pin its equality with an explicit scalar loop.
+#[test]
+fn run_game_uses_kernel_equivalent_path() {
+    let caps = skewed_caps();
+    let bins = run_game(&caps, 2_000, &GameConfig::default(), 31);
+    let mut game = GameConfig::default().build(&caps, 31);
+    for _ in 0..2_000 {
+        game.throw();
+    }
+    assert_eq!(&bins, game.bins());
+}

@@ -64,6 +64,10 @@ impl WeightedSampler for CumulativeSampler {
         }
     }
 
+    fn from_weights(weights: &[f64]) -> Self {
+        CumulativeSampler::new(weights)
+    }
+
     fn len(&self) -> usize {
         self.weights.len()
     }

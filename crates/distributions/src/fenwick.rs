@@ -165,6 +165,10 @@ impl WeightedSampler for FenwickSampler {
         }
     }
 
+    fn from_weights(weights: &[f64]) -> Self {
+        FenwickSampler::new(weights)
+    }
+
     fn len(&self) -> usize {
         self.weights.len()
     }

@@ -27,13 +27,16 @@ impl MeanAccumulator {
 
     /// Adds one vector observation.
     ///
-    /// # Panics
-    /// Panics if `values.len()` differs from the accumulator length.
+    /// The accumulator's length is fixed by [`MeanAccumulator::new`];
+    /// callers must push slices of exactly that length. The check runs as
+    /// a `debug_assert!` so the per-repetition hot path carries no branch
+    /// in release builds; a mismatched release-mode push still cannot
+    /// write out of bounds (the zip below truncates to the shorter side).
     pub fn push_slice(&mut self, values: &[f64]) {
-        assert_eq!(values.len(), self.sums.len(), "vector length mismatch");
-        for (i, &v) in values.iter().enumerate() {
-            self.sums[i] += v;
-            self.sq_sums[i] += v * v;
+        debug_assert_eq!(values.len(), self.sums.len(), "vector length mismatch");
+        for ((s, sq), &v) in self.sums.iter_mut().zip(&mut self.sq_sums).zip(values) {
+            *s += v;
+            *sq += v * v;
         }
         self.count += 1;
     }
@@ -153,6 +156,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "length mismatch")]
+    #[cfg(debug_assertions)] // the length check is debug-only by design
     fn mismatched_length_panics() {
         let mut acc = MeanAccumulator::new(2);
         acc.push_slice(&[1.0]);
