@@ -30,6 +30,7 @@ fn queueing_throughput(c: &mut Criterion) {
                     routing,
                     selection: Selection::ProportionalToCapacity,
                     rho: 0.9,
+                    queue_capacity: None,
                 };
                 let mut sys = QueueSystem::new(&speeds, config, bnb_bench::BENCH_SEED);
                 black_box(sys.run_arrivals(ARRIVALS))

@@ -1,20 +1,27 @@
-//! `bench-snapshot` — tracked balls/sec measurements for the throw kernel.
+//! `bench-snapshot` — tracked balls/sec measurements for the throw
+//! kernel, and requests/sec for the cluster simulator.
 //!
 //! Criterion benches are great for interactive A/B work but their output
-//! is ephemeral; this runner writes a machine-readable `BENCH_throw.json`
-//! so the repo can track its throughput trajectory across PRs. It times
-//! the engine's batched throw path over the standard grid
-//! `n ∈ {1e3, 1e5, 1e6} × d ∈ {1, 2, 4} × {uniform, two-class, Zipf}`
-//! capacities and reports balls/sec per cell, next to the recorded
-//! pre-kernel baseline for the same cell.
+//! is ephemeral; this runner writes machine-readable snapshots so the
+//! repo can track its throughput trajectory across PRs:
+//!
+//! * `BENCH_throw.json` — the engine's batched throw path over the grid
+//!   `n ∈ {1e3, 1e5, 1e6} × d ∈ {1, 2, 4} × {uniform, two-class, Zipf}`
+//!   capacities, balls/sec per cell next to the recorded pre-kernel
+//!   baseline;
+//! * `BENCH_cluster.json` — end-to-end requests/sec of the `bnb-cluster`
+//!   discrete-event simulator over the registered scenario workloads,
+//!   next to the baseline recorded when the subsystem landed.
 //!
 //! ```text
-//! bench-snapshot                       # full grid -> ./BENCH_throw.json
-//! bench-snapshot --out results.json    # full grid -> results.json
-//! bench-snapshot --check               # tiny grid, CI smoke (fails if the
+//! bench-snapshot                       # full grids -> ./BENCH_throw.json
+//!                                      #             + ./BENCH_cluster.json
+//! bench-snapshot --out t.json --cluster-out c.json
+//! bench-snapshot --check               # tiny grids, CI smoke (fails if a
 //!                                      # file cannot be produced)
 //! ```
 
+use bnb_cluster::{find_scenario, ClusterSim};
 use bnb_core::prelude::*;
 use bnb_distributions::Xoshiro256PlusPlus;
 use std::io::Write;
@@ -72,6 +79,77 @@ fn baseline_for(scenario: &str, n: usize, d: usize) -> Option<f64> {
         .iter()
         .find(|&&(s, bn, bd, _)| s == scenario && bn == n && bd == d)
         .map(|&(_, _, _, bps)| bps)
+}
+
+/// Requests/sec of one cluster-simulator scenario.
+struct ClusterCell {
+    scenario: &'static str,
+    requests_per_iter: u64,
+    total_requests: u64,
+    elapsed: Duration,
+    req_per_sec: f64,
+    baseline_req_per_sec: Option<f64>,
+}
+
+/// End-to-end cluster baseline, in requests/sec, measured with this same
+/// runner when the `bnb-cluster` subsystem landed (single-core CI
+/// container, averaged over two full runs). `(scenario, req_per_sec)`.
+const CLUSTER_BASELINE: &[(&str, f64)] = &[
+    ("uniform", 4.77e6),
+    ("two_class", 5.25e6),
+    ("zipf", 5.18e6),
+    ("flash_crowd", 4.87e6),
+    ("churny_p2p", 4.00e6),
+];
+
+fn cluster_baseline_for(scenario: &str) -> Option<f64> {
+    CLUSTER_BASELINE
+        .iter()
+        .find(|&&(s, _)| s == scenario)
+        .map(|&(_, rps)| rps)
+}
+
+/// JSON cell names use underscores; the scenario registry uses dashes.
+fn cluster_scenario_id(cell_name: &str) -> String {
+    cell_name.replace('_', "-")
+}
+
+/// Times one cluster scenario: repeated full runs of `requests` offered
+/// requests (fresh simulator each iteration, construction included — the
+/// figure tracks serving throughput end to end) until the budget
+/// elapses.
+fn measure_cluster(cell_name: &'static str, requests: u64, budget: Duration) -> ClusterCell {
+    let scenario = find_scenario(&cluster_scenario_id(cell_name))
+        .unwrap_or_else(|| unreachable!("unknown cluster scenario {cell_name}"));
+    let run = || {
+        let spec = (scenario.build)(bnb_bench::BENCH_SEED, requests);
+        let metrics = ClusterSim::new(spec, bnb_bench::BENCH_SEED).run();
+        assert_eq!(
+            metrics.completed + metrics.dropped + metrics.orphaned,
+            requests,
+            "{cell_name}: lost requests during benching"
+        );
+    };
+    // Warm-up run: page-faults, allocator growth, branch history.
+    run();
+    let mut total = 0u64;
+    let start = Instant::now();
+    loop {
+        run();
+        total += requests;
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    let elapsed = start.elapsed();
+    ClusterCell {
+        scenario: cell_name,
+        requests_per_iter: requests,
+        total_requests: total,
+        elapsed,
+        req_per_sec: total as f64 / elapsed.as_secs_f64(),
+        baseline_req_per_sec: cluster_baseline_for(cell_name),
+    }
 }
 
 /// Builds the capacity vector for a named scenario. The capacity RNG is
@@ -167,21 +245,64 @@ fn render_json(cells: &[Cell], mode: &str) -> String {
     out
 }
 
+fn render_cluster_json(cells: &[ClusterCell], mode: &str) -> String {
+    let generated = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape_free(mode)));
+    out.push_str(&format!("  \"generated_unix_secs\": {generated},\n"));
+    out.push_str(&format!("  \"seed\": {},\n", bnb_bench::BENCH_SEED));
+    out.push_str("  \"baseline_commit\": \"cluster-subsystem-pr\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let baseline = c
+            .baseline_req_per_sec
+            .map_or("null".to_string(), |b| format!("{b:.4e}"));
+        let speedup = c
+            .baseline_req_per_sec
+            .map_or("null".to_string(), |b| format!("{:.2}", c.req_per_sec / b));
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"requests_per_iter\": {}, \
+             \"req_per_sec\": {:.4e}, \"requests_total\": {}, \
+             \"elapsed_secs\": {:.4}, \"baseline_req_per_sec\": {}, \
+             \"speedup_vs_baseline\": {}}}{}\n",
+            json_escape_free(c.scenario),
+            c.requests_per_iter,
+            c.req_per_sec,
+            c.total_requests,
+            c.elapsed.as_secs_f64(),
+            baseline,
+            speedup,
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn usage() -> &'static str {
-    "Usage: bench-snapshot [--check] [--out PATH]\n\
+    "Usage: bench-snapshot [--check] [--out PATH] [--cluster-out PATH]\n\
      \n\
      Measures balls/sec of the throw kernel over the standard scenario\n\
-     grid and writes BENCH_throw.json (default: current directory).\n\
+     grid (-> BENCH_throw.json) and requests/sec of the cluster\n\
+     simulator over its workload grid (-> BENCH_cluster.json), in the\n\
+     current directory by default.\n\
      \n\
      Options:\n\
-     \x20  --check      tiny grid + short budget: CI smoke that the\n\
-     \x20               snapshot pipeline still produces a valid file\n\
-     \x20  --out PATH   output path (default ./BENCH_throw.json)\n"
+     \x20  --check             tiny grids + short budget: CI smoke that\n\
+     \x20                      the snapshot pipeline still produces valid\n\
+     \x20                      files\n\
+     \x20  --out PATH          throw-kernel output (./BENCH_throw.json)\n\
+     \x20  --cluster-out PATH  cluster output (./BENCH_cluster.json)\n"
 }
 
 fn main() -> ExitCode {
     let mut check = false;
     let mut out_path = PathBuf::from("BENCH_throw.json");
+    let mut cluster_out_path = PathBuf::from("BENCH_cluster.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -190,6 +311,13 @@ fn main() -> ExitCode {
                 Some(p) => out_path = PathBuf::from(p),
                 None => {
                     eprintln!("--out needs a path\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--cluster-out" => match args.next() {
+                Some(p) => cluster_out_path = PathBuf::from(p),
+                None => {
+                    eprintln!("--cluster-out needs a path\n\n{}", usage());
                     return ExitCode::from(2);
                 }
             },
@@ -235,17 +363,47 @@ fn main() -> ExitCode {
         }
     }
 
-    let json = render_json(&cells, mode);
-    let write = std::fs::File::create(&out_path)
-        .and_then(|mut f| f.write_all(json.as_bytes()).and_then(|()| f.sync_all()));
-    match write {
-        Ok(()) => {
-            println!("wrote {}", out_path.display());
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("failed to write {}: {e}", out_path.display());
-            ExitCode::FAILURE
+    // The cluster grid: end-to-end requests/sec per workload.
+    let (cluster_cells_spec, cluster_requests, cluster_budget): (&[&'static str], u64, Duration) =
+        if check {
+            (&["two_class"], 5_000, Duration::from_millis(30))
+        } else {
+            (
+                &["uniform", "two_class", "zipf", "flash_crowd", "churny_p2p"],
+                50_000,
+                Duration::from_millis(400),
+            )
+        };
+    let mut cluster_cells = Vec::new();
+    for &cell_name in cluster_cells_spec {
+        let cell = measure_cluster(cell_name, cluster_requests, cluster_budget);
+        println!(
+            "cluster/{:<12} reqs={:<6} {:>10.3e} req/s{}",
+            cell.scenario,
+            cell.requests_per_iter,
+            cell.req_per_sec,
+            cell.baseline_req_per_sec.map_or(String::new(), |b| {
+                format!("  ({:.2}x vs baseline)", cell.req_per_sec / b)
+            }),
+        );
+        cluster_cells.push(cell);
+    }
+
+    let write_file = |path: &PathBuf, json: &str| {
+        std::fs::File::create(path)
+            .and_then(|mut f| f.write_all(json.as_bytes()).and_then(|()| f.sync_all()))
+    };
+    for (path, json) in [
+        (&out_path, render_json(&cells, mode)),
+        (&cluster_out_path, render_cluster_json(&cluster_cells, mode)),
+    ] {
+        match write_file(path, &json) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
         }
     }
+    ExitCode::SUCCESS
 }

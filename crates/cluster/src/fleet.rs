@@ -1,0 +1,319 @@
+//! The heterogeneous server fleet: finite-queue servers with latency
+//! bookkeeping and churn (servers joining and leaving mid-run).
+//!
+//! Each slot wraps a [`bnb_queueing::Server`] (which owns the counting:
+//! queue length, peak queue, completions, drops) and adds what the
+//! cluster needs on top: per-job admission timestamps for latency
+//! measurement, a stable membership id for consistent-hash placement,
+//! and an alive flag. Slots are never reused or revived — a departed
+//! server's slot stays dead forever — so `is_alive()` alone identifies
+//! stale departure events after churn.
+
+use bnb_core::Load;
+use bnb_queueing::events::Time;
+use bnb_queueing::server::{Admission, Server};
+use std::collections::VecDeque;
+
+/// One cluster server: a queueing server plus latency and membership
+/// state.
+#[derive(Debug, Clone)]
+pub struct ClusterServer {
+    core: Server,
+    /// Admission time of every job currently in the system, FIFO.
+    in_flight: VecDeque<Time>,
+    /// Stable membership id (never reused, feeds the hash ring).
+    id: u64,
+    alive: bool,
+}
+
+impl ClusterServer {
+    fn new(speed: u64, queue_capacity: Option<u64>, id: u64) -> Self {
+        let core = match queue_capacity {
+            Some(cap) => Server::with_queue_capacity(speed, cap),
+            None => Server::new(speed),
+        };
+        ClusterServer {
+            core,
+            in_flight: VecDeque::new(),
+            id,
+            alive: true,
+        }
+    }
+
+    /// Service speed (jobs of unit work per unit time).
+    #[must_use]
+    pub fn speed(&self) -> u64 {
+        self.core.speed()
+    }
+
+    /// Jobs currently in the system (queue + in service).
+    #[must_use]
+    pub fn queue_len(&self) -> u64 {
+        self.core.queue_len()
+    }
+
+    /// Largest queue length ever observed.
+    #[must_use]
+    pub fn max_queue(&self) -> u64 {
+        self.core.max_queue()
+    }
+
+    /// Completed jobs.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.core.completed()
+    }
+
+    /// Jobs rejected at a full queue.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.core.dropped()
+    }
+
+    /// The normalised load a job would see after joining:
+    /// `(queue + 1) / speed` as an exact [`Load`] rational.
+    #[must_use]
+    pub fn post_join_load(&self) -> Load {
+        self.core.post_join_load()
+    }
+
+    /// Stable membership id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether the server is currently part of the cluster.
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+}
+
+/// The fleet: all server slots ever created, dead ones included (their
+/// counters keep contributing to the final metrics).
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    servers: Vec<ClusterServer>,
+    n_alive: usize,
+    next_id: u64,
+    queue_capacity: Option<u64>,
+}
+
+impl Fleet {
+    /// Builds a fleet of alive servers with the given speeds, all queues
+    /// bounded by `queue_capacity` (`None` = unbounded).
+    ///
+    /// # Panics
+    /// Panics if `speeds` is empty or any speed is zero (via
+    /// [`Server::new`]).
+    #[must_use]
+    pub fn new(speeds: &[u64], queue_capacity: Option<u64>) -> Self {
+        assert!(!speeds.is_empty(), "fleet needs at least one server");
+        let servers: Vec<ClusterServer> = speeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| ClusterServer::new(s, queue_capacity, i as u64))
+            .collect();
+        Fleet {
+            n_alive: servers.len(),
+            next_id: servers.len() as u64,
+            servers,
+            queue_capacity,
+        }
+    }
+
+    /// Total slots ever created (alive and departed).
+    #[must_use]
+    pub fn n_slots(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Currently alive servers.
+    #[must_use]
+    pub fn n_alive(&self) -> usize {
+        self.n_alive
+    }
+
+    /// The server in slot `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn server(&self, i: usize) -> &ClusterServer {
+        &self.servers[i]
+    }
+
+    /// All slots, in creation order.
+    #[must_use]
+    pub fn servers(&self) -> &[ClusterServer] {
+        &self.servers
+    }
+
+    /// Indices of the alive servers, in creation order. Placement
+    /// structures (alias table, hash ring, rendezvous) are built over
+    /// exactly this list, in this order.
+    #[must_use]
+    pub fn alive_indices(&self) -> Vec<usize> {
+        self.servers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Sum of alive servers' speeds — the fleet's service capacity.
+    #[must_use]
+    pub fn total_alive_speed(&self) -> u64 {
+        self.servers
+            .iter()
+            .filter(|s| s.alive)
+            .map(ClusterServer::speed)
+            .sum()
+    }
+
+    /// Offers a request to server `i` at time `now`.
+    ///
+    /// # Panics
+    /// Panics if the server is not alive — placement must only route to
+    /// alive servers.
+    pub fn try_join(&mut self, i: usize, now: Time) -> Admission {
+        let s = &mut self.servers[i];
+        assert!(s.alive, "routed a request to a departed server");
+        let admission = s.core.try_join(now);
+        if admission != Admission::Dropped {
+            s.in_flight.push_back(now);
+        }
+        admission
+    }
+
+    /// The job in service on server `i` completes at `now`; returns its
+    /// sojourn latency and whether another job is waiting (the caller
+    /// must then schedule the next departure).
+    ///
+    /// # Panics
+    /// Panics if the server's queue is empty.
+    pub fn depart(&mut self, i: usize, now: Time) -> (Time, bool) {
+        let s = &mut self.servers[i];
+        let admitted = s
+            .in_flight
+            .pop_front()
+            .expect("departure from an empty cluster server");
+        let more = s.core.depart(now);
+        (now - admitted, more)
+    }
+
+    /// Server `i` leaves the cluster at `now`: its backlog (queued jobs
+    /// and the one in service) is orphaned and returned, and it stops
+    /// receiving traffic for good — slots are never revived, so pending
+    /// departure events for it are recognisably stale via
+    /// [`ClusterServer::is_alive`].
+    ///
+    /// # Panics
+    /// Panics if the server is already dead or is the last alive server.
+    pub fn deactivate(&mut self, i: usize, now: Time) -> u64 {
+        assert!(self.n_alive > 1, "cannot deactivate the last alive server");
+        let s = &mut self.servers[i];
+        assert!(s.alive, "server {i} is already dead");
+        s.alive = false;
+        s.in_flight.clear();
+        self.n_alive -= 1;
+        s.core.evict_all(now)
+    }
+
+    /// A fresh server of the given speed joins the cluster; returns its
+    /// slot index. It gets a new stable id, so hash-ring placements give
+    /// it fresh arcs without disturbing anyone else's.
+    pub fn activate_new(&mut self, speed: u64) -> usize {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.servers
+            .push(ClusterServer::new(speed, self.queue_capacity, id));
+        self.n_alive += 1;
+        self.servers.len() - 1
+    }
+
+    /// Sum of completed jobs over every slot.
+    #[must_use]
+    pub fn total_completed(&self) -> u64 {
+        self.servers.iter().map(ClusterServer::completed).sum()
+    }
+
+    /// Sum of admission drops over every slot.
+    #[must_use]
+    pub fn total_dropped(&self) -> u64 {
+        self.servers.iter().map(ClusterServer::dropped).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_depart_latency_roundtrip() {
+        let mut fleet = Fleet::new(&[2, 2], None);
+        assert_eq!(fleet.try_join(0, 1.0), Admission::StartedService);
+        assert_eq!(fleet.try_join(0, 2.0), Admission::Queued);
+        let (lat, more) = fleet.depart(0, 4.0);
+        assert!((lat - 3.0).abs() < 1e-12, "first job waited 1.0→4.0");
+        assert!(more);
+        let (lat2, more2) = fleet.depart(0, 5.0);
+        assert!((lat2 - 3.0).abs() < 1e-12, "second job waited 2.0→5.0");
+        assert!(!more2);
+        assert_eq!(fleet.server(0).completed(), 2);
+    }
+
+    #[test]
+    fn capacity_drops_do_not_record_latency() {
+        let mut fleet = Fleet::new(&[1], Some(1));
+        assert_eq!(fleet.try_join(0, 0.0), Admission::StartedService);
+        assert_eq!(fleet.try_join(0, 0.5), Admission::Dropped);
+        assert_eq!(fleet.server(0).dropped(), 1);
+        let (_, more) = fleet.depart(0, 1.0);
+        assert!(!more, "the dropped job must not linger in the fifo");
+    }
+
+    #[test]
+    fn deactivate_orphans_backlog_permanently() {
+        let mut fleet = Fleet::new(&[1, 1], None);
+        fleet.try_join(0, 0.0);
+        fleet.try_join(0, 0.1);
+        fleet.try_join(0, 0.2);
+        let orphans = fleet.deactivate(0, 1.0);
+        assert_eq!(orphans, 3);
+        assert_eq!(fleet.server(0).queue_len(), 0);
+        assert!(!fleet.server(0).is_alive());
+        assert_eq!(fleet.n_alive(), 1);
+        assert_eq!(fleet.alive_indices(), vec![1]);
+    }
+
+    #[test]
+    fn activate_new_gets_fresh_id() {
+        let mut fleet = Fleet::new(&[1, 1], Some(4));
+        fleet.deactivate(1, 0.0);
+        let slot = fleet.activate_new(8);
+        assert_eq!(slot, 2);
+        assert_eq!(fleet.server(slot).id(), 2, "ids are never reused");
+        assert_eq!(fleet.server(slot).speed(), 8);
+        assert_eq!(fleet.n_alive(), 2);
+        assert_eq!(fleet.total_alive_speed(), 9);
+        assert_eq!(fleet.alive_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "departed server")]
+    fn routing_to_dead_server_panics() {
+        let mut fleet = Fleet::new(&[1, 1], None);
+        fleet.deactivate(0, 0.0);
+        let _ = fleet.try_join(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "last alive server")]
+    fn deactivating_last_server_panics() {
+        let mut fleet = Fleet::new(&[1], None);
+        let _ = fleet.deactivate(0, 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! # bnb-cluster
+//!
+//! A discrete-event **heterogeneous-cluster simulator** that serves
+//! paper-faithful traffic end to end — the systems view of *Balls into
+//! non-uniform bins*.
+//!
+//! The paper's motivation (§1) is that real systems present non-uniform
+//! bins: Chord-style P2P overlays where peers own unequal arcs, and
+//! server fleets where machines differ in "speed, bandwidth or
+//! compression ratio". The leaf crates each model half of that story —
+//! `bnb-hashring` the placement geometry, `bnb-queueing` the service
+//! dynamics, `bnb-core` the abstract allocation game. This crate wires
+//! them into one running system:
+//!
+//! * [`arrivals`] — Poisson and flash-crowd request processes (thinning
+//!   over `bnb-distributions` variates),
+//! * [`fleet`] — heterogeneous finite-queue servers (built on
+//!   [`bnb_queueing::Server`]) with latency bookkeeping and churn,
+//! * [`placement`] — pluggable routing: the paper's d-choice Algorithm 1
+//!   over non-uniform capacities, consistent-hash successor placement,
+//!   weighted rendezvous, and the Byers-style hash-then-probe hybrid,
+//! * [`sim`] — the deterministic event loop (on `bnb-queueing`'s generic
+//!   [`EventQueue`](bnb_queueing::events::EventQueue)), with periodic
+//!   churn rebalanced through
+//!   [`bnb_hashring::churn::membership_ring`],
+//! * [`metrics`] — latency quantiles, per-server peaks and drop rates,
+//!   rendered through `bnb-stats`,
+//! * [`scenario`] — the registry of named workloads behind the
+//!   `cluster-sim` CLI (`crates/experiments/src/bin/cluster_sim.rs`).
+//!
+//! Every run is a pure function of `(scenario, seed)`: same seed, same
+//! metrics, byte for byte.
+//!
+//! ```
+//! use bnb_cluster::{find_scenario, ClusterSim};
+//!
+//! let scenario = find_scenario("two-class").unwrap();
+//! let spec = (scenario.build)(42, 5_000);
+//! let metrics = ClusterSim::new(spec, 42).run();
+//! assert_eq!(metrics.completed + metrics.dropped, 5_000);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod arrivals;
+pub mod fleet;
+pub mod metrics;
+pub mod placement;
+pub mod scenario;
+pub mod sim;
+
+pub use arrivals::ArrivalProcess;
+pub use fleet::{ClusterServer, Fleet};
+pub use metrics::ClusterMetrics;
+pub use placement::{PlacementSpec, Router};
+pub use scenario::{find_scenario, registry, Scenario, SMOKE_DIVISOR};
+pub use sim::{ChurnConfig, ClusterSim, ClusterSpec};

@@ -1,0 +1,400 @@
+//! Pluggable placement policies: which server an arriving request joins.
+//!
+//! Four families, spanning the paper's motivation end to end:
+//!
+//! * [`PlacementSpec::DChoice`] — the paper's Algorithm 1 as a router:
+//!   `d` candidates drawn proportionally to speed through the same
+//!   [`bnb_distributions::WeightedSampler`] machinery as
+//!   `bnb_core::Game`, allocation to the
+//!   smallest *post-join normalised* queue `(q+1)/speed` with the
+//!   capacity tie-break. On a frozen fleet (no departures) this is
+//!   distribution-identical to `core::Game` with
+//!   `Selection::ProportionalToCapacity` — the differential test pins
+//!   that equivalence.
+//! * [`PlacementSpec::ConsistentHash`] — Chord-style successor placement
+//!   on a [`HashRing`]: load-oblivious, one lookup, the `Θ(log n)` arc
+//!   imbalance the paper's §1 warns about.
+//! * [`PlacementSpec::Rendezvous`] — weighted highest-random-weight
+//!   placement: load-oblivious but *capacity-fair* in expectation.
+//! * [`PlacementSpec::HashThenProbe`] — Byers et al.: hash the request
+//!   to `d` ring points and join the successor with the fewest jobs in
+//!   system; the hybrid that keeps lookup locality *and* the
+//!   `ln ln n / ln d` tail.
+//!
+//! A [`Router`] owns the derived structures (alias table, ring,
+//! rendezvous scores) and is rebuilt on churn through
+//! [`bnb_hashring::churn::membership_ring`], so membership changes move
+//! only the arcs of the peers that actually changed.
+
+use crate::fleet::Fleet;
+use bnb_core::choice::{draw_candidates, ChoiceMode, MAX_D};
+use bnb_distributions::{AliasTable, Xoshiro256PlusPlus};
+use bnb_hashring::churn::membership_ring;
+use bnb_hashring::hash::request_point;
+use bnb_hashring::{HashRing, Rendezvous};
+
+/// Which placement policy routes arriving requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementSpec {
+    /// d-choice over non-uniform capacities: candidates proportional to
+    /// speed, join the smallest post-join normalised queue (Algorithm 1).
+    DChoice {
+        /// Candidates per request, `1..=MAX_D`.
+        d: usize,
+    },
+    /// Consistent-hash successor placement (load-oblivious).
+    ConsistentHash {
+        /// Virtual nodes per server on the ring.
+        vnodes: usize,
+    },
+    /// Weighted rendezvous (highest-random-weight) placement.
+    Rendezvous,
+    /// Byers-style hybrid: hash to `d` ring points, join the successor
+    /// with the fewest jobs in system.
+    HashThenProbe {
+        /// Probe points per request, `1..=MAX_D`.
+        d: usize,
+        /// Virtual nodes per server on the ring.
+        vnodes: usize,
+    },
+}
+
+impl PlacementSpec {
+    /// Short stable name, used in metrics output.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlacementSpec::DChoice { .. } => "d-choice",
+            PlacementSpec::ConsistentHash { .. } => "consistent-hash",
+            PlacementSpec::Rendezvous => "rendezvous",
+            PlacementSpec::HashThenProbe { .. } => "hash-then-probe",
+        }
+    }
+}
+
+/// The routing state derived from a placement spec and the current fleet
+/// membership. Rebuilt (cheaply, O(n log n)) whenever churn changes the
+/// alive set.
+#[derive(Debug, Clone)]
+pub struct Router {
+    spec: PlacementSpec,
+    seed: u64,
+    /// Alive server slots, in creation order; every derived structure
+    /// indexes into this.
+    alive: Vec<usize>,
+    /// `DChoice`: alias table over alive speeds.
+    alias: Option<AliasTable>,
+    /// Ring policies: membership ring over alive servers' stable ids.
+    ring: Option<HashRing>,
+    /// `Rendezvous`: HRW scores over alive speeds.
+    rdv: Option<Rendezvous>,
+}
+
+impl Router {
+    /// Builds the router for the fleet's current membership.
+    ///
+    /// # Panics
+    /// Panics if a `d` parameter is outside `1..=MAX_D` or a `vnodes`
+    /// parameter is zero.
+    #[must_use]
+    pub fn new(spec: PlacementSpec, fleet: &Fleet, seed: u64) -> Self {
+        match spec {
+            PlacementSpec::DChoice { d } | PlacementSpec::HashThenProbe { d, .. } => {
+                assert!(
+                    (1..=MAX_D).contains(&d),
+                    "d must be in 1..={MAX_D}, got {d}"
+                );
+            }
+            PlacementSpec::ConsistentHash { .. } | PlacementSpec::Rendezvous => {}
+        }
+        if let PlacementSpec::ConsistentHash { vnodes }
+        | PlacementSpec::HashThenProbe { vnodes, .. } = spec
+        {
+            assert!(vnodes > 0, "need at least one vnode");
+        }
+        let mut router = Router {
+            spec,
+            seed,
+            alive: Vec::new(),
+            alias: None,
+            ring: None,
+            rdv: None,
+        };
+        router.rebuild(fleet);
+        router
+    }
+
+    /// The placement spec in force.
+    #[must_use]
+    pub fn spec(&self) -> PlacementSpec {
+        self.spec
+    }
+
+    /// Recomputes the derived structures after a membership change. Ring
+    /// policies go through [`membership_ring`] on the alive servers'
+    /// stable ids, so surviving servers keep their exact arcs.
+    pub fn rebuild(&mut self, fleet: &Fleet) {
+        self.alive = fleet.alive_indices();
+        match self.spec {
+            PlacementSpec::DChoice { .. } => {
+                let weights: Vec<f64> = self
+                    .alive
+                    .iter()
+                    .map(|&i| fleet.server(i).speed() as f64)
+                    .collect();
+                self.alias = Some(AliasTable::new(&weights));
+            }
+            PlacementSpec::ConsistentHash { vnodes }
+            | PlacementSpec::HashThenProbe { vnodes, .. } => {
+                let ids: Vec<u64> = self.alive.iter().map(|&i| fleet.server(i).id()).collect();
+                self.ring = Some(membership_ring(self.seed, &ids, vnodes));
+            }
+            PlacementSpec::Rendezvous => {
+                let weights: Vec<f64> = self
+                    .alive
+                    .iter()
+                    .map(|&i| fleet.server(i).speed() as f64)
+                    .collect();
+                self.rdv = Some(Rendezvous::new(weights, self.seed));
+            }
+        }
+    }
+
+    /// Routes a request with hash `key`, returning the target server's
+    /// slot index. Only the load-aware policies consume RNG draws
+    /// (candidate sampling and tie-breaking).
+    ///
+    /// Using a router whose membership is stale (the fleet churned since
+    /// the last [`Router::rebuild`]) is a logic error. It is only
+    /// partially detectable here — a leave+join pair keeps the alive
+    /// *count* unchanged — so the backstop is downstream:
+    /// [`Fleet::try_join`] panics when a request is routed to a departed
+    /// slot. Debug builds additionally assert the alive count matches.
+    #[must_use]
+    pub fn place(&self, fleet: &Fleet, key: u64, rng: &mut Xoshiro256PlusPlus) -> usize {
+        debug_assert_eq!(
+            self.alive.len(),
+            fleet.n_alive(),
+            "router is stale; call rebuild after churn"
+        );
+        match self.spec {
+            PlacementSpec::DChoice { d } => {
+                let alias = self.alias.as_ref().expect("alias built for DChoice");
+                let mut buf = [0usize; MAX_D];
+                let candidates =
+                    draw_candidates(alias, d, ChoiceMode::WithReplacement, rng, &mut buf);
+                // Algorithm 1 over the candidate *set*: smallest post-join
+                // normalised queue, capacity tie-break towards the faster
+                // server, residual ties uniform (reservoir).
+                reservoir_argmin(
+                    candidates,
+                    rng,
+                    |t| self.alive[t],
+                    |s| placement_key(fleet, s),
+                )
+            }
+            PlacementSpec::ConsistentHash { .. } => {
+                let ring = self.ring.as_ref().expect("ring built for ConsistentHash");
+                self.alive[ring.successor(key)]
+            }
+            PlacementSpec::Rendezvous => {
+                let rdv = self.rdv.as_ref().expect("scores built for Rendezvous");
+                self.alive[rdv.owner(key)]
+            }
+            PlacementSpec::HashThenProbe { d, .. } => {
+                let ring = self.ring.as_ref().expect("ring built for HashThenProbe");
+                // Byers et al.: d probe points, join the successor with
+                // the fewest jobs in system; ties uniform over distinct
+                // candidates.
+                let mut probes = [0usize; MAX_D];
+                for (k, probe) in probes[..d].iter_mut().enumerate() {
+                    *probe = ring.successor(request_point(self.seed, key, k as u64));
+                }
+                reservoir_argmin(
+                    &probes[..d],
+                    rng,
+                    |peer| self.alive[peer],
+                    |s| fleet.server(s).queue_len(),
+                )
+            }
+        }
+    }
+}
+
+/// Ordering key of Algorithm 1's allocation step: post-join normalised
+/// load first (exact rational), then *larger* capacity preferred (hence
+/// the inverted speed component).
+fn placement_key(fleet: &Fleet, server: usize) -> (bnb_core::Load, u64) {
+    let s = fleet.server(server);
+    (s.post_join_load(), u64::MAX - s.speed())
+}
+
+/// Reservoir-tied argmin over a candidate token prefix, skipping
+/// duplicate tokens — the dedup-prefix scan + 1/k reservoir tie
+/// semantics shared with `core::policy`'s Algorithm 1 (which the
+/// differential test pins). `map` converts a token (alias index or ring
+/// peer) to a server slot; `key` orders slots, smaller wins. Consumes
+/// one RNG draw per residual tie, none otherwise.
+///
+/// # Panics
+/// Panics if `tokens` is empty.
+fn reservoir_argmin<K: Ord>(
+    tokens: &[usize],
+    rng: &mut Xoshiro256PlusPlus,
+    map: impl Fn(usize) -> usize,
+    key: impl Fn(usize) -> K,
+) -> usize {
+    let mut best = map(tokens[0]);
+    let mut best_key = key(best);
+    let mut ties = 1u64;
+    for idx in 1..tokens.len() {
+        if tokens[..idx].contains(&tokens[idx]) {
+            continue;
+        }
+        let cand = map(tokens[idx]);
+        let cand_key = key(cand);
+        match cand_key.cmp(&best_key) {
+            std::cmp::Ordering::Less => {
+                best = cand;
+                best_key = cand_key;
+                ties = 1;
+            }
+            std::cmp::Ordering::Equal => {
+                ties += 1;
+                if rng.next_below(ties) == 0 {
+                    best = cand;
+                }
+            }
+            std::cmp::Ordering::Greater => {}
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_class_fleet() -> Fleet {
+        // 4 slow (speed 1) + 4 fast (speed 8).
+        Fleet::new(&[1, 1, 1, 1, 8, 8, 8, 8], None)
+    }
+
+    #[test]
+    fn dchoice_prefers_the_emptier_normalised_queue() {
+        let mut fleet = two_class_fleet();
+        // Pile jobs on every slow server so any fast candidate wins.
+        for i in 0..4 {
+            for _ in 0..5 {
+                fleet.try_join(i, 0.0);
+            }
+        }
+        let router = Router::new(PlacementSpec::DChoice { d: 2 }, &fleet, 7);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(1);
+        // Whenever the candidate pair contains a fast server it must win;
+        // only the ≈1.2% both-slow draws may pick a slow one.
+        let fast_picks = (0..400)
+            .filter(|_| router.place(&fleet, 0, &mut rng) >= 4)
+            .count();
+        assert!(
+            fast_picks >= 380,
+            "idle fast servers picked only {fast_picks}/400 times"
+        );
+    }
+
+    #[test]
+    fn consistent_hash_is_rng_free_and_deterministic() {
+        let fleet = two_class_fleet();
+        let router = Router::new(PlacementSpec::ConsistentHash { vnodes: 8 }, &fleet, 42);
+        let mut rng_a = Xoshiro256PlusPlus::from_u64_seed(1);
+        let mut rng_b = Xoshiro256PlusPlus::from_u64_seed(999);
+        for key in 0..500u64 {
+            assert_eq!(
+                router.place(&fleet, key, &mut rng_a),
+                router.place(&fleet, key, &mut rng_b),
+                "successor placement must not depend on the RNG"
+            );
+        }
+        assert_eq!(rng_a.next(), {
+            let mut fresh = Xoshiro256PlusPlus::from_u64_seed(1);
+            fresh.next()
+        });
+    }
+
+    #[test]
+    fn rendezvous_shares_follow_speeds() {
+        let fleet = two_class_fleet();
+        let router = Router::new(PlacementSpec::Rendezvous, &fleet, 3);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(5);
+        let mut fast = 0u64;
+        let n = 40_000u64;
+        for key in 0..n {
+            if router.place(&fleet, bnb_hashring::hash::mix64(key), &mut rng) >= 4 {
+                fast += 1;
+            }
+        }
+        // Fast servers hold 32/36 of the weight ≈ 0.889.
+        let frac = fast as f64 / n as f64;
+        assert!((frac - 32.0 / 36.0).abs() < 0.02, "fast share {frac}");
+    }
+
+    #[test]
+    fn hash_then_probe_avoids_the_loaded_successor() {
+        let mut fleet = Fleet::new(&[1; 16], None);
+        let router = Router::new(PlacementSpec::HashThenProbe { d: 2, vnodes: 4 }, &fleet, 11);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(2);
+        // Route a stream of requests, loading as we go: max load must
+        // stay far below the one-choice successor pile-up.
+        let mut one_rng = Xoshiro256PlusPlus::from_u64_seed(2);
+        let one = Router::new(PlacementSpec::ConsistentHash { vnodes: 4 }, &fleet, 11);
+        let mut one_counts = [0u64; 16];
+        for key in 0..1600u64 {
+            let hashed = bnb_hashring::hash::mix64(key ^ 0xC0FFEE);
+            let t = router.place(&fleet, hashed, &mut rng);
+            fleet.try_join(t, 0.0);
+            one_counts[one.place(&fleet, hashed, &mut one_rng)] += 1;
+        }
+        let probe_max = fleet.servers().iter().map(|s| s.queue_len()).max().unwrap();
+        let one_max = *one_counts.iter().max().unwrap();
+        assert!(
+            probe_max < one_max,
+            "probing ({probe_max}) should beat successor placement ({one_max})"
+        );
+    }
+
+    #[test]
+    fn rebuild_after_churn_reroutes_only_necessary_keys() {
+        let mut fleet = Fleet::new(&[2; 10], None);
+        let mut router = Router::new(PlacementSpec::ConsistentHash { vnodes: 16 }, &fleet, 9);
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(1);
+        let keys: Vec<u64> = (0..2000u64).map(bnb_hashring::hash::mix64).collect();
+        let before: Vec<usize> = keys
+            .iter()
+            .map(|&k| router.place(&fleet, k, &mut rng))
+            .collect();
+        let victim = 3;
+        fleet.deactivate(victim, 0.0);
+        router.rebuild(&fleet);
+        let mut moved = 0;
+        for (i, &k) in keys.iter().enumerate() {
+            let after = router.place(&fleet, k, &mut rng);
+            if after != before[i] {
+                moved += 1;
+                assert_eq!(
+                    before[i], victim,
+                    "a key moved that the departed server never owned"
+                );
+            }
+            assert_ne!(after, victim, "key still routed to the departed server");
+        }
+        // The victim owned ≈ 1/10 of the keys; all (and only) those move.
+        assert!(moved > 0, "the departed server's keys must move");
+    }
+
+    #[test]
+    #[should_panic(expected = "d must be in 1..=")]
+    fn oversized_d_rejected() {
+        let fleet = two_class_fleet();
+        let _ = Router::new(PlacementSpec::DChoice { d: 99 }, &fleet, 0);
+    }
+}

@@ -1,0 +1,394 @@
+//! The discrete-event cluster simulator: arrivals → placement → finite
+//! queues → departures, with optional churn, on the deterministic
+//! [`EventQueue`] of `bnb-queueing`.
+//!
+//! ## Determinism contract
+//!
+//! A run is a pure function of `(spec, seed)`. All randomness flows
+//! through one seeded [`Xoshiro256PlusPlus`] stream consumed in event
+//! order (the event queue breaks time ties by insertion sequence), and
+//! request keys are derived by counter hashing — so the same seed
+//! replays the identical event trace, byte for byte, in the rendered
+//! metrics.
+
+use crate::arrivals::ArrivalProcess;
+use crate::fleet::Fleet;
+use crate::metrics::ClusterMetrics;
+use crate::placement::{PlacementSpec, Router};
+use bnb_core::CapacityVector;
+use bnb_distributions::{derive_seed, Exponential, Xoshiro256PlusPlus};
+use bnb_hashring::hash::mix64;
+use bnb_queueing::events::{EventQueue, Time};
+use bnb_queueing::server::Admission;
+
+/// Stream id under which the traffic RNG is derived from the run seed
+/// (the capacity-construction RNG of a scenario uses the seed directly).
+const TRAFFIC_STREAM: u64 = 0x636C_7573; // "clus"
+
+/// Periodic churn: every `interval` time units (starting at `start`),
+/// one random alive server leaves and a fresh server of the same speed
+/// joins — the fleet's capacity mix is stationary while its membership
+/// is not, matching the paper's P2P motivation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// First churn event time.
+    pub start: Time,
+    /// Interval between churn events.
+    pub interval: Time,
+}
+
+/// A complete, runnable cluster specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Server speeds (the paper's non-uniform bin capacities).
+    pub speeds: CapacityVector,
+    /// Placement policy routing each request.
+    pub placement: PlacementSpec,
+    /// The arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Per-server bound on jobs in the system (`None` = unbounded; then
+    /// the offered load must stay below capacity for the run to drain).
+    pub queue_capacity: Option<u64>,
+    /// Optional churn schedule.
+    pub churn: Option<ChurnConfig>,
+    /// Number of requests to offer.
+    pub requests: u64,
+}
+
+/// Events of the cluster simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ClusterEvent {
+    /// A request enters the cluster.
+    Arrival,
+    /// The job in service on `server` completes — stale (ignored) if the
+    /// server has left since this was scheduled; slots are never
+    /// revived, so `is_alive` fully identifies staleness.
+    Departure { server: usize },
+    /// One leave + one join, then reschedule.
+    ChurnTick,
+}
+
+/// The running simulator.
+#[derive(Debug)]
+pub struct ClusterSim {
+    spec: ClusterSpec,
+    fleet: Fleet,
+    router: Router,
+    events: EventQueue<ClusterEvent>,
+    rng: Xoshiro256PlusPlus,
+    key_seed: u64,
+    now: Time,
+    arrived: u64,
+    orphaned: u64,
+    joins: u64,
+    leaves: u64,
+    latencies: Vec<f64>,
+}
+
+impl ClusterSim {
+    /// Builds the simulator.
+    ///
+    /// # Panics
+    /// Panics if the spec is invalid: empty fleet, bad placement
+    /// parameters, invalid arrival process, non-positive churn interval,
+    /// or an unbounded-queue spec whose arrival rate reaches the fleet's
+    /// service capacity (the run could not drain).
+    #[must_use]
+    pub fn new(spec: ClusterSpec, seed: u64) -> Self {
+        spec.arrivals.validate();
+        if let Some(churn) = &spec.churn {
+            assert!(
+                churn.interval > 0.0 && churn.start >= 0.0,
+                "churn schedule must be positive"
+            );
+        }
+        if spec.queue_capacity.is_none() {
+            let capacity = spec.speeds.total() as f64;
+            assert!(
+                spec.arrivals.peak_rate() < capacity,
+                "unbounded queues need peak arrival rate {} below total speed {capacity}",
+                spec.arrivals.peak_rate()
+            );
+        }
+        let fleet = Fleet::new(spec.speeds.as_slice(), spec.queue_capacity);
+        let router = Router::new(spec.placement, &fleet, seed);
+        ClusterSim {
+            fleet,
+            router,
+            events: EventQueue::new(),
+            rng: Xoshiro256PlusPlus::from_u64_seed(derive_seed(seed, TRAFFIC_STREAM, 0)),
+            key_seed: seed,
+            now: 0.0,
+            arrived: 0,
+            orphaned: 0,
+            joins: 0,
+            leaves: 0,
+            latencies: Vec::new(),
+            spec,
+        }
+    }
+
+    /// Runs the full request budget and drains the queues; returns the
+    /// final metrics. A second call is a no-op returning the same
+    /// metrics: the budget is already spent.
+    pub fn run(&mut self) -> ClusterMetrics {
+        if self.arrived < self.spec.requests {
+            let first = self.spec.arrivals.next_after(self.now, &mut self.rng);
+            self.events.schedule(first, ClusterEvent::Arrival);
+            if let Some(churn) = self.spec.churn {
+                self.events.schedule(churn.start, ClusterEvent::ChurnTick);
+            }
+        }
+        while let Some((time, event)) = self.events.pop() {
+            self.now = time;
+            match event {
+                ClusterEvent::Arrival => self.handle_arrival(),
+                ClusterEvent::Departure { server } => {
+                    // Stale departures (the server left since this was
+                    // scheduled) are dropped on the floor.
+                    if self.fleet.server(server).is_alive() {
+                        let (latency, more) = self.fleet.depart(server, self.now);
+                        self.latencies.push(latency);
+                        if more {
+                            self.schedule_departure(server);
+                        }
+                    }
+                }
+                ClusterEvent::ChurnTick => self.handle_churn_tick(),
+            }
+        }
+        ClusterMetrics::collect(
+            &self.fleet,
+            self.latencies.clone(),
+            self.arrived,
+            self.orphaned,
+            self.joins,
+            self.leaves,
+            self.now,
+        )
+    }
+
+    fn handle_arrival(&mut self) {
+        self.arrived += 1;
+        // Counter-hashed request key: deterministic, uniform over u64.
+        let key = mix64(self.key_seed ^ self.arrived.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let target = self.router.place(&self.fleet, key, &mut self.rng);
+        if self.fleet.try_join(target, self.now) == Admission::StartedService {
+            self.schedule_departure(target);
+        }
+        if self.arrived < self.spec.requests {
+            let next = self.spec.arrivals.next_after(self.now, &mut self.rng);
+            self.events.schedule(next, ClusterEvent::Arrival);
+        }
+    }
+
+    fn schedule_departure(&mut self, server: usize) {
+        // Exp(1) work at rate `speed` ⇒ Exp(speed) service time.
+        let rate = self.fleet.server(server).speed() as f64;
+        let service = Exponential::new(rate).sample(&mut self.rng);
+        self.events
+            .schedule(self.now + service, ClusterEvent::Departure { server });
+    }
+
+    fn handle_churn_tick(&mut self) {
+        // Stop churning once the last arrival is in; the run is draining.
+        if self.arrived >= self.spec.requests {
+            return;
+        }
+        let alive = self.fleet.alive_indices();
+        if alive.len() > 1 {
+            let victim = alive[self.rng.next_below(alive.len() as u64) as usize];
+            let speed = self.fleet.server(victim).speed();
+            self.orphaned += self.fleet.deactivate(victim, self.now);
+            self.leaves += 1;
+            // A fresh server of the same speed joins: stationary capacity
+            // mix, fresh arcs on the ring.
+            self.fleet.activate_new(speed);
+            self.joins += 1;
+            self.router.rebuild(&self.fleet);
+        }
+        let interval = self.spec.churn.expect("tick implies churn config").interval;
+        self.events
+            .schedule(self.now + interval, ClusterEvent::ChurnTick);
+    }
+
+    /// Read access to the fleet (used by tests and the CLI's per-server
+    /// output).
+    #[must_use]
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// The spec this simulator runs.
+    #[must_use]
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_spec() -> ClusterSpec {
+        let speeds = CapacityVector::two_class(8, 1, 8, 8);
+        ClusterSpec {
+            arrivals: ArrivalProcess::Poisson {
+                rate: 0.8 * speeds.total() as f64,
+            },
+            speeds,
+            placement: PlacementSpec::DChoice { d: 2 },
+            queue_capacity: Some(64),
+            churn: None,
+            requests: 20_000,
+        }
+    }
+
+    #[test]
+    fn conservation_without_churn() {
+        let mut sim = ClusterSim::new(base_spec(), 1);
+        let m = sim.run();
+        assert_eq!(m.requests, 20_000);
+        assert_eq!(
+            m.completed + m.dropped,
+            m.requests,
+            "every request completes or drops when nobody leaves"
+        );
+        assert_eq!(m.orphaned, 0);
+        assert!(m.horizon > 0.0);
+        assert!(m.latency[0] > 0.0, "positive median latency");
+        assert!(m.latency[0] <= m.latency[1] && m.latency[1] <= m.latency[2]);
+        assert!(m.latency[2] <= m.latency[3]);
+    }
+
+    #[test]
+    fn zero_requests_simulates_nothing() {
+        let mut spec = base_spec();
+        spec.requests = 0;
+        let mut sim = ClusterSim::new(spec, 1);
+        let m = sim.run();
+        assert_eq!(m.requests, 0);
+        assert_eq!(m.completed, 0);
+        assert_eq!(m.horizon, 0.0);
+    }
+
+    #[test]
+    fn rerun_is_a_noop_returning_the_same_metrics() {
+        let mut sim = ClusterSim::new(base_spec(), 2);
+        let first = sim.run();
+        let second = sim.run();
+        assert_eq!(first, second, "a drained simulator must not replay");
+    }
+
+    #[test]
+    fn same_seed_same_metrics_different_seed_different() {
+        let run = |seed| ClusterSim::new(base_spec(), seed).run();
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "identical seeds must replay identically");
+        let c = run(43);
+        assert_ne!(a, c, "different seeds should differ (w.o.p.)");
+    }
+
+    #[test]
+    fn conservation_with_churn() {
+        let mut spec = base_spec();
+        spec.churn = Some(ChurnConfig {
+            start: 5.0,
+            interval: 10.0,
+        });
+        spec.requests = 30_000;
+        let mut sim = ClusterSim::new(spec, 9);
+        let m = sim.run();
+        assert!(m.leaves > 0, "churn must actually fire");
+        assert_eq!(m.joins, m.leaves);
+        assert_eq!(
+            m.completed + m.dropped + m.orphaned,
+            m.requests,
+            "requests partition into completed, dropped and orphaned"
+        );
+    }
+
+    #[test]
+    fn every_placement_policy_runs_end_to_end() {
+        for placement in [
+            PlacementSpec::DChoice { d: 2 },
+            PlacementSpec::ConsistentHash { vnodes: 8 },
+            PlacementSpec::Rendezvous,
+            PlacementSpec::HashThenProbe { d: 2, vnodes: 8 },
+        ] {
+            let mut spec = base_spec();
+            spec.placement = placement;
+            spec.requests = 5_000;
+            let m = ClusterSim::new(spec, 3).run();
+            assert_eq!(
+                m.completed + m.dropped,
+                5_000,
+                "{}: conservation",
+                placement.name()
+            );
+            assert!(
+                m.completed > 0,
+                "{}: something must complete",
+                placement.name()
+            );
+        }
+    }
+
+    #[test]
+    fn load_aware_placement_beats_oblivious_on_peak_queue() {
+        // The paper's claim, live: d-choice keeps the peak normalised
+        // queue far below successor placement on the same traffic.
+        let run = |placement| {
+            let mut spec = base_spec();
+            spec.placement = placement;
+            spec.requests = 40_000;
+            spec.queue_capacity = Some(10_000); // effectively unbounded
+            ClusterSim::new(spec, 17).run().max_normalized_queue
+        };
+        let dchoice = run(PlacementSpec::DChoice { d: 2 });
+        let successor = run(PlacementSpec::ConsistentHash { vnodes: 8 });
+        assert!(
+            dchoice < successor,
+            "d-choice peak {dchoice} should beat successor placement {successor}"
+        );
+    }
+
+    #[test]
+    fn overload_drops_instead_of_diverging() {
+        let speeds = CapacityVector::uniform(8, 2);
+        let spec = ClusterSpec {
+            arrivals: ArrivalProcess::Poisson {
+                rate: 2.0 * speeds.total() as f64,
+            },
+            speeds,
+            placement: PlacementSpec::DChoice { d: 2 },
+            queue_capacity: Some(8),
+            churn: None,
+            requests: 20_000,
+        };
+        let m = ClusterSim::new(spec, 5).run();
+        assert!(
+            m.dropped > 4_000,
+            "ρ=2 must shed heavily, got {}",
+            m.dropped
+        );
+        assert!(m.max_queue_len <= 8);
+        assert_eq!(m.completed + m.dropped, 20_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "below total speed")]
+    fn unbounded_overload_rejected() {
+        let speeds = CapacityVector::uniform(4, 1);
+        let spec = ClusterSpec {
+            arrivals: ArrivalProcess::Poisson { rate: 8.0 },
+            speeds,
+            placement: PlacementSpec::DChoice { d: 2 },
+            queue_capacity: None,
+            churn: None,
+            requests: 100,
+        };
+        let _ = ClusterSim::new(spec, 0);
+    }
+}

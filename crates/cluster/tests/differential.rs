@@ -1,0 +1,176 @@
+//! Differential and determinism tests (acceptance criteria of the
+//! cluster-simulator issue):
+//!
+//! 1. On a *frozen* fleet (no departures), the cluster's d-choice
+//!    placement is the paper's Algorithm 1: queue lengths equal ball
+//!    counts, so allocation frequencies must match `bnb_core::Game` on
+//!    the equivalent static weight vector.
+//! 2. Every registered scenario is deterministic: same seed → bitwise
+//!    identical rendered metrics.
+
+use bnb_cluster::{registry, ClusterSim, Fleet, PlacementSpec, Router, SMOKE_DIVISOR};
+use bnb_core::prelude::*;
+use bnb_distributions::{derive_seed, Xoshiro256PlusPlus};
+use bnb_hashring::hash::mix64;
+
+/// Drives `m` placements into a fleet that never serves anything:
+/// the cluster-side equivalent of throwing `m` balls.
+fn frozen_fleet_counts(speeds: &CapacityVector, d: usize, m: u64, seed: u64) -> Vec<u64> {
+    let fleet_speeds = speeds.as_slice();
+    let mut fleet = Fleet::new(fleet_speeds, None);
+    let router = Router::new(PlacementSpec::DChoice { d }, &fleet, seed);
+    let mut rng = Xoshiro256PlusPlus::from_u64_seed(derive_seed(seed, 0xD1FF, 0));
+    for i in 0..m {
+        let key = mix64(seed ^ i);
+        let target = router.place(&fleet, key, &mut rng);
+        fleet.try_join(target, 0.0);
+    }
+    fleet.servers().iter().map(|s| s.queue_len()).collect()
+}
+
+/// Mean absolute per-bin frequency deviation between two allocations of
+/// `m` balls.
+fn mean_abs_freq_dev(a: &[u64], b: &[u64], m: u64) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as f64 - y as f64).abs() / m as f64)
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+#[test]
+fn dchoice_frequencies_match_core_game_on_static_weights() {
+    // Two-class fleet, the paper's default configuration (d = 2,
+    // proportional selection, Algorithm 1). Averaged over seeds, the
+    // per-server allocation frequencies of the frozen cluster and the
+    // abstract game must coincide.
+    let speeds = CapacityVector::two_class(50, 1, 50, 8);
+    let m = 10 * speeds.total(); // 4_500 placements per rep
+    let reps = 8u64;
+    let n = speeds.n();
+    let mut cluster_acc = vec![0u64; n];
+    let mut game_acc = vec![0u64; n];
+    for rep in 0..reps {
+        let cluster = frozen_fleet_counts(&speeds, 2, m, 1000 + rep);
+        let bins = run_game(&speeds, m, &GameConfig::with_d(2), 2000 + rep);
+        for i in 0..n {
+            cluster_acc[i] += cluster[i];
+            game_acc[i] += bins.balls(i);
+        }
+    }
+    let total = m * reps;
+    // Class-level agreement: fraction of requests landing on the fast
+    // half must match the game's to well under a percent.
+    let fast_cluster: u64 = cluster_acc[50..].iter().sum();
+    let fast_game: u64 = game_acc[50..].iter().sum();
+    let diff = (fast_cluster as f64 - fast_game as f64).abs() / total as f64;
+    assert!(
+        diff < 0.005,
+        "fast-class share differs by {diff}: cluster {fast_cluster}, game {fast_game}"
+    );
+    // Per-bin agreement: mean absolute frequency deviation within Monte
+    // Carlo noise (each bin's frequency is ≈ its capacity share of 1).
+    let dev = mean_abs_freq_dev(&cluster_acc, &game_acc, total);
+    assert!(dev < 5e-4, "per-bin frequency deviation {dev}");
+    // And the allocation actually balances: the frozen cluster's max
+    // normalised load must stay near the game's.
+    let cluster_max = cluster_acc
+        .iter()
+        .zip(speeds.as_slice())
+        .map(|(&balls, &cap)| balls as f64 / (reps as f64 * cap as f64))
+        .fold(0.0f64, f64::max);
+    let game_max = game_acc
+        .iter()
+        .zip(speeds.as_slice())
+        .map(|(&balls, &cap)| balls as f64 / (reps as f64 * cap as f64))
+        .fold(0.0f64, f64::max);
+    assert!(
+        (cluster_max - game_max).abs() < 1.5,
+        "max normalised load: cluster {cluster_max} vs game {game_max}"
+    );
+}
+
+#[test]
+fn dchoice_d1_is_weighted_one_choice() {
+    // With d = 1 the placement must follow the speed weights exactly —
+    // pins the sampler wiring independent of the allocation rule.
+    let speeds = CapacityVector::from_vec(vec![1, 9]);
+    let m = 50_000;
+    let counts = frozen_fleet_counts(&speeds, 1, m, 77);
+    let frac_big = counts[1] as f64 / m as f64;
+    assert!(
+        (frac_big - 0.9).abs() < 0.01,
+        "speed-9 server got {frac_big}, want ≈ 0.9"
+    );
+}
+
+#[test]
+fn every_scenario_is_bitwise_deterministic() {
+    for scenario in registry() {
+        let requests = (scenario.default_requests / SMOKE_DIVISOR).min(5_000);
+        let render = |seed: u64| {
+            let spec = (scenario.build)(seed, requests);
+            let metrics = ClusterSim::new(spec, seed).run();
+            metrics.render_table() + &metrics.to_series_set("det", "det").to_plot_text()
+        };
+        let a = render(31337);
+        let b = render(31337);
+        assert_eq!(a, b, "{}: same seed must render identically", scenario.id);
+        let c = render(31338);
+        assert_ne!(a, c, "{}: different seed should differ", scenario.id);
+    }
+}
+
+#[test]
+fn scenario_runs_conserve_requests() {
+    for scenario in registry() {
+        let requests = (scenario.default_requests / SMOKE_DIVISOR).min(5_000);
+        let spec = (scenario.build)(7, requests);
+        let m = ClusterSim::new(spec, 7).run();
+        assert_eq!(m.requests, requests, "{}", scenario.id);
+        assert_eq!(
+            m.completed + m.dropped + m.orphaned,
+            requests,
+            "{}: completed {} + dropped {} + orphaned {} != {requests}",
+            scenario.id,
+            m.completed,
+            m.dropped,
+            m.orphaned
+        );
+        assert!(m.completed > 0, "{}: nothing completed", scenario.id);
+    }
+}
+
+#[test]
+fn two_class_beats_successor_on_tail_latency() {
+    // End-to-end sanity that the paper's story survives the full
+    // dynamics: identical fleet and utilisation, load-aware d-choice vs
+    // load-oblivious successor placement — the oblivious baseline pays
+    // in p99 latency and peak normalised queue.
+    let two_class = bnb_cluster::find_scenario("two-class").unwrap();
+    let successor = bnb_cluster::find_scenario("successor").unwrap();
+    let run = |s: &bnb_cluster::Scenario| {
+        let mut spec = (s.build)(11, 10_000);
+        // Equalise traffic so only the placement differs.
+        spec.arrivals = bnb_cluster::ArrivalProcess::Poisson {
+            rate: 0.85 * spec.speeds.total() as f64,
+        };
+        spec.queue_capacity = Some(256);
+        ClusterSim::new(spec, 11).run()
+    };
+    let smart = run(two_class);
+    let oblivious = run(successor);
+    assert!(
+        smart.max_normalized_queue < oblivious.max_normalized_queue,
+        "d-choice peak {} should beat successor {}",
+        smart.max_normalized_queue,
+        oblivious.max_normalized_queue
+    );
+    assert!(
+        smart.latency[2] < oblivious.latency[2],
+        "d-choice p99 {} should beat successor {}",
+        smart.latency[2],
+        oblivious.latency[2]
+    );
+}

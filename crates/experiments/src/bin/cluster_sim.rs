@@ -1,0 +1,192 @@
+//! `cluster-sim` — run named heterogeneous-cluster scenarios end to end.
+//!
+//! ```text
+//! cluster-sim --list
+//! cluster-sim --scenario two-class
+//! cluster-sim --scenario flash-crowd --smoke
+//! cluster-sim --all --seed 7 --out results/
+//! cluster-sim --scenario zipf --requests 500000
+//! ```
+//!
+//! Every run is deterministic in `(scenario, seed)`: the rendered
+//! metrics are bitwise identical across invocations, which is what the
+//! CI smoke step and the determinism tests rely on.
+
+use bnb_cluster::{find_scenario, registry, ClusterSim, Scenario, SMOKE_DIVISOR};
+use bnb_stats::svg::render_svg;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    scenarios: Vec<&'static Scenario>,
+    seed: u64,
+    requests: Option<u64>,
+    smoke: bool,
+    list: bool,
+    out: Option<PathBuf>,
+}
+
+/// `--help` is a successful outcome, not a parse error: it must print
+/// to stdout and exit 0 (matching `bench-snapshot`).
+enum ParseOutcome {
+    Run(Box<Args>),
+    Help,
+    Error(String),
+}
+
+fn usage() -> String {
+    let mut s = String::from(
+        "Usage: cluster-sim [OPTIONS]\n\
+         \n\
+         Serves paper-faithful traffic through a simulated heterogeneous\n\
+         cluster ('Balls into non-uniform bins' as a running system).\n\
+         \n\
+         Options:\n\
+         \x20  --scenario NAME    run one scenario (repeatable)\n\
+         \x20  --all              run every registered scenario\n\
+         \x20  --list             list scenarios and exit\n\
+         \x20  --smoke            1/20th of the request budget (CI smoke)\n\
+         \x20  --requests N       override the request budget\n\
+         \x20  --seed N           run seed (default 42)\n\
+         \x20  --out DIR          write cluster-<scenario>.{csv,dat,svg,txt}\n\
+         \x20                     under DIR\n\
+         \n\
+         Scenarios:\n",
+    );
+    for sc in registry() {
+        s.push_str(&format!("  {:<12} {}\n", sc.id, sc.title));
+    }
+    s
+}
+
+fn parse_args() -> ParseOutcome {
+    let mut args = Args {
+        scenarios: Vec::new(),
+        seed: 42,
+        requests: None,
+        smoke: false,
+        list: false,
+        out: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    let mut all = false;
+    let err = ParseOutcome::Error;
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return ParseOutcome::Help,
+            "--list" => args.list = true,
+            "--all" => all = true,
+            "--smoke" => args.smoke = true,
+            "--scenario" => {
+                let Some(id) = iter.next() else {
+                    return err("--scenario needs a name".into());
+                };
+                let Some(sc) = find_scenario(&id) else {
+                    return err(format!("unknown scenario '{id}'\n\n{}", usage()));
+                };
+                args.scenarios.push(sc);
+            }
+            "--seed" => {
+                let Some(v) = iter.next() else {
+                    return err("--seed needs a value".into());
+                };
+                match v.parse() {
+                    Ok(seed) => args.seed = seed,
+                    Err(e) => return err(format!("bad --seed {v}: {e}")),
+                }
+            }
+            "--requests" => {
+                let Some(v) = iter.next() else {
+                    return err("--requests needs a value".into());
+                };
+                match v.parse::<u64>() {
+                    Ok(0) => return err("--requests must be positive".into()),
+                    Ok(n) => args.requests = Some(n),
+                    Err(e) => return err(format!("bad --requests {v}: {e}")),
+                }
+            }
+            "--out" => {
+                let Some(dir) = iter.next() else {
+                    return err("--out needs a directory".into());
+                };
+                args.out = Some(PathBuf::from(dir));
+            }
+            other => {
+                return err(format!("unknown option '{other}'\n\n{}", usage()));
+            }
+        }
+    }
+    if all {
+        args.scenarios.extend(registry().iter());
+    }
+    if args.scenarios.is_empty() && !args.list {
+        return err(usage());
+    }
+    ParseOutcome::Run(Box::new(args))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        ParseOutcome::Run(a) => a,
+        ParseOutcome::Help => {
+            print!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        ParseOutcome::Error(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+
+    for scenario in &args.scenarios {
+        let requests = args.requests.unwrap_or(if args.smoke {
+            scenario.default_requests / SMOKE_DIVISOR
+        } else {
+            scenario.default_requests
+        });
+        let spec = (scenario.build)(args.seed, requests);
+        let placement = spec.placement.name();
+        let mut sim = ClusterSim::new(spec, args.seed);
+        let start = Instant::now();
+        let metrics = sim.run();
+        let elapsed = start.elapsed();
+        println!(
+            "== {} ({}; {} requests, seed {})",
+            scenario.id, scenario.title, requests, args.seed
+        );
+        println!("{}", metrics.render_table());
+        // Wall-clock is the only non-deterministic line; keep it clearly
+        // separated from the metrics block above.
+        println!(
+            "   [{placement}; {:.2?} wall, {:.3e} req/s]\n",
+            elapsed,
+            metrics.requests as f64 / elapsed.as_secs_f64()
+        );
+        if let Some(dir) = &args.out {
+            let id = format!("cluster-{}", scenario.id);
+            let set = metrics.to_series_set(&id, scenario.title);
+            let write = std::fs::create_dir_all(dir).and_then(|()| {
+                std::fs::write(
+                    dir.join(format!("{id}.csv")),
+                    bnb_stats::csv::series_set_to_string(&set),
+                )?;
+                std::fs::write(dir.join(format!("{id}.dat")), set.to_plot_text())?;
+                std::fs::write(dir.join(format!("{id}.svg")), render_svg(&set))?;
+                std::fs::write(dir.join(format!("{id}.txt")), metrics.render_table())
+            });
+            match write {
+                Ok(()) => println!("   wrote {}/{id}.{{csv,dat,svg,txt}}\n", dir.display()),
+                Err(e) => {
+                    eprintln!("failed to write {}: {e}", scenario.id);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

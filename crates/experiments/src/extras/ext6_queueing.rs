@@ -83,6 +83,7 @@ pub fn run(ctx: &Ctx) -> SeriesSet {
                         routing,
                         selection: selection.clone(),
                         rho,
+                        queue_capacity: None,
                     };
                     let mut sys = QueueSystem::new(&speeds, config, seed);
                     sys.run_arrivals(arrivals).max_normalized_queue

@@ -9,6 +9,34 @@
 use crate::hash::{mix64, peer_point};
 use crate::ring::{HashRing, RingPoint};
 
+/// Builds the ring for an explicit membership: peer `i` of the returned
+/// ring is `peer_ids[i]`, placed at its `vnodes_per_peer` stable
+/// pseudo-random points. Because a peer's points depend only on
+/// `(seed, id)`, membership changes perturb nobody else's points — the
+/// consistent-hashing minimal-disruption property. [`ChurnSimulator`]
+/// builds its rings through this function, and so does the cluster
+/// simulator's churn handling (`bnb-cluster`), which keeps the two
+/// membership models bit-identical.
+///
+/// # Panics
+/// Panics if `peer_ids` is empty, contains duplicates (two peers would
+/// collide on every point), or `vnodes_per_peer == 0`.
+#[must_use]
+pub fn membership_ring(seed: u64, peer_ids: &[u64], vnodes_per_peer: usize) -> HashRing {
+    assert!(!peer_ids.is_empty(), "need at least one peer");
+    assert!(vnodes_per_peer > 0, "need at least one vnode");
+    let mut points = Vec::with_capacity(peer_ids.len() * vnodes_per_peer);
+    for (idx, &peer_id) in peer_ids.iter().enumerate() {
+        for v in 0..vnodes_per_peer as u64 {
+            points.push(RingPoint {
+                position: peer_point(seed, peer_id, v),
+                peer: idx,
+            });
+        }
+    }
+    HashRing::from_points(points, peer_ids.len())
+}
+
 /// Tracks key placements across ring membership changes.
 #[derive(Debug, Clone)]
 pub struct ChurnSimulator {
@@ -76,16 +104,7 @@ impl ChurnSimulator {
     /// Current ring.
     #[must_use]
     pub fn ring(&self) -> HashRing {
-        let mut points = Vec::with_capacity(self.peers.len() * self.vnodes_per_peer);
-        for (idx, &peer_id) in self.peers.iter().enumerate() {
-            for v in 0..self.vnodes_per_peer as u64 {
-                points.push(RingPoint {
-                    position: peer_point(self.seed, peer_id, v),
-                    peer: idx,
-                });
-            }
-        }
-        HashRing::from_points(points, self.peers.len())
+        membership_ring(self.seed, &self.peers, self.vnodes_per_peer)
     }
 
     fn compute_owners(&self) -> Vec<u64> {
@@ -141,6 +160,14 @@ impl ChurnSimulator {
     #[must_use]
     pub fn owners(&self) -> &[u64] {
         &self.owners
+    }
+
+    /// The tracked key population, index-aligned with
+    /// [`ChurnSimulator::owners`] — lets tests re-derive ownership
+    /// through the ring independently of the cached owners.
+    #[must_use]
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
     }
 }
 
@@ -211,5 +238,37 @@ mod tests {
     fn removing_last_peer_panics() {
         let mut sim = ChurnSimulator::new(1, 1, 10, 0);
         let _ = sim.leave(0);
+    }
+
+    #[test]
+    fn membership_ring_points_are_stable_across_membership() {
+        // A peer's points depend only on (seed, id): removing peer 1 must
+        // leave peer 0's and peer 2's positions untouched.
+        let full = membership_ring(42, &[0, 1, 2], 4);
+        let reduced = membership_ring(42, &[0, 2], 4);
+        let positions_of = |ring: &HashRing, peer: usize| -> Vec<u64> {
+            let mut v: Vec<u64> = ring
+                .points()
+                .iter()
+                .filter(|p| p.peer == peer)
+                .map(|p| p.position)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(positions_of(&full, 0), positions_of(&reduced, 0));
+        assert_eq!(positions_of(&full, 2), positions_of(&reduced, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "collide")]
+    fn membership_ring_rejects_duplicate_ids() {
+        let _ = membership_ring(7, &[3, 3], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one peer")]
+    fn membership_ring_rejects_empty() {
+        let _ = membership_ring(7, &[], 2);
     }
 }

@@ -38,6 +38,6 @@ pub mod ring;
 
 pub use byers::ByersGame;
 pub use chord::ChordOverlay;
-pub use churn::ChurnSimulator;
+pub use churn::{membership_ring, ChurnSimulator};
 pub use rendezvous::Rendezvous;
 pub use ring::HashRing;

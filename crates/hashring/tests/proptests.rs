@@ -87,6 +87,86 @@ proptest! {
         }
         prop_assert_eq!(moved, outcome.moved_keys);
     }
+
+    /// Minimal-disruption invariant, join direction: the moved keys are
+    /// *exactly* the tracked keys landing inside the joiner's arrived
+    /// arcs (re-derived through the post-join ring, independent of the
+    /// simulator's cached owners), and their number is bounded by the
+    /// arrived arc share of the key population (binomial concentration
+    /// around `n_keys · arc_fraction`; the generator is deterministic,
+    /// so the 6σ band cannot flake).
+    #[test]
+    fn join_movement_bounded_by_arrived_arc_share(
+        n_peers in 2usize..16,
+        vnodes in 1usize..5,
+        n_keys in 20usize..400,
+        seed in any::<u64>(),
+    ) {
+        let mut sim = ChurnSimulator::new(n_peers, vnodes, n_keys, seed);
+        let before = sim.owners().to_vec();
+        let outcome = sim.join();
+        let ring = sim.ring();
+        let joiner_index = sim.n_peers() - 1;
+        // Re-derive through the ring: a key moved iff its successor point
+        // now belongs to the joiner (it sits inside an arrived arc).
+        let mut keys_in_arrived_arcs = 0usize;
+        for (i, key) in sim.keys().iter().enumerate() {
+            let in_arrived_arc = ring.successor(*key) == joiner_index;
+            if in_arrived_arc {
+                keys_in_arrived_arcs += 1;
+            }
+            let moved = sim.owners()[i] != before[i];
+            prop_assert_eq!(
+                moved, in_arrived_arc,
+                "a key moved iff it lies inside the arrived arcs"
+            );
+        }
+        prop_assert_eq!(
+            outcome.moved_keys, keys_in_arrived_arcs,
+            "moved keys must equal the keys inside the arrived arcs"
+        );
+        // The arc-share bound: movement concentrates around
+        // `n_keys · arc_fraction`. 6σ + 1 headroom on the binomial.
+        let arcs = ring.arc_lengths();
+        let arc_fraction = arcs[joiner_index] as f64 / 2f64.powi(64);
+        let expected = n_keys as f64 * arc_fraction;
+        let sigma = (n_keys as f64 * arc_fraction * (1.0 - arc_fraction)).sqrt();
+        prop_assert!(
+            (outcome.moved_keys as f64) <= expected + 6.0 * sigma + 1.0,
+            "moved {} keys, arc share predicts {expected:.2} ± {sigma:.2}",
+            outcome.moved_keys
+        );
+    }
+
+    /// Minimal-disruption invariant, leave direction: exactly the departed
+    /// peer's keys move — the movement equals the departed arc share of
+    /// the key population, and every moved key was owned by the leaver.
+    #[test]
+    fn leave_movement_bounded_by_departed_arc_share(
+        n_peers in 2usize..16,
+        vnodes in 1usize..5,
+        n_keys in 20usize..400,
+        leave_raw in any::<usize>(),
+        seed in any::<u64>(),
+    ) {
+        let mut sim = ChurnSimulator::new(n_peers, vnodes, n_keys, seed);
+        let leave_index = leave_raw % n_peers;
+        let leaver_id = leave_index as u64; // ids are dense from 0
+        let before = sim.owners().to_vec();
+        let departed_share = before.iter().filter(|&&o| o == leaver_id).count();
+        let outcome = sim.leave(leave_index);
+        // The bound (with equality): only the departed peer's keys move.
+        prop_assert_eq!(
+            outcome.moved_keys, departed_share,
+            "moved keys must equal the departed peer's key share"
+        );
+        for (old, new) in before.iter().zip(sim.owners()) {
+            if old != new {
+                prop_assert_eq!(*old, leaver_id, "a surviving peer's key moved");
+            }
+            prop_assert!(*new != leaver_id, "a key still maps to the departed peer");
+        }
+    }
 }
 
 /// Deterministic statistical check: with many vnodes, per-peer arc shares

@@ -20,22 +20,23 @@ pub enum Event {
 }
 
 /// Heap entry: events ordered by time, ties broken by insertion sequence
-/// so the simulation is fully deterministic.
+/// so the simulation is fully deterministic. Ordering looks only at
+/// `(time, seq)`, so the payload type needs no bounds.
 #[derive(Debug, Clone, Copy)]
-struct Scheduled {
+struct Scheduled<E> {
     time: Time,
     seq: u64,
-    event: Event,
+    event: E,
 }
 
-impl PartialEq for Scheduled {
+impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl Eq for Scheduled {}
+impl<E> Eq for Scheduled<E> {}
 
-impl Ord for Scheduled {
+impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we need earliest-first.
         other
@@ -44,20 +45,25 @@ impl Ord for Scheduled {
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
-impl PartialOrd for Scheduled {
+impl<E> PartialOrd for Scheduled<E> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-/// A deterministic future-event list.
+/// A deterministic future-event list, generic over the event payload.
+///
+/// [`QueueSystem`](crate::QueueSystem) instantiates it with the default
+/// [`Event`]; richer simulators (e.g. `bnb-cluster`, which adds churn
+/// events) plug in their own payload type and inherit the same
+/// earliest-first, FIFO-on-ties determinism guarantee.
 #[derive(Debug, Default)]
-pub struct EventQueue {
-    heap: BinaryHeap<Scheduled>,
+pub struct EventQueue<E = Event> {
+    heap: BinaryHeap<Scheduled<E>>,
     seq: u64,
 }
 
-impl EventQueue {
+impl<E> EventQueue<E> {
     /// Creates an empty queue.
     #[must_use]
     pub fn new() -> Self {
@@ -71,7 +77,7 @@ impl EventQueue {
     ///
     /// # Panics
     /// Panics if `time` is NaN.
-    pub fn schedule(&mut self, time: Time, event: Event) {
+    pub fn schedule(&mut self, time: Time, event: E) {
         assert!(!time.is_nan(), "event time must not be NaN");
         self.heap.push(Scheduled {
             time,
@@ -82,7 +88,7 @@ impl EventQueue {
     }
 
     /// Pops the earliest event, if any.
-    pub fn pop(&mut self) -> Option<(Time, Event)> {
+    pub fn pop(&mut self) -> Option<(Time, E)> {
         self.heap.pop().map(|s| (s.time, s.event))
     }
 
@@ -137,6 +143,16 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn custom_payload_types_work() {
+        // The queue is payload-agnostic: any type rides along unchanged.
+        let mut q: EventQueue<&str> = EventQueue::new();
+        q.schedule(2.0, "later");
+        q.schedule(1.0, "sooner");
+        assert_eq!(q.pop(), Some((1.0, "sooner")));
+        assert_eq!(q.pop(), Some((2.0, "later")));
     }
 
     #[test]

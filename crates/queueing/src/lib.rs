@@ -12,16 +12,20 @@
 //! generalised to heterogeneous speeds and capacity-proportional
 //! sampling).
 //!
-//! * [`events`] — the event heap and simulation clock,
+//! * [`events`] — the event heap and simulation clock (generic over the
+//!   event payload, so richer simulators such as `bnb-cluster` reuse it),
 //! * [`server`] — heterogeneous-speed server state with time-integrated
-//!   queue-length accounting,
+//!   queue-length accounting and optional finite queues with drop
+//!   counting,
 //! * [`router`] — routing policies (JSQ(d) with the paper's capacity
 //!   tie-break, least-work, random),
 //! * [`system`] — the simulator: arrivals, departures, metrics.
 //!
 //! The test-suite verifies textbook laws (M/M/1 mean queue length,
-//! stability for ρ < 1, the d=1 → d=2 collapse of the maximum queue)
-//! so the substrate can be trusted under the extension experiment E6.
+//! stability for ρ < 1, the d=1 → d=2 collapse of the maximum queue,
+//! bounded queues and counted drops under overload) so the substrate can
+//! be trusted under the extension experiment E6 and the cluster
+//! simulator built on top of it.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -32,4 +36,5 @@ pub mod server;
 pub mod system;
 
 pub use router::RoutingPolicy;
+pub use server::{Admission, Server};
 pub use system::{QueueMetrics, QueueSystem, SystemConfig};

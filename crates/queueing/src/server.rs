@@ -2,13 +2,32 @@
 
 use crate::events::Time;
 
+/// Outcome of offering a job to a server through [`Server::try_join`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The server was idle; the job starts service immediately (the
+    /// caller must schedule its departure).
+    StartedService,
+    /// The job joined a busy server's queue.
+    Queued,
+    /// The queue was at capacity; the job was dropped and counted.
+    Dropped,
+}
+
 /// One server: a FIFO queue drained at rate `speed` (the bin's
 /// "capacity" in the paper's reading), with time-integrated queue-length
 /// accounting for steady-state metrics.
+///
+/// The queue is unbounded by default; [`Server::with_queue_capacity`]
+/// builds a finite-queue server that rejects (and counts) arrivals once
+/// `capacity` jobs are in the system, which is what keeps overloaded
+/// (`ρ ≥ 1`) simulations bounded and terminating.
 #[derive(Debug, Clone)]
 pub struct Server {
     speed: u64,
     queue: u64,
+    /// Max jobs in the system (queue + in service); `None` = unbounded.
+    capacity: Option<u64>,
     /// Integral of the queue length over time (for time averages).
     queue_time_integral: f64,
     /// Last time the queue length changed.
@@ -17,23 +36,42 @@ pub struct Server {
     max_queue: u64,
     /// Completed jobs.
     completed: u64,
+    /// Jobs rejected because the queue was full.
+    dropped: u64,
 }
 
 impl Server {
-    /// Creates an idle server with the given speed.
+    /// Creates an idle server with the given speed and an unbounded queue.
     ///
     /// # Panics
     /// Panics if `speed == 0`.
     #[must_use]
     pub fn new(speed: u64) -> Self {
+        Server::build(speed, None)
+    }
+
+    /// Creates an idle server that holds at most `capacity` jobs
+    /// (including the one in service); arrivals beyond that are dropped.
+    ///
+    /// # Panics
+    /// Panics if `speed == 0` or `capacity == 0`.
+    #[must_use]
+    pub fn with_queue_capacity(speed: u64, capacity: u64) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Server::build(speed, Some(capacity))
+    }
+
+    fn build(speed: u64, capacity: Option<u64>) -> Self {
         assert!(speed > 0, "server speed must be positive");
         Server {
             speed,
             queue: 0,
+            capacity,
             queue_time_integral: 0.0,
             last_change: 0.0,
             max_queue: 0,
             completed: 0,
+            dropped: 0,
         }
     }
 
@@ -69,19 +107,49 @@ impl Server {
         self.completed
     }
 
+    /// Queue capacity (`None` = unbounded).
+    #[must_use]
+    pub fn queue_capacity(&self) -> Option<u64> {
+        self.capacity
+    }
+
+    /// Jobs rejected because the queue was at capacity.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     fn account(&mut self, now: Time) {
         debug_assert!(now >= self.last_change, "time went backwards");
         self.queue_time_integral += self.queue as f64 * (now - self.last_change);
         self.last_change = now;
     }
 
-    /// A job joins at time `now`. Returns `true` if the server was idle
-    /// (the caller must then schedule the first departure).
+    /// A job joins at time `now`, ignoring any queue capacity. Returns
+    /// `true` if the server was idle (the caller must then schedule the
+    /// first departure). Capacity-respecting callers use
+    /// [`Server::try_join`].
     pub fn join(&mut self, now: Time) -> bool {
         self.account(now);
         self.queue += 1;
         self.max_queue = self.max_queue.max(self.queue);
         self.queue == 1
+    }
+
+    /// Offers a job at time `now`, respecting the queue capacity: a full
+    /// server rejects the job and counts the drop.
+    pub fn try_join(&mut self, now: Time) -> Admission {
+        if let Some(cap) = self.capacity {
+            if self.queue >= cap {
+                self.dropped += 1;
+                return Admission::Dropped;
+            }
+        }
+        if self.join(now) {
+            Admission::StartedService
+        } else {
+            Admission::Queued
+        }
     }
 
     /// The in-service job completes at time `now`. Returns `true` if
@@ -95,6 +163,15 @@ impl Server {
         self.queue -= 1;
         self.completed += 1;
         self.queue > 0
+    }
+
+    /// Evicts every job in the system at time `now` (queue and the one
+    /// in service), returning how many were evicted. Used when a server
+    /// leaves a churning cluster: its backlog is orphaned, not completed
+    /// — the caller decides how to account for the evicted jobs.
+    pub fn evict_all(&mut self, now: Time) -> u64 {
+        self.account(now);
+        std::mem::take(&mut self.queue)
     }
 
     /// Time-averaged queue length up to `now`.
@@ -141,6 +218,38 @@ mod tests {
         let s_fast = Server::new(10);
         let s_slow = Server::new(1);
         assert!(s_fast.post_join_load() < s_slow.post_join_load());
+    }
+
+    #[test]
+    fn finite_capacity_drops_and_counts() {
+        let mut s = Server::with_queue_capacity(1, 2);
+        assert_eq!(s.try_join(0.0), Admission::StartedService);
+        assert_eq!(s.try_join(1.0), Admission::Queued);
+        assert_eq!(s.try_join(2.0), Admission::Dropped);
+        assert_eq!(s.try_join(3.0), Admission::Dropped);
+        assert_eq!(s.queue_len(), 2, "drops never grow the queue");
+        assert_eq!(s.dropped(), 2);
+        // A departure frees a slot and admission resumes.
+        s.depart(4.0);
+        assert_eq!(s.try_join(5.0), Admission::Queued);
+        assert_eq!(s.dropped(), 2);
+    }
+
+    #[test]
+    fn unbounded_server_never_drops() {
+        let mut s = Server::new(3);
+        assert_eq!(s.queue_capacity(), None);
+        for t in 0..100 {
+            assert_ne!(s.try_join(t as f64), Admission::Dropped);
+        }
+        assert_eq!(s.dropped(), 0);
+        assert_eq!(s.queue_len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Server::with_queue_capacity(1, 0);
     }
 
     #[test]

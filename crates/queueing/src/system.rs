@@ -3,7 +3,7 @@
 
 use crate::events::{Event, EventQueue, Time};
 use crate::router::RoutingPolicy;
-use crate::server::Server;
+use crate::server::{Admission, Server};
 use bnb_core::choice::{draw_candidates, ChoiceMode, Selection, MAX_D};
 use bnb_core::CapacityVector;
 use bnb_distributions::{AliasTable, Exponential, Xoshiro256PlusPlus};
@@ -18,10 +18,16 @@ pub struct SystemConfig {
     /// How candidates are sampled (the paper's default: proportional to
     /// speed).
     pub selection: Selection,
-    /// Offered utilisation ρ ∈ (0, 1): the arrival rate is
-    /// `ρ · Σ speed` (each job carries Exp(1) work, server `i` serves at
-    /// rate `speed_i`, so the system-wide service capacity is `Σ speed`).
+    /// Offered utilisation ρ: the arrival rate is `ρ · Σ speed` (each
+    /// job carries Exp(1) work, server `i` serves at rate `speed_i`, so
+    /// the system-wide service capacity is `Σ speed`). Unbounded queues
+    /// require `ρ < 1` for stability; with a finite
+    /// [`queue_capacity`](SystemConfig::queue_capacity) any `ρ > 0` is
+    /// allowed — overload shows up as drops, not divergence.
     pub rho: f64,
+    /// Per-server bound on jobs in the system (queue + in service);
+    /// `None` (the default) keeps the queues unbounded.
+    pub queue_capacity: Option<u64>,
 }
 
 impl Default for SystemConfig {
@@ -31,6 +37,7 @@ impl Default for SystemConfig {
             routing: RoutingPolicy::ShortestNormalizedQueue,
             selection: Selection::ProportionalToCapacity,
             rho: 0.9,
+            queue_capacity: None,
         }
     }
 }
@@ -46,6 +53,8 @@ pub struct QueueMetrics {
     pub max_queue_len: u64,
     /// Completed jobs.
     pub completed: u64,
+    /// Jobs dropped at full queues (always 0 with unbounded queues).
+    pub dropped: u64,
     /// Simulated time horizon.
     pub horizon: Time,
 }
@@ -66,21 +75,32 @@ impl QueueSystem {
     /// Builds the system on the given server speeds.
     ///
     /// # Panics
-    /// Panics if `d` is out of range, `rho` is not in `(0, 1)`, or the
-    /// selection weights are invalid.
+    /// Panics if `d` is out of range, `rho` is invalid (non-positive, or
+    /// `≥ 1` while the queues are unbounded), or the selection weights
+    /// are invalid.
     #[must_use]
     pub fn new(speeds: &CapacityVector, config: SystemConfig, seed: u64) -> Self {
         assert!(config.d >= 1 && config.d <= MAX_D, "d out of range");
         assert!(
-            config.rho > 0.0 && config.rho < 1.0,
-            "utilisation must be in (0,1) for stability, got {}",
+            config.rho > 0.0 && config.rho.is_finite(),
+            "utilisation must be positive, got {}",
+            config.rho
+        );
+        assert!(
+            config.rho < 1.0 || config.queue_capacity.is_some(),
+            "utilisation must be in (0,1) for stability with unbounded queues, got {}; \
+             set queue_capacity to simulate overload",
             config.rho
         );
         let total_speed: u64 = speeds.total();
         let arrival_rate = config.rho * total_speed as f64;
         let sampler = config.selection.sampler(speeds.as_slice());
+        let make_server = |s: u64| match config.queue_capacity {
+            Some(cap) => Server::with_queue_capacity(s, cap),
+            None => Server::new(s),
+        };
         QueueSystem {
-            servers: speeds.as_slice().iter().map(|&s| Server::new(s)).collect(),
+            servers: speeds.as_slice().iter().map(|&s| make_server(s)).collect(),
             sampler,
             config,
             events: EventQueue::new(),
@@ -133,7 +153,7 @@ impl QueueSystem {
             .config
             .routing
             .choose(&self.servers, candidates, &mut self.rng);
-        if self.servers[target].join(self.now) {
+        if self.servers[target].try_join(self.now) == Admission::StartedService {
             self.schedule_departure(target);
         }
     }
@@ -170,6 +190,7 @@ impl QueueSystem {
                 .max()
                 .unwrap_or(0),
             completed: self.servers.iter().map(Server::completed).sum(),
+            dropped: self.servers.iter().map(Server::dropped).sum(),
             horizon: self.now,
         }
     }

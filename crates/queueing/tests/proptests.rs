@@ -61,6 +61,7 @@ proptest! {
             routing,
             selection: Selection::ProportionalToCapacity,
             rho: rho_pct as f64 / 100.0,
+            queue_capacity: None,
         };
         let mut sys = QueueSystem::new(&speeds, config, seed);
         let arrivals = 500u64;

@@ -19,6 +19,7 @@ fn run(rho: f64, d: usize, routing: RoutingPolicy, seed: u64) -> (f64, f64) {
         routing,
         selection: Selection::ProportionalToCapacity,
         rho,
+        queue_capacity: None,
     };
     let mut sys = QueueSystem::new(&speeds, config, seed);
     let metrics = sys.run_arrivals(300_000);

@@ -12,9 +12,17 @@
 //!   cumulative) plus binomial/geometric/Zipf variates.
 //! * [`hashring`] — the consistent-hashing substrate: rings, arcs, the
 //!   Byers et al. d-point game, Chord finger tables.
+//! * [`queueing`] — the discrete-event queueing substrate: JSQ(d) over
+//!   heterogeneous-speed servers, finite queues, drop accounting.
+//! * [`cluster`] — the heterogeneous-cluster simulator: paper-faithful
+//!   traffic served end to end through pluggable placement policies,
+//!   with churn; drives the `cluster-sim` CLI.
 //! * [`stats`] — summaries, histograms, series, chi-square, CSV/tables.
 //! * [`experiments`] — runners for all 18 paper figures and the `repro`
 //!   CLI.
+//!
+//! The [`prelude`] pulls the entry points of all of them into one
+//! namespace.
 //!
 //! ## Quick start
 //!
@@ -32,9 +40,40 @@
 #![deny(missing_docs)]
 
 pub use bnb_analysis as analysis;
+pub use bnb_cluster as cluster;
 pub use bnb_core as core;
 pub use bnb_distributions as distributions;
 pub use bnb_experiments as experiments;
 pub use bnb_hashring as hashring;
 pub use bnb_queueing as queueing;
 pub use bnb_stats as stats;
+
+/// One-stop namespace over the whole workspace: the core model's
+/// prelude plus the queueing, hash-ring and cluster entry points, which
+/// the per-crate facades alone leave invisible.
+///
+/// ```
+/// use balls_into_bins::prelude::*;
+///
+/// // The abstract game and the running system, side by side.
+/// let caps = CapacityVector::two_class(50, 1, 50, 10);
+/// let bins = run_game(&caps, caps.total(), &GameConfig::default(), 42);
+/// assert_eq!(bins.total_balls(), caps.total());
+///
+/// let scenario = find_scenario("two-class").unwrap();
+/// let metrics = ClusterSim::new((scenario.build)(42, 2_000), 42).run();
+/// assert_eq!(metrics.completed + metrics.dropped, 2_000);
+/// ```
+pub mod prelude {
+    pub use bnb_cluster::{
+        find_scenario, ArrivalProcess, ChurnConfig, ClusterMetrics, ClusterServer, ClusterSim,
+        ClusterSpec, Fleet, PlacementSpec, Router, Scenario,
+    };
+    pub use bnb_core::prelude::*;
+    pub use bnb_hashring::{
+        membership_ring, ByersGame, ChordOverlay, ChurnSimulator, HashRing, Rendezvous,
+    };
+    pub use bnb_queueing::{
+        Admission, QueueMetrics, QueueSystem, RoutingPolicy, Server, SystemConfig,
+    };
+}
