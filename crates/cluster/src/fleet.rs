@@ -34,7 +34,9 @@ impl ClusterServer {
         };
         ClusterServer {
             core,
-            in_flight: VecDeque::new(),
+            // Pre-size the admission FIFO to the queue bound (clamped)
+            // so the steady state never grows it.
+            in_flight: VecDeque::with_capacity(queue_capacity.map_or(16, |c| c.min(1024)) as usize),
             id,
             alive: true,
         }
@@ -95,6 +97,11 @@ impl ClusterServer {
 #[derive(Debug, Clone)]
 pub struct Fleet {
     servers: Vec<ClusterServer>,
+    /// Dense `(queue_len, speed)` per slot, mirrored on every join and
+    /// depart: the placement hot path compares loads thousands of times
+    /// per simulated second, and reading two words from this
+    /// cache-resident array beats chasing into the full server structs.
+    loads: Vec<(u64, u64)>,
     n_alive: usize,
     next_id: u64,
     queue_capacity: Option<u64>,
@@ -118,6 +125,7 @@ impl Fleet {
         Fleet {
             n_alive: servers.len(),
             next_id: servers.len() as u64,
+            loads: speeds.iter().map(|&s| (0, s)).collect(),
             servers,
             queue_capacity,
         }
@@ -184,8 +192,34 @@ impl Fleet {
         let admission = s.core.try_join(now);
         if admission != Admission::Dropped {
             s.in_flight.push_back(now);
+            self.loads[i].0 += 1;
         }
         admission
+    }
+
+    /// The ordering key of Algorithm 1's allocation step for slot `i`:
+    /// post-join normalised load first (exact rational), then *larger*
+    /// capacity preferred (hence the inverted speed component). Served
+    /// from the dense load mirror — this is the placement hot path.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn post_join_key(&self, i: usize) -> (Load, u64) {
+        let (q, s) = self.loads[i];
+        (Load::new(q + 1, s), u64::MAX - s)
+    }
+
+    /// Jobs in the system on slot `i`, served from the dense mirror
+    /// (the hash-then-probe hot path).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn queue_len_of(&self, i: usize) -> u64 {
+        self.loads[i].0
     }
 
     /// The job in service on server `i` completes at `now`; returns its
@@ -201,6 +235,7 @@ impl Fleet {
             .pop_front()
             .expect("departure from an empty cluster server");
         let more = s.core.depart(now);
+        self.loads[i].0 -= 1;
         (now - admitted, more)
     }
 
@@ -219,6 +254,7 @@ impl Fleet {
         s.alive = false;
         s.in_flight.clear();
         self.n_alive -= 1;
+        self.loads[i].0 = 0;
         s.core.evict_all(now)
     }
 
@@ -230,6 +266,7 @@ impl Fleet {
         self.next_id += 1;
         self.servers
             .push(ClusterServer::new(speed, self.queue_capacity, id));
+        self.loads.push((0, speed));
         self.n_alive += 1;
         self.servers.len() - 1
     }

@@ -22,16 +22,34 @@
 //!   `ln ln n / ln d` tail.
 //!
 //! A [`Router`] owns the derived structures (alias table, ring,
-//! rendezvous scores) and is rebuilt on churn through
+//! rendezvous scores) **and its own RNG streams**: candidate sampling
+//! draws from a dedicated placement stream in pre-sampled blocks
+//! (through [`WeightedSampler::sample_batch`], the PR-2 batched
+//! machinery), and residual tie-breaks draw from a separate tie stream
+//! — so placement randomness is independent of the arrival, service and
+//! churn streams and a run stays bitwise reproducible in
+//! `(spec, seed)`. The router is rebuilt on churn through
 //! [`bnb_hashring::churn::membership_ring`], so membership changes move
-//! only the arcs of the peers that actually changed.
+//! only the arcs of the peers that actually changed (and invalidate any
+//! unconsumed candidate block, which was drawn against the old alias
+//! table).
 
 use crate::fleet::Fleet;
-use bnb_core::choice::{draw_candidates, ChoiceMode, MAX_D};
-use bnb_distributions::{AliasTable, Xoshiro256PlusPlus};
+use bnb_core::choice::MAX_D;
+use bnb_distributions::{derive_seed, AliasTable, WeightedSampler, Xoshiro256PlusPlus};
 use bnb_hashring::churn::membership_ring;
 use bnb_hashring::hash::request_point;
 use bnb_hashring::{HashRing, Rendezvous};
+
+/// Stream id of the candidate-sampling RNG, derived from the router
+/// seed.
+const PLACEMENT_STREAM: u64 = 0x706C_6163; // "plac"
+/// Stream id of the tie-break RNG, derived from the router seed.
+const TIE_STREAM: u64 = 0x7469_6562; // "tieb"
+
+/// Candidate tokens pre-sampled per block refill (requests' worth; the
+/// buffer holds `d` tokens per request).
+const CAND_REQUESTS_PER_BLOCK: usize = 512;
 
 /// Which placement policy routes arriving requests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +88,30 @@ impl PlacementSpec {
             PlacementSpec::HashThenProbe { .. } => "hash-then-probe",
         }
     }
+
+    /// This spec with its probe count replaced by `d`, where the policy
+    /// has one (`DChoice`, `HashThenProbe`); the load-oblivious policies
+    /// are returned unchanged. This is how the d-sweep runner varies `d`
+    /// across a scenario without rebuilding its traffic recipe.
+    #[must_use]
+    pub fn with_d(self, d: usize) -> Self {
+        match self {
+            PlacementSpec::DChoice { .. } => PlacementSpec::DChoice { d },
+            PlacementSpec::HashThenProbe { vnodes, .. } => {
+                PlacementSpec::HashThenProbe { d, vnodes }
+            }
+            other => other,
+        }
+    }
+
+    /// Whether [`PlacementSpec::with_d`] actually varies this policy.
+    #[must_use]
+    pub fn has_d(&self) -> bool {
+        matches!(
+            self,
+            PlacementSpec::DChoice { .. } | PlacementSpec::HashThenProbe { .. }
+        )
+    }
 }
 
 /// The routing state derived from a placement spec and the current fleet
@@ -88,6 +130,15 @@ pub struct Router {
     ring: Option<HashRing>,
     /// `Rendezvous`: HRW scores over alive speeds.
     rdv: Option<Rendezvous>,
+    /// Dedicated candidate-sampling stream (`DChoice` only).
+    place_rng: Xoshiro256PlusPlus,
+    /// Dedicated residual-tie-break stream (load-aware policies).
+    tie_rng: Xoshiro256PlusPlus,
+    /// Pre-sampled candidate tokens, `d` per request; refilled in
+    /// blocks, invalidated by [`Router::rebuild`].
+    cand_buf: Vec<usize>,
+    /// Next unconsumed token in `cand_buf`.
+    cand_pos: usize,
 }
 
 impl Router {
@@ -119,6 +170,10 @@ impl Router {
             alias: None,
             ring: None,
             rdv: None,
+            place_rng: Xoshiro256PlusPlus::from_u64_seed(derive_seed(seed, PLACEMENT_STREAM, 0)),
+            tie_rng: Xoshiro256PlusPlus::from_u64_seed(derive_seed(seed, TIE_STREAM, 0)),
+            cand_buf: Vec::new(),
+            cand_pos: 0,
         };
         router.rebuild(fleet);
         router
@@ -132,17 +187,24 @@ impl Router {
 
     /// Recomputes the derived structures after a membership change. Ring
     /// policies go through [`membership_ring`] on the alive servers'
-    /// stable ids, so surviving servers keep their exact arcs.
+    /// stable ids, so surviving servers keep their exact arcs. Any
+    /// unconsumed pre-sampled candidates are discarded: they were drawn
+    /// against the old membership's alias table.
     pub fn rebuild(&mut self, fleet: &Fleet) {
         self.alive = fleet.alive_indices();
+        self.cand_pos = self.cand_buf.len();
         match self.spec {
-            PlacementSpec::DChoice { .. } => {
+            PlacementSpec::DChoice { d } => {
                 let weights: Vec<f64> = self
                     .alive
                     .iter()
                     .map(|&i| fleet.server(i).speed() as f64)
                     .collect();
                 self.alias = Some(AliasTable::new(&weights));
+                // Resize in place: churn rebuilds must not reallocate
+                // the candidate block every tick.
+                self.cand_buf.resize(d * CAND_REQUESTS_PER_BLOCK, 0);
+                self.cand_pos = self.cand_buf.len();
             }
             PlacementSpec::ConsistentHash { vnodes }
             | PlacementSpec::HashThenProbe { vnodes, .. } => {
@@ -160,9 +222,17 @@ impl Router {
         }
     }
 
+    /// Whether this policy reads the request key at all (`DChoice` is
+    /// key-oblivious, so callers can skip hashing a key for it).
+    #[must_use]
+    pub fn needs_key(&self) -> bool {
+        !matches!(self.spec, PlacementSpec::DChoice { .. })
+    }
+
     /// Routes a request with hash `key`, returning the target server's
-    /// slot index. Only the load-aware policies consume RNG draws
-    /// (candidate sampling and tie-breaking).
+    /// slot index. Only the load-aware policies consume RNG draws —
+    /// candidate sampling from the router's placement stream (block
+    /// pre-sampled), residual tie-breaks from its tie stream.
     ///
     /// Using a router whose membership is stale (the fleet churned since
     /// the last [`Router::rebuild`]) is a logic error. It is only
@@ -170,8 +240,9 @@ impl Router {
     /// *count* unchanged — so the backstop is downstream:
     /// [`Fleet::try_join`] panics when a request is routed to a departed
     /// slot. Debug builds additionally assert the alive count matches.
+    #[inline]
     #[must_use]
-    pub fn place(&self, fleet: &Fleet, key: u64, rng: &mut Xoshiro256PlusPlus) -> usize {
+    pub fn place(&mut self, fleet: &Fleet, key: u64) -> usize {
         debug_assert_eq!(
             self.alive.len(),
             fleet.n_alive(),
@@ -179,16 +250,37 @@ impl Router {
         );
         match self.spec {
             PlacementSpec::DChoice { d } => {
-                let alias = self.alias.as_ref().expect("alias built for DChoice");
-                let mut buf = [0usize; MAX_D];
-                let candidates =
-                    draw_candidates(alias, d, ChoiceMode::WithReplacement, rng, &mut buf);
+                if self.cand_pos + d > self.cand_buf.len() {
+                    // Refill the candidate block: identical draw order
+                    // to d successive scalar samples per request.
+                    let alias = self.alias.as_ref().expect("alias built for DChoice");
+                    alias.sample_batch(&mut self.place_rng, &mut self.cand_buf);
+                    self.cand_pos = 0;
+                }
+                let pos = self.cand_pos;
+                self.cand_pos += d;
+                if d == 2 {
+                    // The dominant configuration, unrolled: same
+                    // semantics (and tie-stream draws) as the reservoir
+                    // scan below.
+                    let (a, b) = (self.cand_buf[pos], self.cand_buf[pos + 1]);
+                    let sa = self.alive[a];
+                    if a == b {
+                        return sa;
+                    }
+                    let sb = self.alive[b];
+                    return match placement_key(fleet, sa).cmp(&placement_key(fleet, sb)) {
+                        std::cmp::Ordering::Greater => sb,
+                        std::cmp::Ordering::Equal if self.tie_rng.next_below(2) == 0 => sb,
+                        _ => sa,
+                    };
+                }
                 // Algorithm 1 over the candidate *set*: smallest post-join
                 // normalised queue, capacity tie-break towards the faster
                 // server, residual ties uniform (reservoir).
                 reservoir_argmin(
-                    candidates,
-                    rng,
+                    &self.cand_buf[pos..pos + d],
+                    &mut self.tie_rng,
                     |t| self.alive[t],
                     |s| placement_key(fleet, s),
                 )
@@ -212,9 +304,9 @@ impl Router {
                 }
                 reservoir_argmin(
                     &probes[..d],
-                    rng,
+                    &mut self.tie_rng,
                     |peer| self.alive[peer],
-                    |s| fleet.server(s).queue_len(),
+                    |s| fleet.queue_len_of(s),
                 )
             }
         }
@@ -222,11 +314,11 @@ impl Router {
 }
 
 /// Ordering key of Algorithm 1's allocation step: post-join normalised
-/// load first (exact rational), then *larger* capacity preferred (hence
-/// the inverted speed component).
+/// load first (exact rational), then *larger* capacity preferred — read
+/// from the fleet's dense load mirror ([`Fleet::post_join_key`]).
+#[inline]
 fn placement_key(fleet: &Fleet, server: usize) -> (bnb_core::Load, u64) {
-    let s = fleet.server(server);
-    (s.post_join_load(), u64::MAX - s.speed())
+    fleet.post_join_key(server)
 }
 
 /// Reservoir-tied argmin over a candidate token prefix, skipping
@@ -289,13 +381,10 @@ mod tests {
                 fleet.try_join(i, 0.0);
             }
         }
-        let router = Router::new(PlacementSpec::DChoice { d: 2 }, &fleet, 7);
-        let mut rng = Xoshiro256PlusPlus::from_u64_seed(1);
+        let mut router = Router::new(PlacementSpec::DChoice { d: 2 }, &fleet, 7);
         // Whenever the candidate pair contains a fast server it must win;
         // only the ≈1.2% both-slow draws may pick a slow one.
-        let fast_picks = (0..400)
-            .filter(|_| router.place(&fleet, 0, &mut rng) >= 4)
-            .count();
+        let fast_picks = (0..400).filter(|_| router.place(&fleet, 0) >= 4).count();
         assert!(
             fast_picks >= 380,
             "idle fast servers picked only {fast_picks}/400 times"
@@ -303,33 +392,39 @@ mod tests {
     }
 
     #[test]
-    fn consistent_hash_is_rng_free_and_deterministic() {
+    fn dchoice_candidate_blocks_span_refills_deterministically() {
+        // Two identical routers must agree placement-by-placement far
+        // past the candidate-block boundary (512 requests per refill).
         let fleet = two_class_fleet();
-        let router = Router::new(PlacementSpec::ConsistentHash { vnodes: 8 }, &fleet, 42);
-        let mut rng_a = Xoshiro256PlusPlus::from_u64_seed(1);
-        let mut rng_b = Xoshiro256PlusPlus::from_u64_seed(999);
-        for key in 0..500u64 {
-            assert_eq!(
-                router.place(&fleet, key, &mut rng_a),
-                router.place(&fleet, key, &mut rng_b),
-                "successor placement must not depend on the RNG"
-            );
+        let mut a = Router::new(PlacementSpec::DChoice { d: 2 }, &fleet, 9);
+        let mut b = Router::new(PlacementSpec::DChoice { d: 2 }, &fleet, 9);
+        for i in 0..2_000u64 {
+            assert_eq!(a.place(&fleet, i), b.place(&fleet, i), "request {i}");
         }
-        assert_eq!(rng_a.next(), {
-            let mut fresh = Xoshiro256PlusPlus::from_u64_seed(1);
-            fresh.next()
-        });
+    }
+
+    #[test]
+    fn consistent_hash_is_key_pure_and_deterministic() {
+        let fleet = two_class_fleet();
+        let mut router = Router::new(PlacementSpec::ConsistentHash { vnodes: 8 }, &fleet, 42);
+        let mut other = Router::new(PlacementSpec::ConsistentHash { vnodes: 8 }, &fleet, 42);
+        assert!(router.needs_key());
+        for key in 0..500u64 {
+            let t = router.place(&fleet, key);
+            // Same key, any call order, any router instance: same target.
+            assert_eq!(t, router.place(&fleet, key));
+            assert_eq!(t, other.place(&fleet, key), "instance-independent");
+        }
     }
 
     #[test]
     fn rendezvous_shares_follow_speeds() {
         let fleet = two_class_fleet();
-        let router = Router::new(PlacementSpec::Rendezvous, &fleet, 3);
-        let mut rng = Xoshiro256PlusPlus::from_u64_seed(5);
+        let mut router = Router::new(PlacementSpec::Rendezvous, &fleet, 3);
         let mut fast = 0u64;
         let n = 40_000u64;
         for key in 0..n {
-            if router.place(&fleet, bnb_hashring::hash::mix64(key), &mut rng) >= 4 {
+            if router.place(&fleet, bnb_hashring::hash::mix64(key)) >= 4 {
                 fast += 1;
             }
         }
@@ -341,18 +436,16 @@ mod tests {
     #[test]
     fn hash_then_probe_avoids_the_loaded_successor() {
         let mut fleet = Fleet::new(&[1; 16], None);
-        let router = Router::new(PlacementSpec::HashThenProbe { d: 2, vnodes: 4 }, &fleet, 11);
-        let mut rng = Xoshiro256PlusPlus::from_u64_seed(2);
+        let mut router = Router::new(PlacementSpec::HashThenProbe { d: 2, vnodes: 4 }, &fleet, 11);
         // Route a stream of requests, loading as we go: max load must
         // stay far below the one-choice successor pile-up.
-        let mut one_rng = Xoshiro256PlusPlus::from_u64_seed(2);
-        let one = Router::new(PlacementSpec::ConsistentHash { vnodes: 4 }, &fleet, 11);
+        let mut one = Router::new(PlacementSpec::ConsistentHash { vnodes: 4 }, &fleet, 11);
         let mut one_counts = [0u64; 16];
         for key in 0..1600u64 {
             let hashed = bnb_hashring::hash::mix64(key ^ 0xC0FFEE);
-            let t = router.place(&fleet, hashed, &mut rng);
+            let t = router.place(&fleet, hashed);
             fleet.try_join(t, 0.0);
-            one_counts[one.place(&fleet, hashed, &mut one_rng)] += 1;
+            one_counts[one.place(&fleet, hashed)] += 1;
         }
         let probe_max = fleet.servers().iter().map(|s| s.queue_len()).max().unwrap();
         let one_max = *one_counts.iter().max().unwrap();
@@ -366,18 +459,14 @@ mod tests {
     fn rebuild_after_churn_reroutes_only_necessary_keys() {
         let mut fleet = Fleet::new(&[2; 10], None);
         let mut router = Router::new(PlacementSpec::ConsistentHash { vnodes: 16 }, &fleet, 9);
-        let mut rng = Xoshiro256PlusPlus::from_u64_seed(1);
         let keys: Vec<u64> = (0..2000u64).map(bnb_hashring::hash::mix64).collect();
-        let before: Vec<usize> = keys
-            .iter()
-            .map(|&k| router.place(&fleet, k, &mut rng))
-            .collect();
+        let before: Vec<usize> = keys.iter().map(|&k| router.place(&fleet, k)).collect();
         let victim = 3;
         fleet.deactivate(victim, 0.0);
         router.rebuild(&fleet);
         let mut moved = 0;
         for (i, &k) in keys.iter().enumerate() {
-            let after = router.place(&fleet, k, &mut rng);
+            let after = router.place(&fleet, k);
             if after != before[i] {
                 moved += 1;
                 assert_eq!(

@@ -109,6 +109,30 @@ fn flash_crowd(_seed: u64, requests: u64) -> ClusterSpec {
     }
 }
 
+fn diurnal(_seed: u64, requests: u64) -> ClusterSpec {
+    // Ramped day/night traffic on a two-class fleet: the mean
+    // utilisation is a comfortable 0.7 but the crest approaches 1.05 of
+    // capacity, so queues breathe with the cycle — the non-stationary
+    // arrival path that d-sweeps must exercise. The period scales with
+    // the request budget so every run (smoke included) crosses several
+    // whole cycles.
+    let speeds = CapacityVector::two_class(32, 1, 32, 8);
+    let base_rate = 0.7 * speeds.total() as f64;
+    let horizon = requests as f64 / base_rate;
+    ClusterSpec {
+        arrivals: ArrivalProcess::Diurnal {
+            base_rate,
+            amplitude: 0.5,
+            period: horizon / 4.0,
+        },
+        speeds,
+        placement: PlacementSpec::DChoice { d: 2 },
+        queue_capacity: Some(64),
+        churn: None,
+        requests,
+    }
+}
+
 fn churny_p2p(_seed: u64, requests: u64) -> ClusterSpec {
     // A P2P-style ring: heterogeneous peers, Byers hash-then-probe
     // placement, and steady membership churn rebalanced through the
@@ -182,6 +206,12 @@ pub fn registry() -> &'static [Scenario] {
             title: "Flash crowd: rho 0.6 -> 2.0 burst on a uniform fleet, finite queues",
             default_requests: 200_000,
             build: flash_crowd,
+        },
+        Scenario {
+            id: "diurnal",
+            title: "Diurnal ramp: sinusoidal rho 0.35..1.05 on a two-class fleet, d-choice",
+            default_requests: 200_000,
+            build: diurnal,
         },
         Scenario {
             id: "churny-p2p",

@@ -1,29 +1,40 @@
 //! The discrete-event cluster simulator: arrivals → placement → finite
-//! queues → departures, with optional churn, on the deterministic
-//! [`EventQueue`] of `bnb-queueing`.
+//! queues → departures, with optional churn, on any
+//! [`EventScheduler`] — the [`CalendarQueue`] timing wheel by default,
+//! the binary heap as the differential oracle.
 //!
 //! ## Determinism contract
 //!
-//! A run is a pure function of `(spec, seed)`. All randomness flows
-//! through one seeded [`Xoshiro256PlusPlus`] stream consumed in event
-//! order (the event queue breaks time ties by insertion sequence), and
-//! request keys are derived by counter hashing — so the same seed
-//! replays the identical event trace, byte for byte, in the rendered
-//! metrics.
+//! A run is a pure function of `(spec, seed)`. Randomness flows through
+//! **dedicated derived streams** — arrivals, service, placement
+//! candidates, tie-breaks and churn each own a
+//! [`derive_seed`]-separated RNG — and each stream is consumed in
+//! event order (the scheduler contract breaks time ties by insertion
+//! sequence). Within a stream, draws are block pre-sampled (arrival
+//! gaps and Exp(1) service variates through
+//! [`bnb_distributions::ExponentialBlock`], placement candidates
+//! through the batched alias sampler), which moves RNG work off the
+//! per-event path without changing any draw: the same seed replays the
+//! identical event trace, byte for byte, in the rendered metrics — on
+//! either scheduler.
 
-use crate::arrivals::ArrivalProcess;
+use crate::arrivals::{ArrivalProcess, ArrivalSampler};
 use crate::fleet::Fleet;
 use crate::metrics::ClusterMetrics;
 use crate::placement::{PlacementSpec, Router};
 use bnb_core::CapacityVector;
-use bnb_distributions::{derive_seed, Exponential, Xoshiro256PlusPlus};
+use bnb_distributions::{derive_seed, ExponentialBlock, Xoshiro256PlusPlus};
 use bnb_hashring::hash::mix64;
-use bnb_queueing::events::{EventQueue, Time};
+use bnb_queueing::calendar::CalendarQueue;
+use bnb_queueing::events::{EventScheduler, Time};
 use bnb_queueing::server::Admission;
 
-/// Stream id under which the traffic RNG is derived from the run seed
-/// (the capacity-construction RNG of a scenario uses the seed directly).
-const TRAFFIC_STREAM: u64 = 0x636C_7573; // "clus"
+/// Stream id of the arrival-time RNG (gaps + thinning acceptances).
+const ARRIVAL_STREAM: u64 = 0x6172_7276; // "arrv"
+/// Stream id of the Exp(1) service-variate RNG.
+const SERVICE_STREAM: u64 = 0x7372_7663; // "srvc"
+/// Stream id of the churn victim-selection RNG.
+const CHURN_STREAM: u64 = 0x6368_726E; // "chrn"
 
 /// Periodic churn: every `interval` time units (starting at `start`),
 /// one random alive server leaves and a fresh server of the same speed
@@ -55,38 +66,56 @@ pub struct ClusterSpec {
     pub requests: u64,
 }
 
-/// Events of the cluster simulation.
+/// Events of the cluster simulation (public so the simulator can be
+/// generic over any [`EventScheduler`] carrying this payload).
+///
+/// Arrivals are **not** scheduler events: the arrival stream is
+/// pre-sampled and merged into the event loop through
+/// [`EventScheduler::pop_if_before`] (arrivals win exact time ties), so
+/// the scheduler only carries departures and churn ticks — half the
+/// scheduling traffic of the naive design.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum ClusterEvent {
-    /// A request enters the cluster.
-    Arrival,
+pub enum ClusterEvent {
     /// The job in service on `server` completes — stale (ignored) if the
     /// server has left since this was scheduled; slots are never
     /// revived, so `is_alive` fully identifies staleness.
-    Departure { server: usize },
+    Departure {
+        /// Slot index of the completing server.
+        server: usize,
+    },
     /// One leave + one join, then reschedule.
     ChurnTick,
 }
 
-/// The running simulator.
+/// The running simulator, generic over its event scheduler (calendar
+/// queue by default; see [`ClusterSim::with_scheduler`] to pin another
+/// implementation, e.g. the binary-heap oracle in differential tests).
 #[derive(Debug)]
-pub struct ClusterSim {
+pub struct ClusterSim<Sch: EventScheduler<ClusterEvent> = CalendarQueue<ClusterEvent>> {
     spec: ClusterSpec,
     fleet: Fleet,
     router: Router,
-    events: EventQueue<ClusterEvent>,
-    rng: Xoshiro256PlusPlus,
+    events: Sch,
+    arrivals: ArrivalSampler,
+    /// Block-sampled Exp(1) service variates; scaled by `1/speed` at
+    /// the departure-scheduling site.
+    service: ExponentialBlock,
+    churn_rng: Xoshiro256PlusPlus,
     key_seed: u64,
     now: Time,
+    /// The merged arrival stream's next event (never in the scheduler).
+    next_arrival: Option<Time>,
     arrived: u64,
     orphaned: u64,
     joins: u64,
     leaves: u64,
     latencies: Vec<f64>,
+    /// Metrics of the finished run (computed once; reruns return it).
+    result: Option<ClusterMetrics>,
 }
 
 impl ClusterSim {
-    /// Builds the simulator.
+    /// Builds the simulator on the default calendar-queue scheduler.
     ///
     /// # Panics
     /// Panics if the spec is invalid: empty fleet, bad placement
@@ -95,6 +124,20 @@ impl ClusterSim {
     /// service capacity (the run could not drain).
     #[must_use]
     pub fn new(spec: ClusterSpec, seed: u64) -> Self {
+        Self::with_scheduler(spec, seed)
+    }
+}
+
+impl<Sch: EventScheduler<ClusterEvent>> ClusterSim<Sch> {
+    /// Builds the simulator on an explicit scheduler implementation
+    /// (same validation as [`ClusterSim::new`]). The scheduler cannot
+    /// change the trace — the determinism contract fixes the event
+    /// order — only its speed.
+    ///
+    /// # Panics
+    /// Panics under the same conditions as [`ClusterSim::new`].
+    #[must_use]
+    pub fn with_scheduler(spec: ClusterSpec, seed: u64) -> Self {
         spec.arrivals.validate();
         if let Some(churn) = &spec.churn {
             assert!(
@@ -115,15 +158,23 @@ impl ClusterSim {
         ClusterSim {
             fleet,
             router,
-            events: EventQueue::new(),
-            rng: Xoshiro256PlusPlus::from_u64_seed(derive_seed(seed, TRAFFIC_STREAM, 0)),
+            events: Sch::new(),
+            arrivals: ArrivalSampler::new(spec.arrivals, derive_seed(seed, ARRIVAL_STREAM, 0)),
+            service: ExponentialBlock::new(Xoshiro256PlusPlus::from_u64_seed(derive_seed(
+                seed,
+                SERVICE_STREAM,
+                0,
+            ))),
+            churn_rng: Xoshiro256PlusPlus::from_u64_seed(derive_seed(seed, CHURN_STREAM, 0)),
             key_seed: seed,
             now: 0.0,
+            next_arrival: None,
             arrived: 0,
             orphaned: 0,
             joins: 0,
             leaves: 0,
             latencies: Vec::new(),
+            result: None,
             spec,
         }
     }
@@ -132,60 +183,95 @@ impl ClusterSim {
     /// final metrics. A second call is a no-op returning the same
     /// metrics: the budget is already spent.
     pub fn run(&mut self) -> ClusterMetrics {
-        if self.arrived < self.spec.requests {
-            let first = self.spec.arrivals.next_after(self.now, &mut self.rng);
-            self.events.schedule(first, ClusterEvent::Arrival);
+        if let Some(result) = &self.result {
+            return result.clone();
+        }
+        if self.arrived < self.spec.requests && self.next_arrival.is_none() {
+            self.next_arrival = Some(self.arrivals.next_after(self.now));
             if let Some(churn) = self.spec.churn {
                 self.events.schedule(churn.start, ClusterEvent::ChurnTick);
             }
+            self.latencies.reserve(self.spec.requests as usize);
         }
-        while let Some((time, event)) = self.events.pop() {
-            self.now = time;
-            match event {
-                ClusterEvent::Arrival => self.handle_arrival(),
-                ClusterEvent::Departure { server } => {
-                    // Stale departures (the server left since this was
-                    // scheduled) are dropped on the floor.
-                    if self.fleet.server(server).is_alive() {
-                        let (latency, more) = self.fleet.depart(server, self.now);
-                        self.latencies.push(latency);
-                        if more {
-                            self.schedule_departure(server);
-                        }
+        loop {
+            // Merge the pre-sampled arrival stream with the scheduled
+            // departures/churn ticks: scheduled events strictly before
+            // the next arrival go first, arrivals win exact ties.
+            if let Some(t_arr) = self.next_arrival {
+                match self.events.pop_if_before(t_arr) {
+                    Some((time, event)) => {
+                        self.now = time;
+                        self.dispatch(event);
+                    }
+                    None => {
+                        self.now = t_arr;
+                        self.handle_arrival();
                     }
                 }
-                ClusterEvent::ChurnTick => self.handle_churn_tick(),
+            } else if let Some((time, event)) = self.events.pop() {
+                self.now = time;
+                self.dispatch(event);
+            } else {
+                break;
             }
         }
-        ClusterMetrics::collect(
+        let metrics = ClusterMetrics::collect(
             &self.fleet,
-            self.latencies.clone(),
+            std::mem::take(&mut self.latencies),
             self.arrived,
             self.orphaned,
             self.joins,
             self.leaves,
             self.now,
-        )
+        );
+        self.result = Some(metrics.clone());
+        metrics
     }
 
+    #[inline]
+    fn dispatch(&mut self, event: ClusterEvent) {
+        match event {
+            ClusterEvent::Departure { server } => {
+                // Stale departures (the server left since this was
+                // scheduled) are dropped on the floor.
+                if self.fleet.server(server).is_alive() {
+                    let (latency, more) = self.fleet.depart(server, self.now);
+                    self.latencies.push(latency);
+                    if more {
+                        self.schedule_departure(server);
+                    }
+                }
+            }
+            ClusterEvent::ChurnTick => self.handle_churn_tick(),
+        }
+    }
+
+    #[inline]
     fn handle_arrival(&mut self) {
         self.arrived += 1;
-        // Counter-hashed request key: deterministic, uniform over u64.
-        let key = mix64(self.key_seed ^ self.arrived.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let target = self.router.place(&self.fleet, key, &mut self.rng);
+        // Counter-hashed request key: deterministic, uniform over u64 —
+        // only computed for the key-driven (ring) policies.
+        let key = if self.router.needs_key() {
+            mix64(self.key_seed ^ self.arrived.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        } else {
+            0
+        };
+        let target = self.router.place(&self.fleet, key);
         if self.fleet.try_join(target, self.now) == Admission::StartedService {
             self.schedule_departure(target);
         }
-        if self.arrived < self.spec.requests {
-            let next = self.spec.arrivals.next_after(self.now, &mut self.rng);
-            self.events.schedule(next, ClusterEvent::Arrival);
-        }
+        self.next_arrival = if self.arrived < self.spec.requests {
+            Some(self.arrivals.next_after(self.now))
+        } else {
+            None
+        };
     }
 
+    #[inline]
     fn schedule_departure(&mut self, server: usize) {
         // Exp(1) work at rate `speed` ⇒ Exp(speed) service time.
         let rate = self.fleet.server(server).speed() as f64;
-        let service = Exponential::new(rate).sample(&mut self.rng);
+        let service = self.service.next() / rate;
         self.events
             .schedule(self.now + service, ClusterEvent::Departure { server });
     }
@@ -197,7 +283,7 @@ impl ClusterSim {
         }
         let alive = self.fleet.alive_indices();
         if alive.len() > 1 {
-            let victim = alive[self.rng.next_below(alive.len() as u64) as usize];
+            let victim = alive[self.churn_rng.next_below(alive.len() as u64) as usize];
             let speed = self.fleet.server(victim).speed();
             self.orphaned += self.fleet.deactivate(victim, self.now);
             self.leaves += 1;
@@ -229,6 +315,7 @@ impl ClusterSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bnb_queueing::events::EventQueue;
 
     fn base_spec() -> ClusterSpec {
         let speeds = CapacityVector::two_class(8, 1, 8, 8);
@@ -288,6 +375,15 @@ mod tests {
         assert_eq!(a, b, "identical seeds must replay identically");
         let c = run(43);
         assert_ne!(a, c, "different seeds should differ (w.o.p.)");
+    }
+
+    #[test]
+    fn heap_scheduler_replays_the_calendar_trace() {
+        // The spot check behind the full registry-wide differential
+        // test: scheduler choice must not leak into the metrics.
+        let calendar = ClusterSim::new(base_spec(), 5).run();
+        let heap = ClusterSim::<EventQueue<ClusterEvent>>::with_scheduler(base_spec(), 5).run();
+        assert_eq!(calendar, heap);
     }
 
     #[test]

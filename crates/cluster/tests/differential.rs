@@ -7,22 +7,27 @@
 //!    the equivalent static weight vector.
 //! 2. Every registered scenario is deterministic: same seed → bitwise
 //!    identical rendered metrics.
+//! 3. The scheduler is interchangeable: on every registry scenario the
+//!    binary-heap oracle and the calendar-queue default produce
+//!    byte-identical metrics (the `EventScheduler` determinism
+//!    contract, end to end).
 
-use bnb_cluster::{registry, ClusterSim, Fleet, PlacementSpec, Router, SMOKE_DIVISOR};
+use bnb_cluster::{
+    registry, ClusterEvent, ClusterSim, Fleet, PlacementSpec, Router, SMOKE_DIVISOR,
+};
 use bnb_core::prelude::*;
-use bnb_distributions::{derive_seed, Xoshiro256PlusPlus};
 use bnb_hashring::hash::mix64;
+use bnb_queueing::EventQueue;
 
 /// Drives `m` placements into a fleet that never serves anything:
 /// the cluster-side equivalent of throwing `m` balls.
 fn frozen_fleet_counts(speeds: &CapacityVector, d: usize, m: u64, seed: u64) -> Vec<u64> {
     let fleet_speeds = speeds.as_slice();
     let mut fleet = Fleet::new(fleet_speeds, None);
-    let router = Router::new(PlacementSpec::DChoice { d }, &fleet, seed);
-    let mut rng = Xoshiro256PlusPlus::from_u64_seed(derive_seed(seed, 0xD1FF, 0));
+    let mut router = Router::new(PlacementSpec::DChoice { d }, &fleet, seed);
     for i in 0..m {
         let key = mix64(seed ^ i);
-        let target = router.place(&fleet, key, &mut rng);
+        let target = router.place(&fleet, key);
         fleet.try_join(target, 0.0);
     }
     fleet.servers().iter().map(|s| s.queue_len()).collect()
@@ -119,6 +124,40 @@ fn every_scenario_is_bitwise_deterministic() {
         assert_eq!(a, b, "{}: same seed must render identically", scenario.id);
         let c = render(31338);
         assert_ne!(a, c, "{}: different seed should differ", scenario.id);
+    }
+}
+
+#[test]
+fn heap_and_calendar_schedulers_agree_on_every_scenario() {
+    // The tentpole acceptance check: swapping the binary-heap oracle
+    // for the calendar-queue default must not move a single byte of any
+    // scenario's rendered output — quantiles, per-server curves, churn
+    // counters and all.
+    for scenario in registry() {
+        let requests = (scenario.default_requests / SMOKE_DIVISOR).min(5_000);
+        let seed = 0xCA1E;
+        let calendar = {
+            let spec = (scenario.build)(seed, requests);
+            ClusterSim::new(spec, seed).run()
+        };
+        let heap = {
+            let spec = (scenario.build)(seed, requests);
+            ClusterSim::<EventQueue<ClusterEvent>>::with_scheduler(spec, seed).run()
+        };
+        assert_eq!(
+            calendar, heap,
+            "{}: scheduler choice leaked into the metrics",
+            scenario.id
+        );
+        let render = |m: &bnb_cluster::ClusterMetrics| {
+            m.render_table() + &m.to_series_set("sched", "sched").to_plot_text()
+        };
+        assert_eq!(
+            render(&calendar),
+            render(&heap),
+            "{}: rendered output must be byte-identical",
+            scenario.id
+        );
     }
 }
 

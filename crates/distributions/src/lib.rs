@@ -44,7 +44,7 @@ pub mod zipf;
 pub use alias::AliasTable;
 pub use binomial::Binomial;
 pub use cumulative::CumulativeSampler;
-pub use exponential::Exponential;
+pub use exponential::{Exponential, ExponentialBlock};
 pub use fenwick::FenwickSampler;
 pub use geometric::Geometric;
 pub use poisson::Poisson;

@@ -6,13 +6,19 @@
 //! cluster-sim --scenario flash-crowd --smoke
 //! cluster-sim --all --seed 7 --out results/
 //! cluster-sim --scenario zipf --requests 500000
+//! cluster-sim sweep --replicas 8 --d-sweep 1,2,4,8 --scenario two-class
 //! ```
 //!
 //! Every run is deterministic in `(scenario, seed)`: the rendered
 //! metrics are bitwise identical across invocations, which is what the
-//! CI smoke step and the determinism tests rely on.
+//! CI smoke step and the determinism tests rely on. The `sweep`
+//! subcommand fans `R` independent replicas of each scenario across
+//! rayon workers per swept `d` and aggregates them through
+//! `bnb-stats`' mergeable accumulators — output is equally
+//! deterministic, regardless of thread count.
 
 use bnb_cluster::{find_scenario, registry, ClusterSim, Scenario, SMOKE_DIVISOR};
+use bnb_experiments::sweep_scenario;
 use bnb_stats::svg::render_svg;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,6 +31,10 @@ struct Args {
     smoke: bool,
     list: bool,
     out: Option<PathBuf>,
+    /// `cluster-sim sweep …`: replica/d-sweep mode.
+    sweep: bool,
+    replicas: u64,
+    d_sweep: Vec<usize>,
 }
 
 /// `--help` is a successful outcome, not a parse error: it must print
@@ -38,9 +48,14 @@ enum ParseOutcome {
 fn usage() -> String {
     let mut s = String::from(
         "Usage: cluster-sim [OPTIONS]\n\
+         \x20      cluster-sim sweep [OPTIONS]\n\
          \n\
          Serves paper-faithful traffic through a simulated heterogeneous\n\
          cluster ('Balls into non-uniform bins' as a running system).\n\
+         The sweep subcommand fans R independent replicas per scenario\n\
+         across threads and sweeps the probe count d, reporting the\n\
+         max-normalized-queue-vs-d curve (the paper's ln ln n / ln d\n\
+         law, measured through the queueing dynamics).\n\
          \n\
          Options:\n\
          \x20  --scenario NAME    run one scenario (repeatable)\n\
@@ -51,6 +66,10 @@ fn usage() -> String {
          \x20  --seed N           run seed (default 42)\n\
          \x20  --out DIR          write cluster-<scenario>.{csv,dat,svg,txt}\n\
          \x20                     under DIR\n\
+         \n\
+         Sweep options:\n\
+         \x20  --replicas R       independent replicas per point (default 8)\n\
+         \x20  --d-sweep LIST     comma-separated d grid (default 1,2,3,4,8)\n\
          \n\
          Scenarios:\n",
     );
@@ -68,13 +87,44 @@ fn parse_args() -> ParseOutcome {
         smoke: false,
         list: false,
         out: None,
+        sweep: false,
+        replicas: 8,
+        d_sweep: vec![1, 2, 3, 4, 8],
     };
-    let mut iter = std::env::args().skip(1);
+    let mut iter = std::env::args().skip(1).peekable();
+    if iter.peek().map(String::as_str) == Some("sweep") {
+        args.sweep = true;
+        iter.next();
+    }
     let mut all = false;
     let err = ParseOutcome::Error;
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--help" | "-h" => return ParseOutcome::Help,
+            "--replicas" if args.sweep => {
+                let Some(v) = iter.next() else {
+                    return err("--replicas needs a value".into());
+                };
+                match v.parse::<u64>() {
+                    Ok(0) => return err("--replicas must be positive".into()),
+                    Ok(r) => args.replicas = r,
+                    Err(e) => return err(format!("bad --replicas {v}: {e}")),
+                }
+            }
+            "--d-sweep" if args.sweep => {
+                let Some(v) = iter.next() else {
+                    return err("--d-sweep needs a comma-separated list".into());
+                };
+                let parsed: Result<Vec<usize>, _> =
+                    v.split(',').map(|p| p.trim().parse::<usize>()).collect();
+                match parsed {
+                    Ok(ds) if !ds.is_empty() && ds.iter().all(|&d| (1..=16).contains(&d)) => {
+                        args.d_sweep = ds;
+                    }
+                    Ok(_) => return err("--d-sweep entries must be in 1..=16".into()),
+                    Err(e) => return err(format!("bad --d-sweep {v}: {e}")),
+                }
+            }
             "--list" => args.list = true,
             "--all" => all = true,
             "--smoke" => args.smoke = true,
@@ -126,6 +176,60 @@ fn parse_args() -> ParseOutcome {
     ParseOutcome::Run(Box::new(args))
 }
 
+/// Runs the replica/d sweep for every selected scenario.
+fn run_sweeps(args: &Args) -> ExitCode {
+    for scenario in &args.scenarios {
+        let requests = args.requests.unwrap_or(if args.smoke {
+            scenario.default_requests / SMOKE_DIVISOR
+        } else {
+            scenario.default_requests
+        });
+        let n_servers = (scenario.build)(args.seed, requests).speeds.n();
+        let start = Instant::now();
+        let sweep = sweep_scenario(scenario, &args.d_sweep, args.replicas, requests, args.seed);
+        let elapsed = start.elapsed();
+        println!(
+            "== sweep {} ({}; {} replicas x {} requests per d, seed {})",
+            sweep.scenario, sweep.placement, sweep.replicas, requests, args.seed
+        );
+        if !sweep.d_varies {
+            println!(
+                "   note: '{}' placement is load-oblivious — d has no effect, the\n\
+                 \x20  rows differ only by replica seeds",
+                sweep.placement
+            );
+        }
+        println!("{}", sweep.render_table(n_servers));
+        let total = sweep.replicas * requests * args.d_sweep.len() as u64;
+        println!(
+            "   [{:.2?} wall, {:.3e} req/s aggregate]\n",
+            elapsed,
+            total as f64 / elapsed.as_secs_f64()
+        );
+        if let Some(dir) = &args.out {
+            let id = format!("cluster-sweep-{}", sweep.scenario);
+            let set = sweep.to_series_set();
+            let write = std::fs::create_dir_all(dir).and_then(|()| {
+                std::fs::write(
+                    dir.join(format!("{id}.csv")),
+                    bnb_stats::csv::series_set_to_string(&set),
+                )?;
+                std::fs::write(dir.join(format!("{id}.dat")), set.to_plot_text())?;
+                std::fs::write(dir.join(format!("{id}.svg")), render_svg(&set))?;
+                std::fs::write(dir.join(format!("{id}.txt")), sweep.render_table(n_servers))
+            });
+            match write {
+                Ok(()) => println!("   wrote {}/{id}.{{csv,dat,svg,txt}}\n", dir.display()),
+                Err(e) => {
+                    eprintln!("failed to write {}: {e}", sweep.scenario);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         ParseOutcome::Run(a) => a,
@@ -141,6 +245,10 @@ fn main() -> ExitCode {
     if args.list {
         print!("{}", usage());
         return ExitCode::SUCCESS;
+    }
+
+    if args.sweep {
+        return run_sweeps(&args);
     }
 
     for scenario in &args.scenarios {

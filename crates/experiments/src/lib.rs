@@ -21,6 +21,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod cluster_sweep;
 pub mod ctx;
 pub mod extras;
 pub mod figures;
@@ -28,5 +29,6 @@ pub mod output;
 pub mod registry;
 pub mod runner;
 
+pub use cluster_sweep::{sweep_scenario, ScenarioSweep, SweepPoint};
 pub use ctx::Ctx;
 pub use registry::{extras_registry, find_figure, registry, FigureSpec};

@@ -1,0 +1,563 @@
+//! A calendar-queue [`EventScheduler`]: a bucketed timing wheel with
+//! dynamic bucket-width resizing and an overflow ladder.
+//!
+//! The classic binary-heap future-event list pays `O(log n)` per
+//! operation with comparison-driven branch misses on every sift; for the
+//! cluster simulator that heap is the hot path. A calendar queue (Brown,
+//! CACM 1988) exploits what a simulator's event population actually
+//! looks like — times concentrated in a sliding window just ahead of the
+//! clock — to get amortised `O(1)` schedule and pop:
+//!
+//! * the **wheel** is `nb` buckets of width `w` covering
+//!   `[wheel_start, wheel_start + nb·w)`; an event lands in bucket
+//!   `⌊(t − wheel_start) / w⌋` and buckets are scanned in order (an
+//!   occupancy bitmask skips empty ones word-wise), so the first
+//!   non-empty bucket holds the global minimum;
+//! * events beyond the window go to the **overflow ladder**, an
+//!   unordered pool that is re-distributed (and re-bucketed under a
+//!   freshly estimated width) each time the wheel drains and the window
+//!   advances;
+//! * the geometry **resizes dynamically**: when the population outgrows
+//!   the bucket count (or shrinks far below it) the queue rebuilds with
+//!   `nb ≈ len` and a width estimated from the gaps at the *head* of
+//!   the schedule (Brown's sampling idea: the event density just ahead
+//!   of the clock is what bounds the per-pop scan, not the full span,
+//!   which exponential service tails stretch by orders of magnitude).
+//!
+//! Determinism: identical to [`EventQueue`](crate::EventQueue) — pops
+//! are ordered by `(time, insertion sequence)`. Bucket indexing is a
+//! monotone function of time, so bucket order refines time order, equal
+//! times share a bucket, and the in-bucket scan breaks ties by sequence
+//! number. The scheduler-equivalence property tests drive both
+//! implementations through random schedules (tie storms and far-future
+//! ladder events included) and require identical output streams.
+
+use crate::events::{EventScheduler, Scheduled, Time};
+
+/// Smallest bucket count the wheel ever uses.
+const MIN_BUCKETS: usize = 16;
+/// Largest bucket count (bounds rebuild cost and memory on huge runs).
+const MAX_BUCKETS: usize = 1 << 20;
+/// Population beyond `GROW_FACTOR × nb` triggers a grow rebuild.
+const GROW_FACTOR: usize = 2;
+/// How many of the earliest pending events inform the width estimate.
+const HEAD_SAMPLE: usize = 32;
+
+/// A calendar queue: bucketed timing wheel + overflow ladder.
+///
+/// Implements [`EventScheduler`] with the same `(time, insertion
+/// sequence)` pop order as the binary-heap
+/// [`EventQueue`](crate::EventQueue), at amortised `O(1)` per operation
+/// for simulation-shaped workloads. This is the default scheduler of
+/// [`QueueSystem`](crate::QueueSystem) and `bnb-cluster`'s `ClusterSim`.
+#[derive(Debug)]
+pub struct CalendarQueue<E> {
+    /// The wheel: bucket `i` covers `[wheel_start + i·width, …+width)`.
+    buckets: Vec<Vec<Scheduled<E>>>,
+    /// One bit per bucket: set iff the bucket is non-empty. Lets the
+    /// pop scan skip empty buckets 64 at a time.
+    occupancy: Vec<u64>,
+    /// Far-future events (bucket index ≥ `buckets.len()`), unordered.
+    overflow: Vec<Scheduled<E>>,
+    /// Bucket width in simulation-time units (always positive).
+    width: f64,
+    /// `1 / width`, so indexing multiplies instead of divides.
+    inv_width: f64,
+    /// Left edge of bucket 0.
+    wheel_start: Time,
+    /// First bucket that may still hold the minimum (moves back when an
+    /// insert lands earlier, resets when the window advances).
+    cursor: usize,
+    /// Events currently in the wheel (excludes the overflow ladder).
+    wheel_len: usize,
+    /// Total pending events.
+    len: usize,
+    /// Next insertion sequence number (global tie-break).
+    seq: u64,
+    /// Whether the geometry has been anchored to a first event yet.
+    anchored: bool,
+    /// Rebuild scratch (entry shuffle buffer), reused so window
+    /// advances don't allocate.
+    scratch: Vec<Scheduled<E>>,
+    /// Rebuild scratch (head-gap width estimation), reused likewise.
+    scratch_times: Vec<f64>,
+    /// Rebuilds since the width was last re-estimated (the estimate is
+    /// refreshed periodically, not on every window advance — the
+    /// quickselect behind it would otherwise show up in profiles).
+    rebuilds_since_estimate: u32,
+    /// Cached location of the wheel's minimum `(time, seq)` entry, so
+    /// repeated head inspections (the arrival-merge's bounded pops)
+    /// don't re-scan the head bucket. Lazily recomputed after a
+    /// removal; updated in O(1) on insert.
+    head_valid: bool,
+    head_time: Time,
+    head_seq: u64,
+    head_bucket: usize,
+    head_slot: usize,
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            occupancy: vec![0; MIN_BUCKETS.div_ceil(64)],
+            overflow: Vec::new(),
+            width: 1.0,
+            inv_width: 1.0,
+            wheel_start: 0.0,
+            cursor: 0,
+            wheel_len: 0,
+            len: 0,
+            seq: 0,
+            anchored: false,
+            scratch: Vec::new(),
+            scratch_times: Vec::new(),
+            rebuilds_since_estimate: 0,
+            head_valid: false,
+            head_time: 0.0,
+            head_seq: 0,
+            head_bucket: 0,
+            head_slot: 0,
+        }
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    /// Creates an empty calendar queue.
+    #[must_use]
+    pub fn new() -> Self {
+        CalendarQueue::default()
+    }
+
+    /// Bucket index of `time` under the current geometry. Monotone in
+    /// `time` (floor of an increasing affine map), so bucket order
+    /// refines time order; saturates far past the wheel for huge times.
+    #[inline]
+    fn bucket_index(&self, time: Time) -> usize {
+        // `as usize` saturates negatives to 0 and huge values past the
+        // wheel (and maps NaN to 0, which `schedule` rejects).
+        ((time - self.wheel_start) * self.inv_width) as usize
+    }
+
+    /// Slots an entry into the wheel or the overflow ladder. The entry's
+    /// time must be `≥ wheel_start`.
+    #[inline]
+    fn slot(&mut self, entry: Scheduled<E>) {
+        let idx = self.bucket_index(entry.time);
+        if idx < self.buckets.len() {
+            // Bucket order refines time order, so an insert into an
+            // earlier bucket — or a smaller `(time, seq)` into the head
+            // bucket — is the new wheel minimum; anything else leaves
+            // the cached head untouched.
+            if self.head_valid
+                && (idx < self.head_bucket
+                    || (idx == self.head_bucket
+                        && (entry.time < self.head_time
+                            || (entry.time == self.head_time && entry.seq < self.head_seq))))
+            {
+                self.head_time = entry.time;
+                self.head_seq = entry.seq;
+                self.head_bucket = idx;
+                self.head_slot = self.buckets[idx].len();
+            }
+            self.buckets[idx].push(entry);
+            self.occupancy[idx >> 6] |= 1u64 << (idx & 63);
+            self.wheel_len += 1;
+            if idx < self.cursor {
+                self.cursor = idx;
+            }
+        } else {
+            self.overflow.push(entry);
+        }
+    }
+
+    /// Ensures the head cache points at the wheel's minimum entry,
+    /// advancing the window over the overflow ladder if the wheel is
+    /// empty. Requires `len > 0`.
+    #[inline]
+    fn ensure_head(&mut self) {
+        while !self.head_valid {
+            if let Some(b) = self.next_nonempty(self.cursor) {
+                self.cursor = b;
+                let bucket = &self.buckets[b];
+                let best = Self::min_in_bucket(bucket);
+                self.head_time = bucket[best].time;
+                self.head_seq = bucket[best].seq;
+                self.head_bucket = b;
+                self.head_slot = best;
+                self.head_valid = true;
+            } else {
+                // Wheel drained; advance the window over the overflow
+                // ladder (re-estimating the width as the population
+                // evolves).
+                debug_assert!(self.wheel_len == 0 && !self.overflow.is_empty());
+                self.rebuild();
+            }
+        }
+    }
+
+    /// Removes the cached head entry (bookkeeping included).
+    #[inline]
+    fn take_head(&mut self) -> Scheduled<E> {
+        debug_assert!(self.head_valid);
+        let b = self.head_bucket;
+        let bucket = &mut self.buckets[b];
+        let entry = bucket.swap_remove(self.head_slot);
+        if bucket.is_empty() {
+            self.occupancy[b >> 6] &= !(1u64 << (b & 63));
+        }
+        self.wheel_len -= 1;
+        self.len -= 1;
+        self.head_valid = false;
+        entry
+    }
+
+    /// First non-empty bucket at or after `from`, via the occupancy
+    /// words.
+    #[inline]
+    fn next_nonempty(&self, from: usize) -> Option<usize> {
+        let words = self.occupancy.len();
+        let mut w = from >> 6;
+        if w >= words {
+            return None;
+        }
+        let mut word = self.occupancy[w] & (!0u64 << (from & 63));
+        loop {
+            if word != 0 {
+                return Some((w << 6) + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= words {
+                return None;
+            }
+            word = self.occupancy[w];
+        }
+    }
+
+    /// Rebuilds the geometry around the current population: bucket count
+    /// ≈ population (clamped), width estimated from the head-of-schedule
+    /// gaps, window anchored at the earliest pending event. Also used to
+    /// advance the window when the wheel drains.
+    fn rebuild(&mut self) {
+        let mut entries = std::mem::take(&mut self.scratch);
+        entries.clear();
+        entries.reserve(self.len);
+        for bucket in &mut self.buckets {
+            entries.append(bucket);
+        }
+        entries.append(&mut self.overflow);
+        self.wheel_len = 0;
+        self.cursor = 0;
+        self.head_valid = false;
+        debug_assert_eq!(entries.len(), self.len);
+        if entries.is_empty() {
+            self.anchored = false;
+            self.scratch = entries;
+            return;
+        }
+        let (mut tmin, mut tmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for e in &entries {
+            tmin = tmin.min(e.time);
+            tmax = tmax.max(e.time);
+        }
+        // Hysteresis on the bucket count: resize only when the
+        // population has clearly outgrown (grow) or fallen at least 4×
+        // below (shrink) the wheel, so a population oscillating around
+        // a power of two doesn't reallocate every bucket on every
+        // window advance — bucket capacity is retained across rebuilds
+        // otherwise. Shrinks only ever happen here (window advances and
+        // grows), never mid-pop.
+        let target_nb = entries
+            .len()
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, MAX_BUCKETS);
+        let nb = if target_nb > self.buckets.len() || target_nb * 4 <= self.buckets.len() {
+            target_nb
+        } else {
+            self.buckets.len()
+        };
+        // Brown-style width estimation from the *head* of the schedule:
+        // aim for ~2 events per bucket across the gap spanned by the
+        // `k` earliest pending times. Re-estimated when the geometry
+        // changes and periodically across plain window advances (the
+        // quickselect behind the estimate is not free); in between, the
+        // previous width carries over — the population density drifts
+        // far slower than the window turns. Falls back to the full span
+        // (and then to 1.0) when the head is all ties.
+        self.rebuilds_since_estimate += 1;
+        if nb != self.buckets.len() || self.rebuilds_since_estimate >= 16 || self.width <= 0.0 {
+            self.rebuilds_since_estimate = 0;
+            let head_k = entries.len().min(HEAD_SAMPLE);
+            let head_span = if head_k >= 2 {
+                let times = &mut self.scratch_times;
+                times.clear();
+                times.extend(entries.iter().map(|e| e.time));
+                let (head, &mut head_kth, _) =
+                    times.select_nth_unstable_by(head_k - 1, f64::total_cmp);
+                let head_min = head.iter().copied().fold(head_kth, f64::min);
+                head_kth - head_min
+            } else {
+                0.0
+            };
+            let span = tmax - tmin;
+            self.width = if head_span > 0.0 {
+                ((head_span / head_k as f64) * 2.0).max(1e-300)
+            } else if span > 0.0 {
+                ((span / entries.len() as f64) * 2.0).max(1e-300)
+            } else {
+                1.0
+            };
+            self.inv_width = 1.0 / self.width;
+        }
+        self.wheel_start = tmin;
+        if self.buckets.len() != nb {
+            self.buckets.resize_with(nb, Vec::new);
+        }
+        self.occupancy.clear();
+        self.occupancy.resize(nb.div_ceil(64), 0);
+        for entry in entries.drain(..) {
+            self.slot(entry);
+        }
+        self.scratch = entries;
+    }
+
+    /// Index of the minimum `(time, seq)` entry within a bucket.
+    #[inline]
+    fn min_in_bucket(bucket: &[Scheduled<E>]) -> usize {
+        let mut best = 0;
+        for (i, e) in bucket.iter().enumerate().skip(1) {
+            let b = &bucket[best];
+            if e.time < b.time || (e.time == b.time && e.seq < b.seq) {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl<E> EventScheduler<E> for CalendarQueue<E> {
+    fn new() -> Self {
+        CalendarQueue::new()
+    }
+
+    fn schedule(&mut self, time: Time, event: E) {
+        assert!(time.is_finite(), "event time must be finite, got {time}");
+        let entry = Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        };
+        self.seq += 1;
+        self.len += 1;
+        if !self.anchored {
+            self.anchored = true;
+            self.wheel_start = time;
+            self.cursor = 0;
+        }
+        if time < self.wheel_start {
+            // An insert before the window (arbitrary schedules only —
+            // simulators schedule at `now + dt`): re-anchor around it.
+            self.overflow.push(entry);
+            self.rebuild();
+        } else {
+            self.slot(entry);
+            if self.len > GROW_FACTOR * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
+                self.rebuild();
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Time, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.ensure_head();
+        let entry = self.take_head();
+        Some((entry.time, entry.event))
+    }
+
+    fn pop_if_before(&mut self, bound: Time) -> Option<(Time, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.ensure_head();
+        if self.head_time >= bound {
+            return None;
+        }
+        let entry = self.take_head();
+        Some((entry.time, entry.event))
+    }
+
+    fn peek(&self) -> Option<Time> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.head_valid {
+            return Some(self.head_time);
+        }
+        if let Some(b) = self.next_nonempty(self.cursor) {
+            let bucket = &self.buckets[b];
+            return Some(bucket[Self::min_in_bucket(bucket)].time);
+        }
+        self.overflow.iter().map(|e| e.time).min_by(f64::total_cmp)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventQueue;
+
+    fn drain<S: EventScheduler<u64>>(s: &mut S) -> Vec<(Time, u64)> {
+        std::iter::from_fn(|| s.pop()).collect()
+    }
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut q: CalendarQueue<u64> = CalendarQueue::new();
+        q.schedule(3.0, 0);
+        q.schedule(1.0, 1);
+        q.schedule(1.0, 2);
+        q.schedule(2.0, 3);
+        q.schedule(1.0, 4);
+        assert_eq!(q.peek(), Some(1.0));
+        assert_eq!(
+            drain(&mut q),
+            vec![(1.0, 1), (1.0, 2), (1.0, 4), (2.0, 3), (3.0, 0)]
+        );
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn far_future_events_ride_the_overflow_ladder() {
+        let mut q: CalendarQueue<u64> = CalendarQueue::new();
+        q.schedule(1e12, 0);
+        q.schedule(0.5, 1);
+        q.schedule(1e9, 2);
+        q.schedule(2.0, 3);
+        assert_eq!(drain(&mut q), vec![(0.5, 1), (2.0, 3), (1e9, 2), (1e12, 0)]);
+    }
+
+    #[test]
+    fn insert_before_the_window_reanchors() {
+        let mut q: CalendarQueue<u64> = CalendarQueue::new();
+        q.schedule(100.0, 0);
+        q.schedule(200.0, 1);
+        // Earlier than the anchor: must still pop first.
+        q.schedule(-5.0, 2);
+        assert_eq!(q.peek(), Some(-5.0));
+        assert_eq!(drain(&mut q), vec![(-5.0, 2), (100.0, 0), (200.0, 1)]);
+    }
+
+    #[test]
+    fn pop_if_before_respects_the_bound_and_ties() {
+        let mut q: CalendarQueue<u64> = CalendarQueue::new();
+        q.schedule(1.0, 0);
+        q.schedule(2.0, 1);
+        q.schedule(1e10, 2); // overflow ladder
+        assert_eq!(q.pop_if_before(0.5), None, "nothing before 0.5");
+        assert_eq!(q.pop_if_before(1.0), None, "ties are not popped");
+        assert_eq!(q.pop_if_before(1.5), Some((1.0, 0)));
+        assert_eq!(q.pop_if_before(3.0), Some((2.0, 1)));
+        assert_eq!(q.pop_if_before(1e9), None, "ladder event is later");
+        assert_eq!(q.pop_if_before(2e10), Some((1e10, 2)));
+        assert_eq!(q.pop_if_before(f64::MAX), None, "empty");
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn grows_and_shrinks_without_losing_events() {
+        let mut q: CalendarQueue<u64> = CalendarQueue::new();
+        let n = 10_000u64;
+        for i in 0..n {
+            // Deterministic scatter over a wide range, with ties.
+            let t = ((i * 2_654_435_761) % 1_000) as f64 * 0.25;
+            q.schedule(t, i);
+        }
+        assert!(q.buckets.len() > MIN_BUCKETS, "wheel must have grown");
+        assert_eq!(q.len(), n as usize);
+        let popped = drain(&mut q);
+        assert_eq!(popped.len(), n as usize);
+        for w in popped.windows(2) {
+            assert!(
+                w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1),
+                "order violated: {w:?}"
+            );
+        }
+        // Shrinks happen at rebuild points (window advances / grows),
+        // so drive a second small phase with spread-out times: its
+        // window advances must shrink the wheel back down.
+        let peak = q.buckets.len();
+        for i in 0..64u64 {
+            q.schedule(1e6 + (i * 97) as f64, i);
+        }
+        let tail = drain(&mut q);
+        assert_eq!(tail.len(), 64);
+        assert!(
+            q.buckets.len() < peak && q.buckets.len() <= 8 * MIN_BUCKETS,
+            "wheel must shrink at window advances: peak {peak}, now {}",
+            q.buckets.len()
+        );
+    }
+
+    #[test]
+    fn matches_binary_heap_on_an_interleaved_workload() {
+        // A simulation-shaped drive: alternating schedule/pop with the
+        // clock advancing, plus periodic tie bursts and far futures.
+        let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+        let mut heap: EventQueue<u64> = EventQueue::new();
+        let mut id = 0u64;
+        let mut sched = |cal: &mut CalendarQueue<u64>, heap: &mut EventQueue<u64>, t: f64| {
+            cal.schedule(t, id);
+            EventScheduler::schedule(heap, t, id);
+            id += 1;
+        };
+        let mut now = 0.0f64;
+        for step in 0..5_000u64 {
+            let dt = ((step * 48_271) % 997) as f64 / 100.0;
+            sched(&mut cal, &mut heap, now + dt);
+            if step % 7 == 0 {
+                sched(&mut cal, &mut heap, now + dt); // exact tie
+            }
+            if step % 101 == 0 {
+                sched(&mut cal, &mut heap, now + 1e9); // ladder event
+            }
+            if step % 3 != 0 {
+                let a = cal.pop();
+                let b = EventScheduler::pop(&mut heap);
+                assert_eq!(a, b, "divergence at step {step}");
+                if let Some((t, _)) = a {
+                    now = now.max(t);
+                }
+            }
+            assert_eq!(cal.len(), EventScheduler::len(&heap));
+        }
+        assert_eq!(
+            drain(&mut cal),
+            std::iter::from_fn(|| heap.pop()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn all_ties_degenerate_population() {
+        let mut q: CalendarQueue<u64> = CalendarQueue::new();
+        for i in 0..1_000 {
+            q.schedule(42.0, i);
+        }
+        let popped = drain(&mut q);
+        assert_eq!(popped.len(), 1_000);
+        assert!(popped.windows(2).all(|w| w[0].1 < w[1].1), "FIFO on ties");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_time_rejected() {
+        let mut q: CalendarQueue<u64> = CalendarQueue::new();
+        q.schedule(f64::INFINITY, 0);
+    }
+}

@@ -1,4 +1,16 @@
-//! Event heap and simulation clock.
+//! The pluggable event-scheduler core: the [`EventScheduler`] trait, its
+//! binary-heap reference implementation ([`EventQueue`]), and the
+//! simulation clock.
+//!
+//! ## Determinism contract
+//!
+//! Every scheduler implementation must pop events in **(time ascending,
+//! insertion sequence ascending)** order: the earliest event first, and
+//! FIFO among events scheduled for the exact same time. The contract is
+//! what makes a simulation a pure function of its seed — swapping the
+//! heap for the calendar queue ([`crate::CalendarQueue`]) must not change
+//! a single popped `(time, payload)` pair, which the scheduler
+//! equivalence property tests pin.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -19,14 +31,66 @@ pub enum Event {
     },
 }
 
-/// Heap entry: events ordered by time, ties broken by insertion sequence
-/// so the simulation is fully deterministic. Ordering looks only at
-/// `(time, seq)`, so the payload type needs no bounds.
+/// A deterministic future-event list: the scheduling interface of every
+/// discrete-event simulator in this workspace.
+///
+/// Implementations must honour the module-level determinism contract:
+/// [`pop`](EventScheduler::pop) returns events ordered by `(time,
+/// insertion sequence)`, so two implementations fed the same
+/// `schedule`/`pop` call sequence emit identical `(time, payload)`
+/// streams. Times must be finite (schedulers may bucket by magnitude).
+pub trait EventScheduler<E> {
+    /// Creates an empty scheduler.
+    fn new() -> Self
+    where
+        Self: Sized;
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is NaN or infinite.
+    fn schedule(&mut self, time: Time, event: E);
+
+    /// Pops the earliest event (FIFO among time ties), if any.
+    fn pop(&mut self) -> Option<(Time, E)>;
+
+    /// The time of the earliest pending event, without removing it.
+    fn peek(&self) -> Option<Time>;
+
+    /// Pops the earliest event only if its time is **strictly before**
+    /// `bound`; otherwise leaves the schedule untouched and returns
+    /// `None`.
+    ///
+    /// This is how a simulator merges an externally generated event
+    /// stream (e.g. pre-sampled arrival times, which then never enter
+    /// the scheduler at all) with the scheduled one: ties go to the
+    /// external stream, and implementations can answer with a single
+    /// internal scan instead of a `peek` plus a `pop`.
+    fn pop_if_before(&mut self, bound: Time) -> Option<(Time, E)> {
+        if self.peek().is_some_and(|t| t < bound) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Heap/bucket entry: events ordered by time, ties broken by insertion
+/// sequence so the simulation is fully deterministic. Ordering looks
+/// only at `(time, seq)`, so the payload type needs no bounds.
 #[derive(Debug, Clone, Copy)]
-struct Scheduled<E> {
-    time: Time,
-    seq: u64,
-    event: E,
+pub(crate) struct Scheduled<E> {
+    pub(crate) time: Time,
+    pub(crate) seq: u64,
+    pub(crate) event: E,
 }
 
 impl<E> PartialEq for Scheduled<E> {
@@ -51,12 +115,14 @@ impl<E> PartialOrd for Scheduled<E> {
     }
 }
 
-/// A deterministic future-event list, generic over the event payload.
+/// The binary-heap [`EventScheduler`]: `O(log n)` schedule/pop, the
+/// reference implementation of the determinism contract.
 ///
-/// [`QueueSystem`](crate::QueueSystem) instantiates it with the default
-/// [`Event`]; richer simulators (e.g. `bnb-cluster`, which adds churn
-/// events) plug in their own payload type and inherit the same
-/// earliest-first, FIFO-on-ties determinism guarantee.
+/// [`QueueSystem`](crate::QueueSystem) and `bnb-cluster`'s `ClusterSim`
+/// default to the [`CalendarQueue`](crate::CalendarQueue) for speed; the
+/// heap remains the oracle the differential tests compare against, and
+/// richer simulators can still plug in their own payload type here and
+/// inherit the same earliest-first, FIFO-on-ties guarantee.
 #[derive(Debug, Default)]
 pub struct EventQueue<E = Event> {
     heap: BinaryHeap<Scheduled<E>>,
@@ -76,9 +142,11 @@ impl<E> EventQueue<E> {
     /// Schedules `event` at absolute time `time`.
     ///
     /// # Panics
-    /// Panics if `time` is NaN.
+    /// Panics if `time` is not finite (the [`EventScheduler`] contract:
+    /// bucketing schedulers cannot place infinities, so the reference
+    /// implementation rejects them identically).
     pub fn schedule(&mut self, time: Time, event: E) {
-        assert!(!time.is_nan(), "event time must not be NaN");
+        assert!(time.is_finite(), "event time must be finite, got {time}");
         self.heap.push(Scheduled {
             time,
             seq: self.seq,
@@ -92,6 +160,12 @@ impl<E> EventQueue<E> {
         self.heap.pop().map(|s| (s.time, s.event))
     }
 
+    /// The earliest pending event time, if any.
+    #[must_use]
+    pub fn peek(&self) -> Option<Time> {
+        self.heap.peek().map(|s| s.time)
+    }
+
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -102,6 +176,32 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+}
+
+impl<E> EventScheduler<E> for EventQueue<E> {
+    fn new() -> Self {
+        EventQueue::new()
+    }
+
+    fn schedule(&mut self, time: Time, event: E) {
+        EventQueue::schedule(self, time, event);
+    }
+
+    fn pop(&mut self) -> Option<(Time, E)> {
+        EventQueue::pop(self)
+    }
+
+    fn peek(&self) -> Option<Time> {
+        EventQueue::peek(self)
+    }
+
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        EventQueue::is_empty(self)
     }
 }
 
@@ -135,11 +235,13 @@ mod tests {
     }
 
     #[test]
-    fn len_and_empty() {
+    fn len_empty_and_peek() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
+        assert_eq!(q.peek(), None);
         q.schedule(1.0, Event::Arrival);
         assert_eq!(q.len(), 1);
+        assert_eq!(q.peek(), Some(1.0));
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
@@ -156,9 +258,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "NaN")]
+    fn trait_dispatch_matches_inherent_api() {
+        fn drive<S: EventScheduler<u32>>() -> Vec<(Time, u32)> {
+            let mut s = S::new();
+            s.schedule(2.0, 1);
+            s.schedule(1.0, 2);
+            assert_eq!(s.peek(), Some(1.0));
+            assert_eq!(s.len(), 2);
+            std::iter::from_fn(|| s.pop()).collect()
+        }
+        assert_eq!(drive::<EventQueue<u32>>(), vec![(1.0, 2), (2.0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
     fn nan_time_rejected() {
         let mut q = EventQueue::new();
         q.schedule(f64::NAN, Event::Arrival);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_time_rejected_like_the_calendar() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::INFINITY, Event::Arrival);
     }
 }

@@ -12,8 +12,14 @@
 //! generalised to heterogeneous speeds and capacity-proportional
 //! sampling).
 //!
-//! * [`events`] — the event heap and simulation clock (generic over the
-//!   event payload, so richer simulators such as `bnb-cluster` reuse it),
+//! * [`events`] — the pluggable event-scheduler core: the
+//!   [`EventScheduler`] trait (earliest-first, FIFO-on-ties determinism
+//!   contract), the binary-heap [`EventQueue`] reference implementation,
+//!   and the simulation clock — generic over the event payload, so
+//!   richer simulators such as `bnb-cluster` reuse it,
+//! * [`calendar`] — the [`CalendarQueue`]: a bucketed timing wheel with
+//!   dynamic bucket-width resizing and an overflow ladder, the amortised
+//!   O(1) default scheduler of the simulators,
 //! * [`server`] — heterogeneous-speed server state with time-integrated
 //!   queue-length accounting and optional finite queues with drop
 //!   counting,
@@ -30,11 +36,14 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod calendar;
 pub mod events;
 pub mod router;
 pub mod server;
 pub mod system;
 
+pub use calendar::CalendarQueue;
+pub use events::{EventQueue, EventScheduler};
 pub use router::RoutingPolicy;
 pub use server::{Admission, Server};
 pub use system::{QueueMetrics, QueueSystem, SystemConfig};

@@ -1,7 +1,8 @@
 //! The queueing simulator: Poisson arrivals into d-choice routed,
 //! heterogeneous-speed servers.
 
-use crate::events::{Event, EventQueue, Time};
+use crate::calendar::CalendarQueue;
+use crate::events::{Event, EventScheduler, Time};
 use crate::router::RoutingPolicy;
 use crate::server::{Admission, Server};
 use bnb_core::choice::{draw_candidates, ChoiceMode, Selection, MAX_D};
@@ -59,20 +60,26 @@ pub struct QueueMetrics {
     pub horizon: Time,
 }
 
-/// The discrete-event system.
+/// The discrete-event system, generic over its [`EventScheduler`]; the
+/// calendar queue is the monomorphic default, and the binary-heap
+/// [`EventQueue`](crate::EventQueue) remains available via
+/// [`QueueSystem::with_scheduler`] as the differential oracle. The
+/// scheduler contract (earliest-first, FIFO on ties) makes the two
+/// bitwise interchangeable.
 #[derive(Debug)]
-pub struct QueueSystem {
+pub struct QueueSystem<Sch: EventScheduler<Event> = CalendarQueue<Event>> {
     servers: Vec<Server>,
     sampler: AliasTable,
     config: SystemConfig,
-    events: EventQueue,
+    events: Sch,
     rng: Xoshiro256PlusPlus,
     arrival_dist: Exponential,
     now: Time,
 }
 
 impl QueueSystem {
-    /// Builds the system on the given server speeds.
+    /// Builds the system on the given server speeds, scheduling through
+    /// the default [`CalendarQueue`].
     ///
     /// # Panics
     /// Panics if `d` is out of range, `rho` is invalid (non-positive, or
@@ -80,6 +87,20 @@ impl QueueSystem {
     /// are invalid.
     #[must_use]
     pub fn new(speeds: &CapacityVector, config: SystemConfig, seed: u64) -> Self {
+        Self::with_scheduler(speeds, config, seed)
+    }
+}
+
+impl<Sch: EventScheduler<Event>> QueueSystem<Sch> {
+    /// Builds the system on an explicit scheduler implementation (same
+    /// validation as [`QueueSystem::new`]).
+    ///
+    /// # Panics
+    /// Panics if `d` is out of range, `rho` is invalid (non-positive, or
+    /// `≥ 1` while the queues are unbounded), or the selection weights
+    /// are invalid.
+    #[must_use]
+    pub fn with_scheduler(speeds: &CapacityVector, config: SystemConfig, seed: u64) -> Self {
         assert!(config.d >= 1 && config.d <= MAX_D, "d out of range");
         assert!(
             config.rho > 0.0 && config.rho.is_finite(),
@@ -103,7 +124,7 @@ impl QueueSystem {
             servers: speeds.as_slice().iter().map(|&s| make_server(s)).collect(),
             sampler,
             config,
-            events: EventQueue::new(),
+            events: Sch::new(),
             rng: Xoshiro256PlusPlus::from_u64_seed(seed),
             arrival_dist: Exponential::new(arrival_rate),
             now: 0.0,

@@ -16,6 +16,8 @@
 //! * [`csv`] — dependency-free CSV output,
 //! * [`chi2`] — chi-square goodness-of-fit testing used to validate the
 //!   random samplers in `bnb-distributions`,
+//! * [`Mergeable`] / [`merge_ordered()`] — the mergeable-accumulator
+//!   contract behind sharded (multi-replica) aggregation,
 //! * [`MeanAccumulator`] — position-wise averaging of whole load vectors
 //!   (used for the sorted-load-distribution figures).
 //!
@@ -31,6 +33,7 @@ pub mod chi2;
 pub mod ci;
 pub mod csv;
 pub mod histogram;
+pub mod merge;
 pub mod quantile;
 pub mod series;
 pub mod summary;
@@ -41,7 +44,8 @@ pub mod vecacc;
 pub use chi2::{chi_square_statistic, chi_square_test, Chi2Outcome};
 pub use ci::ConfidenceInterval;
 pub use histogram::Histogram;
-pub use quantile::{median, quantile};
+pub use merge::{merge_ordered, Mergeable};
+pub use quantile::{median, quantile, quantile_select};
 pub use series::{Series, SeriesSet};
 pub use summary::Summary;
 pub use table::TextTable;

@@ -53,6 +53,50 @@ pub fn median(values: &[f64]) -> Option<f64> {
     quantile(values, 0.5)
 }
 
+/// The `q`-quantile of an **unsorted** sample in expected `O(n)` time
+/// via quickselect, reordering `values` in place.
+///
+/// Returns exactly the value `quantile_sorted` would return on the
+/// sorted copy (same type-7 order statistics, same interpolation
+/// arithmetic), without paying the `O(n log n)` sort — this is what the
+/// cluster simulator's end-of-run latency quantiles go through, where
+/// the sort used to rival the event loop itself. NaNs order by
+/// `total_cmp` (after every finite value), rather than panicking as
+/// [`quantile`] does.
+///
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+/// Panics if `q` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile_select(values: &mut [f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+    let n = values.len();
+    if n == 0 {
+        return None;
+    }
+    if n == 1 {
+        return Some(values[0]);
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let frac = h - lo as f64;
+    let (_, &mut x_lo, rest) = values.select_nth_unstable_by(lo, f64::total_cmp);
+    if frac == 0.0 {
+        return Some(x_lo);
+    }
+    // The `lo+1`-th order statistic is the minimum of the right
+    // partition (everything there is ≥ x_lo under `total_cmp` — which,
+    // unlike `f64::min`, also keeps a NaN neighbour rather than
+    // silently skipping it).
+    let x_hi = rest
+        .iter()
+        .copied()
+        .min_by(f64::total_cmp)
+        .expect("frac > 0 implies lo < n-1, so the right partition is non-empty");
+    Some(x_lo + (x_hi - x_lo) * frac)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +137,32 @@ mod tests {
     #[should_panic(expected = "in [0,1]")]
     fn out_of_range_level_panics() {
         let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn select_matches_sort_based_quantile_bitwise() {
+        // Pseudo-random sample with ties; every quantile level must
+        // agree bit for bit with the sort-then-interpolate reference.
+        let mut x = 1u64;
+        let values: Vec<f64> = (0..10_001)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((x >> 40) % 1000) as f64 / 7.0
+            })
+            .collect();
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let reference = quantile(&values, q).unwrap();
+            let mut scratch = values.clone();
+            let selected = quantile_select(&mut scratch, q).unwrap();
+            assert_eq!(
+                reference.to_bits(),
+                selected.to_bits(),
+                "q={q}: {reference} vs {selected}"
+            );
+        }
+        assert_eq!(quantile_select(&mut [], 0.5), None);
+        assert_eq!(quantile_select(&mut [7.0], 0.9), Some(7.0));
     }
 }

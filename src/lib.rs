@@ -66,14 +66,16 @@ pub use bnb_stats as stats;
 /// ```
 pub mod prelude {
     pub use bnb_cluster::{
-        find_scenario, ArrivalProcess, ChurnConfig, ClusterMetrics, ClusterServer, ClusterSim,
-        ClusterSpec, Fleet, PlacementSpec, Router, Scenario,
+        find_scenario, ArrivalProcess, ArrivalSampler, ChurnConfig, ClusterEvent, ClusterMetrics,
+        ClusterServer, ClusterSim, ClusterSpec, Fleet, PlacementSpec, ReplicaAccumulator, Router,
+        Scenario,
     };
     pub use bnb_core::prelude::*;
     pub use bnb_hashring::{
         membership_ring, ByersGame, ChordOverlay, ChurnSimulator, HashRing, Rendezvous,
     };
     pub use bnb_queueing::{
-        Admission, QueueMetrics, QueueSystem, RoutingPolicy, Server, SystemConfig,
+        Admission, CalendarQueue, EventQueue, EventScheduler, QueueMetrics, QueueSystem,
+        RoutingPolicy, Server, SystemConfig,
     };
 }
