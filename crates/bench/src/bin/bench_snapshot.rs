@@ -91,30 +91,37 @@ struct ClusterCell {
     baseline_req_per_sec: Option<f64>,
 }
 
-/// End-to-end cluster baseline, in requests/sec: the values this runner
-/// *measured* at the PR-3 cluster subsystem (commit `40c5325`, binary
-/// heap, per-event RNG draws), taken from the committed
-/// `BENCH_cluster.json` of that PR. `(scenario, req_per_sec)`.
+/// End-to-end cluster baseline, in requests/sec: the PR-3 cluster
+/// subsystem (commit `40c5325` — binary heap, per-event RNG draws,
+/// inverse-CDF exponentials) **rebuilt and re-measured on the current
+/// bench host**, interleaved with HEAD runs in the same windows, under
+/// the same best-single-run estimator. `(scenario, req_per_sec)`.
 ///
-/// Re-recorded at the scheduler-refactor PR: the originally hand-copied
-/// two_class figure (5.25e6) never matched what the runner measured for
-/// that cell (4.55e6 in the PR-3 snapshot itself — the recorded
-/// "baseline" was mis-transcribed, making every subsequent two_class
-/// run look like a 0.87x regression that never happened). All five
-/// cells now carry the PR-3 snapshot's own measurements; `diurnal` is
-/// new in this PR and has no baseline.
+/// Re-recorded (again) at the fused-hot-loop PR, this time for
+/// machine comparability: the previous baselines were carried over
+/// from snapshots taken on a *different, ~2× faster host*, so every
+/// `speedup_vs_baseline` mixed machines and the shared-runner noise
+/// swung the apparent ratio by 2× between runs of identical code.
+/// Same-host, same-window, best-run measurement is the only ratio that
+/// tracks the code rather than the hardware du jour; the measured
+/// history of both protocols is kept in the README's cluster
+/// trajectory table. `diurnal` landed with PR 4, so its baseline is
+/// commit `3d05046` re-measured the same way.
 const CLUSTER_BASELINE: &[(&str, f64)] = &[
-    ("uniform", 4.8975e6),
-    ("two_class", 4.5528e6),
-    ("zipf", 4.8561e6),
-    ("flash_crowd", 4.5140e6),
-    ("churny_p2p", 3.7803e6),
+    ("uniform", 5.839e6),
+    ("two_class", 6.091e6),
+    ("zipf", 5.706e6),
+    ("flash_crowd", 5.283e6),
+    ("diurnal", 6.249e6),
+    ("churny_p2p", 4.533e6),
 ];
 
 /// One-line provenance note embedded in the cluster snapshot (see
 /// [`CLUSTER_BASELINE`]).
-const CLUSTER_BASELINE_NOTE: &str = "baselines re-recorded from the PR-3 snapshot's own \
-     measurements; the original two_class baseline (5.25e6) was mis-transcribed";
+const CLUSTER_BASELINE_NOTE: &str = "baselines are the PR-3 subsystem (40c5325; diurnal: \
+     3d05046 where it landed) rebuilt and re-measured on this bench host, interleaved \
+     with HEAD under the best-single-run estimator -- same-host ratios, not the old \
+     cross-machine ones";
 
 fn cluster_baseline_for(scenario: &str) -> Option<f64> {
     CLUSTER_BASELINE
@@ -132,6 +139,16 @@ fn cluster_scenario_id(cell_name: &str) -> String {
 /// requests (fresh simulator each iteration, construction included — the
 /// figure tracks serving throughput end to end) until the budget
 /// elapses.
+///
+/// The reported `req_per_sec` is the **best single run** within the
+/// budget, not the mean — the `timeit` convention. These snapshots are
+/// taken on shared hosts whose effective speed swings by 2× with
+/// neighbour load on a sub-second scale; the mean of a 0.4 s window
+/// measures the neighbours as much as the code, while the fastest run
+/// is a stable estimate of the code's intrinsic speed (interference
+/// only ever slows a run down). The committed baselines were re-taken
+/// under this same estimator, on this same host class, so
+/// `speedup_vs_baseline` compares like with like.
 fn measure_cluster(cell_name: &'static str, requests: u64, budget: Duration) -> ClusterCell {
     let scenario = find_scenario(&cluster_scenario_id(cell_name))
         .unwrap_or_else(|| unreachable!("unknown cluster scenario {cell_name}"));
@@ -147,9 +164,13 @@ fn measure_cluster(cell_name: &'static str, requests: u64, budget: Duration) -> 
     // Warm-up run: page-faults, allocator growth, branch history.
     run();
     let mut total = 0u64;
+    let mut best = 0.0f64;
     let start = Instant::now();
     loop {
+        let run_start = Instant::now();
         run();
+        let run_elapsed = run_start.elapsed();
+        best = best.max(requests as f64 / run_elapsed.as_secs_f64());
         total += requests;
         if start.elapsed() >= budget {
             break;
@@ -161,7 +182,7 @@ fn measure_cluster(cell_name: &'static str, requests: u64, budget: Duration) -> 
         requests_per_iter: requests,
         total_requests: total,
         elapsed,
-        req_per_sec: total as f64 / elapsed.as_secs_f64(),
+        req_per_sec: best,
         baseline_req_per_sec: cluster_baseline_for(cell_name),
     }
 }
@@ -301,7 +322,7 @@ fn render_cluster_json(cells: &[ClusterCell], mode: &str) -> String {
 }
 
 fn usage() -> &'static str {
-    "Usage: bench-snapshot [--check] [--out PATH] [--cluster-out PATH]\n\
+    "Usage: bench-snapshot [--check] [--floor RATIO] [--out PATH] [--cluster-out PATH]\n\
      \n\
      Measures balls/sec of the throw kernel over the standard scenario\n\
      grid (-> BENCH_throw.json) and requests/sec of the cluster\n\
@@ -312,18 +333,41 @@ fn usage() -> &'static str {
      \x20  --check             tiny grids + short budget: CI smoke that\n\
      \x20                      the snapshot pipeline still produces valid\n\
      \x20                      files\n\
+     \x20  --floor RATIO       perf-regression gate: fail if any cluster\n\
+     \x20                      cell with a recorded baseline measures\n\
+     \x20                      below RATIO x that baseline (use a\n\
+     \x20                      generous ratio, e.g. 0.25 — the gate is\n\
+     \x20                      meant to catch debug-build-scale\n\
+     \x20                      regressions without flaking on shared\n\
+     \x20                      runners)\n\
      \x20  --out PATH          throw-kernel output (./BENCH_throw.json)\n\
      \x20  --cluster-out PATH  cluster output (./BENCH_cluster.json)\n"
 }
 
 fn main() -> ExitCode {
     let mut check = false;
+    let mut floor: Option<f64> = None;
     let mut out_path = PathBuf::from("BENCH_throw.json");
     let mut cluster_out_path = PathBuf::from("BENCH_cluster.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => check = true,
+            "--floor" => match args.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(r)) if r > 0.0 && r.is_finite() => floor = Some(r),
+                Some(Ok(r)) => {
+                    eprintln!("--floor must be a positive ratio, got {r}\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+                Some(Err(e)) => {
+                    eprintln!("bad --floor value: {e}\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("--floor needs a ratio\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
             "--out" => match args.next() {
                 Some(p) => out_path = PathBuf::from(p),
                 None => {
@@ -380,23 +424,22 @@ fn main() -> ExitCode {
         }
     }
 
-    // The cluster grid: end-to-end requests/sec per workload.
+    // The cluster grid: end-to-end requests/sec per workload. Check
+    // mode keeps runs tiny but still covers every tracked cell, so the
+    // `--floor` gate in CI watches the whole grid, not one scenario.
+    let all_cluster_cells: &[&'static str] = &[
+        "uniform",
+        "two_class",
+        "zipf",
+        "flash_crowd",
+        "diurnal",
+        "churny_p2p",
+    ];
     let (cluster_cells_spec, cluster_requests, cluster_budget): (&[&'static str], u64, Duration) =
         if check {
-            (&["two_class"], 5_000, Duration::from_millis(30))
+            (all_cluster_cells, 5_000, Duration::from_millis(30))
         } else {
-            (
-                &[
-                    "uniform",
-                    "two_class",
-                    "zipf",
-                    "flash_crowd",
-                    "diurnal",
-                    "churny_p2p",
-                ],
-                50_000,
-                Duration::from_millis(400),
-            )
+            (all_cluster_cells, 50_000, Duration::from_millis(400))
         };
     let mut cluster_cells = Vec::new();
     for &cell_name in cluster_cells_spec {
@@ -411,6 +454,37 @@ fn main() -> ExitCode {
             }),
         );
         cluster_cells.push(cell);
+    }
+
+    // The perf floor: every cluster cell with a recorded baseline must
+    // clear `ratio × baseline`. Ratios are generous by design — the
+    // gate exists to catch structural regressions (a debug build, an
+    // accidentally quadratic path), not to arbitrate benchmark noise.
+    if let Some(ratio) = floor {
+        let mut failed = false;
+        for c in &cluster_cells {
+            if let Some(b) = c.baseline_req_per_sec {
+                let min = ratio * b;
+                if c.req_per_sec < min {
+                    eprintln!(
+                        "FLOOR VIOLATION: cluster/{} measured {:.3e} req/s, \
+                         below {ratio} x baseline {b:.3e} = {min:.3e}",
+                        c.scenario, c.req_per_sec
+                    );
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            eprintln!(
+                "bench floor gate failed — a tracked cluster cell lost more than \
+                 {:.0}% of its recorded throughput (debug build? pathological \
+                 regression?)",
+                (1.0 - ratio) * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("floor gate passed: every tracked cell >= {ratio} x its baseline");
     }
 
     let write_file = |path: &PathBuf, json: &str| {

@@ -1,24 +1,36 @@
 //! The heterogeneous server fleet: finite-queue servers with latency
 //! bookkeeping and churn (servers joining and leaving mid-run).
 //!
-//! Each slot wraps a [`bnb_queueing::Server`] (which owns the counting:
-//! queue length, peak queue, completions, drops) and adds what the
-//! cluster needs on top: per-job admission timestamps for latency
-//! measurement, a stable membership id for consistent-hash placement,
-//! and an alive flag. Slots are never reused or revived — a departed
-//! server's slot stays dead forever — so `is_alive()` alone identifies
-//! stale departure events after churn.
+//! Each slot carries exactly the state the cluster's serving loop and
+//! end-of-run metrics read — queue length, peak queue, completions,
+//! drops, per-job admission timestamps for latency measurement, a
+//! stable membership id for consistent-hash placement, and an alive
+//! flag — and nothing more. (An earlier revision wrapped
+//! `bnb_queueing::Server` here, which also maintains a time-integrated
+//! queue-length average; the cluster never reports that statistic, yet
+//! paid its floating-point accounting twice per request on the hot
+//! path.) Slots are never reused or revived — a departed server's slot
+//! stays dead forever — so `is_alive()` alone identifies stale
+//! departure events after churn.
 
 use bnb_core::Load;
 use bnb_queueing::events::Time;
-use bnb_queueing::server::{Admission, Server};
+use bnb_queueing::server::Admission;
 use std::collections::VecDeque;
 
-/// One cluster server: a queueing server plus latency and membership
+/// One cluster server: queue counters plus latency and membership
 /// state.
 #[derive(Debug, Clone)]
 pub struct ClusterServer {
-    core: Server,
+    speed: u64,
+    /// Jobs in the system (queue + in service).
+    queue: u64,
+    /// Largest queue length ever observed.
+    max_queue: u64,
+    /// Completed jobs.
+    completed: u64,
+    /// Jobs rejected at a full queue.
+    dropped: u64,
     /// Admission time of every job currently in the system, FIFO.
     in_flight: VecDeque<Time>,
     /// Stable membership id (never reused, feeds the hash ring).
@@ -28,12 +40,13 @@ pub struct ClusterServer {
 
 impl ClusterServer {
     fn new(speed: u64, queue_capacity: Option<u64>, id: u64) -> Self {
-        let core = match queue_capacity {
-            Some(cap) => Server::with_queue_capacity(speed, cap),
-            None => Server::new(speed),
-        };
+        assert!(speed > 0, "server speed must be positive");
         ClusterServer {
-            core,
+            speed,
+            queue: 0,
+            max_queue: 0,
+            completed: 0,
+            dropped: 0,
             // Pre-size the admission FIFO to the queue bound (clamped)
             // so the steady state never grows it.
             in_flight: VecDeque::with_capacity(queue_capacity.map_or(16, |c| c.min(1024)) as usize),
@@ -45,38 +58,38 @@ impl ClusterServer {
     /// Service speed (jobs of unit work per unit time).
     #[must_use]
     pub fn speed(&self) -> u64 {
-        self.core.speed()
+        self.speed
     }
 
     /// Jobs currently in the system (queue + in service).
     #[must_use]
     pub fn queue_len(&self) -> u64 {
-        self.core.queue_len()
+        self.queue
     }
 
     /// Largest queue length ever observed.
     #[must_use]
     pub fn max_queue(&self) -> u64 {
-        self.core.max_queue()
+        self.max_queue
     }
 
     /// Completed jobs.
     #[must_use]
     pub fn completed(&self) -> u64 {
-        self.core.completed()
+        self.completed
     }
 
     /// Jobs rejected at a full queue.
     #[must_use]
     pub fn dropped(&self) -> u64 {
-        self.core.dropped()
+        self.dropped
     }
 
     /// The normalised load a job would see after joining:
     /// `(queue + 1) / speed` as an exact [`Load`] rational.
     #[must_use]
     pub fn post_join_load(&self) -> Load {
-        self.core.post_join_load()
+        Load::new(self.queue + 1, self.speed)
     }
 
     /// Stable membership id.
@@ -102,6 +115,9 @@ pub struct Fleet {
     /// per simulated second, and reading two words from this
     /// cache-resident array beats chasing into the full server structs.
     loads: Vec<(u64, u64)>,
+    /// Dense `1 / speed` per slot: the departure-scheduling hot path
+    /// scales Exp(1) work by this (a multiply instead of a divide).
+    inv_speeds: Vec<f64>,
     n_alive: usize,
     next_id: u64,
     queue_capacity: Option<u64>,
@@ -112,11 +128,12 @@ impl Fleet {
     /// bounded by `queue_capacity` (`None` = unbounded).
     ///
     /// # Panics
-    /// Panics if `speeds` is empty or any speed is zero (via
-    /// [`Server::new`]).
+    /// Panics if `speeds` is empty, any speed is zero, or the capacity
+    /// is `Some(0)`.
     #[must_use]
     pub fn new(speeds: &[u64], queue_capacity: Option<u64>) -> Self {
         assert!(!speeds.is_empty(), "fleet needs at least one server");
+        assert!(queue_capacity != Some(0), "queue capacity must be positive");
         let servers: Vec<ClusterServer> = speeds
             .iter()
             .enumerate()
@@ -126,6 +143,7 @@ impl Fleet {
             n_alive: servers.len(),
             next_id: servers.len() as u64,
             loads: speeds.iter().map(|&s| (0, s)).collect(),
+            inv_speeds: speeds.iter().map(|&s| 1.0 / s as f64).collect(),
             servers,
             queue_capacity,
         }
@@ -186,15 +204,23 @@ impl Fleet {
     /// # Panics
     /// Panics if the server is not alive — placement must only route to
     /// alive servers.
+    #[inline]
     pub fn try_join(&mut self, i: usize, now: Time) -> Admission {
         let s = &mut self.servers[i];
         assert!(s.alive, "routed a request to a departed server");
-        let admission = s.core.try_join(now);
-        if admission != Admission::Dropped {
-            s.in_flight.push_back(now);
-            self.loads[i].0 += 1;
+        if self.queue_capacity.is_some_and(|cap| s.queue >= cap) {
+            s.dropped += 1;
+            return Admission::Dropped;
         }
-        admission
+        s.queue += 1;
+        s.max_queue = s.max_queue.max(s.queue);
+        s.in_flight.push_back(now);
+        self.loads[i].0 += 1;
+        if s.queue == 1 {
+            Admission::StartedService
+        } else {
+            Admission::Queued
+        }
     }
 
     /// The ordering key of Algorithm 1's allocation step for slot `i`:
@@ -222,21 +248,43 @@ impl Fleet {
         self.loads[i].0
     }
 
+    /// Dense-mirror `(queue_len, speed)` of slot `i` (the unrolled d = 2
+    /// compare reads both words at once).
+    #[inline]
+    pub(crate) fn load_of(&self, i: usize) -> (u64, u64) {
+        self.loads[i]
+    }
+
+    /// `1 / speed` of slot `i`, from the dense mirror — how the
+    /// departure-scheduling path scales Exp(1) work into service time
+    /// (bitwise-stable across the generic and fused loops, which is why
+    /// the reciprocal is precomputed once rather than divided per event).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn inv_speed_of(&self, i: usize) -> f64 {
+        self.inv_speeds[i]
+    }
+
     /// The job in service on server `i` completes at `now`; returns its
     /// sojourn latency and whether another job is waiting (the caller
     /// must then schedule the next departure).
     ///
     /// # Panics
     /// Panics if the server's queue is empty.
+    #[inline]
     pub fn depart(&mut self, i: usize, now: Time) -> (Time, bool) {
         let s = &mut self.servers[i];
         let admitted = s
             .in_flight
             .pop_front()
             .expect("departure from an empty cluster server");
-        let more = s.core.depart(now);
+        s.queue -= 1;
+        s.completed += 1;
         self.loads[i].0 -= 1;
-        (now - admitted, more)
+        (now - admitted, s.queue > 0)
     }
 
     /// Server `i` leaves the cluster at `now`: its backlog (queued jobs
@@ -249,13 +297,16 @@ impl Fleet {
     /// Panics if the server is already dead or is the last alive server.
     pub fn deactivate(&mut self, i: usize, now: Time) -> u64 {
         assert!(self.n_alive > 1, "cannot deactivate the last alive server");
+        let _ = now; // kept for API symmetry with join/depart timestamps
         let s = &mut self.servers[i];
         assert!(s.alive, "server {i} is already dead");
         s.alive = false;
         s.in_flight.clear();
         self.n_alive -= 1;
         self.loads[i].0 = 0;
-        s.core.evict_all(now)
+        let orphans = s.queue;
+        s.queue = 0;
+        orphans
     }
 
     /// A fresh server of the given speed joins the cluster; returns its
@@ -267,6 +318,7 @@ impl Fleet {
         self.servers
             .push(ClusterServer::new(speed, self.queue_capacity, id));
         self.loads.push((0, speed));
+        self.inv_speeds.push(1.0 / speed as f64);
         self.n_alive += 1;
         self.servers.len() - 1
     }

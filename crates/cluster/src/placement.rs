@@ -250,6 +250,11 @@ impl Router {
         );
         match self.spec {
             PlacementSpec::DChoice { d } => {
+                if d == 2 {
+                    // The dominant configuration, unrolled; shared with
+                    // the fused cluster loop.
+                    return self.place_d2(fleet);
+                }
                 if self.cand_pos + d > self.cand_buf.len() {
                     // Refill the candidate block: identical draw order
                     // to d successive scalar samples per request.
@@ -259,22 +264,6 @@ impl Router {
                 }
                 let pos = self.cand_pos;
                 self.cand_pos += d;
-                if d == 2 {
-                    // The dominant configuration, unrolled: same
-                    // semantics (and tie-stream draws) as the reservoir
-                    // scan below.
-                    let (a, b) = (self.cand_buf[pos], self.cand_buf[pos + 1]);
-                    let sa = self.alive[a];
-                    if a == b {
-                        return sa;
-                    }
-                    let sb = self.alive[b];
-                    return match placement_key(fleet, sa).cmp(&placement_key(fleet, sb)) {
-                        std::cmp::Ordering::Greater => sb,
-                        std::cmp::Ordering::Equal if self.tie_rng.next_below(2) == 0 => sb,
-                        _ => sa,
-                    };
-                }
                 // Algorithm 1 over the candidate *set*: smallest post-join
                 // normalised queue, capacity tie-break towards the faster
                 // server, residual ties uniform (reservoir).
@@ -298,6 +287,26 @@ impl Router {
                 // Byers et al.: d probe points, join the successor with
                 // the fewest jobs in system; ties uniform over distinct
                 // candidates.
+                if d == 2 {
+                    // The dominant probe count, unrolled with the same
+                    // dedup/tie semantics as the reservoir scan below.
+                    let p0 = ring.successor(request_point(self.seed, key, 0));
+                    let p1 = ring.successor(request_point(self.seed, key, 1));
+                    let s0 = self.alive[p0];
+                    if p0 == p1 {
+                        return s0;
+                    }
+                    let s1 = self.alive[p1];
+                    let (q0, q1) = (fleet.queue_len_of(s0), fleet.queue_len_of(s1));
+                    if q1 != q0 {
+                        return if q1 < q0 { s1 } else { s0 };
+                    }
+                    return if self.tie_rng.next_below(2) == 0 {
+                        s1
+                    } else {
+                        s0
+                    };
+                }
                 let mut probes = [0usize; MAX_D];
                 for (k, probe) in probes[..d].iter_mut().enumerate() {
                     *probe = ring.successor(request_point(self.seed, key, k as u64));
@@ -309,6 +318,54 @@ impl Router {
                     |s| fleet.queue_len_of(s),
                 )
             }
+        }
+    }
+
+    /// The unrolled `d = 2` placement of Algorithm 1 — the dominant
+    /// configuration, called per request by both [`Router::place`] and
+    /// the fused cluster drive loop. Semantics (candidate draws, dedup,
+    /// capacity tie-break, residual tie-stream draw) are exactly the
+    /// reservoir scan's, which the equivalence tests pin.
+    ///
+    /// # Panics
+    /// Panics if the router's policy is not `DChoice { d: 2 }`.
+    #[inline]
+    pub(crate) fn place_d2(&mut self, fleet: &Fleet) -> usize {
+        if self.cand_pos + 2 > self.cand_buf.len() {
+            // Refill the candidate block: identical draw order to two
+            // successive scalar samples per request.
+            let alias = self.alias.as_ref().expect("alias built for DChoice");
+            alias.sample_batch(&mut self.place_rng, &mut self.cand_buf);
+            self.cand_pos = 0;
+        }
+        let pos = self.cand_pos;
+        self.cand_pos += 2;
+        let (a, b) = (self.cand_buf[pos], self.cand_buf[pos + 1]);
+        let sa = self.alive[a];
+        if a == b {
+            return sa;
+        }
+        let sb = self.alive[b];
+        // Algorithm 1's key, written out directly instead of through the
+        // `(Load, u64)` tuple `Ord`: smallest post-join normalised load
+        // `(q+1)/speed` by exact cross-multiplication, capacity
+        // tie-break towards the faster server, residual ties uniform —
+        // the identical order `placement_key` induces, with two fewer
+        // data-dependent branches per request.
+        let (qa, ca) = fleet.load_of(sa);
+        let (qb, cb) = fleet.load_of(sb);
+        let lhs = (qa + 1) as u128 * cb as u128;
+        let rhs = (qb + 1) as u128 * ca as u128;
+        if lhs != rhs {
+            return if lhs < rhs { sa } else { sb };
+        }
+        if ca != cb {
+            return if ca > cb { sa } else { sb };
+        }
+        if self.tie_rng.next_below(2) == 0 {
+            sb
+        } else {
+            sa
         }
     }
 }

@@ -129,20 +129,23 @@ fn every_scenario_is_bitwise_deterministic() {
 
 #[test]
 fn heap_and_calendar_schedulers_agree_on_every_scenario() {
-    // The tentpole acceptance check: swapping the binary-heap oracle
-    // for the calendar-queue default must not move a single byte of any
-    // scenario's rendered output — quantiles, per-server curves, churn
-    // counters and all.
+    // The scheduler differential: swapping the binary-heap oracle for
+    // the slab calendar-queue default must not move a single byte of
+    // any scenario's rendered output — quantiles, per-server curves,
+    // churn counters and all. Driven through `run_generic` so both
+    // sides genuinely exercise their scheduler on every scenario (the
+    // fused fast path carries its own departures and is pinned by the
+    // fused-vs-generic differential below).
     for scenario in registry() {
         let requests = (scenario.default_requests / SMOKE_DIVISOR).min(5_000);
         let seed = 0xCA1E;
         let calendar = {
             let spec = (scenario.build)(seed, requests);
-            ClusterSim::new(spec, seed).run()
+            ClusterSim::new(spec, seed).run_generic()
         };
         let heap = {
             let spec = (scenario.build)(seed, requests);
-            ClusterSim::<EventQueue<ClusterEvent>>::with_scheduler(spec, seed).run()
+            ClusterSim::<EventQueue<ClusterEvent>>::with_scheduler(spec, seed).run_generic()
         };
         assert_eq!(
             calendar, heap,
@@ -155,6 +158,53 @@ fn heap_and_calendar_schedulers_agree_on_every_scenario() {
         assert_eq!(
             render(&calendar),
             render(&heap),
+            "{}: rendered output must be byte-identical",
+            scenario.id
+        );
+    }
+}
+
+#[test]
+fn fused_loop_replays_the_generic_loop_on_every_scenario() {
+    // The fused-loop differential: `run()` (which takes the fused
+    // monomorphic fast path for d-choice d=2, churn-free specs on the
+    // default scheduler) must produce byte-identical metrics to
+    // `run_generic()` (the any-placement event loop) — and to the
+    // generic loop driven by the binary-heap oracle, closing the
+    // triangle. Scenarios outside the fused configuration take the
+    // generic loop on both sides, which keeps this assertion total
+    // over the registry rather than special-cased.
+    for scenario in registry() {
+        let requests = (scenario.default_requests / SMOKE_DIVISOR).min(5_000);
+        let seed = 0xF0_5ED;
+        let fused = {
+            let spec = (scenario.build)(seed, requests);
+            ClusterSim::new(spec, seed).run()
+        };
+        let generic = {
+            let spec = (scenario.build)(seed, requests);
+            ClusterSim::new(spec, seed).run_generic()
+        };
+        let heap_generic = {
+            let spec = (scenario.build)(seed, requests);
+            ClusterSim::<EventQueue<ClusterEvent>>::with_scheduler(spec, seed).run_generic()
+        };
+        assert_eq!(
+            fused, generic,
+            "{}: the fused loop changed the metrics",
+            scenario.id
+        );
+        assert_eq!(
+            fused, heap_generic,
+            "{}: fused loop vs heap-driven generic loop diverged",
+            scenario.id
+        );
+        let render = |m: &bnb_cluster::ClusterMetrics| {
+            m.render_table() + &m.to_series_set("fused", "fused").to_plot_text()
+        };
+        assert_eq!(
+            render(&fused),
+            render(&generic),
             "{}: rendered output must be byte-identical",
             scenario.id
         );

@@ -25,7 +25,11 @@
 //! Discrete variates implemented from scratch (the offline `rand` crate
 //! ships no `rand_distr`): [`Binomial`] (the paper's randomised bin sizes
 //! `1 + Bin(7, (c−1)/7)` in §4.2), [`Geometric`], and [`Zipf`] for the
-//! heavy-tailed capacity extensions.
+//! heavy-tailed capacity extensions. Continuous Exp(1) variates — the
+//! service times and arrival gaps of every discrete-event simulator here
+//! — come from the 256-layer [`ziggurat`] (exact, one RNG word on the
+//! fast path), streamed through [`ExponentialBlock`]; the inverse-CDF
+//! [`Exponential`] stays as the statistical oracle.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -39,6 +43,7 @@ pub mod geometric;
 pub mod poisson;
 pub mod rng;
 pub mod sampler;
+pub mod ziggurat;
 pub mod zipf;
 
 pub use alias::AliasTable;

@@ -1,0 +1,260 @@
+//! Ziggurat sampling for the standard exponential (Marsaglia & Tsang).
+//!
+//! The inverse-CDF exponential (`-ln(1-u)`) pays a transcendental per
+//! draw; in the cluster simulator that is two `ln` calls per request
+//! (arrival gap + service time) and they show up at the top of profiles.
+//! The ziggurat replaces almost every draw with one RNG word, a table
+//! lookup, a multiply and a compare:
+//!
+//! * the area under `f(x) = e^{-x}` is covered by 256 horizontal strips
+//!   of equal area `V`; strip `i` spans `x ∈ [0, x_i]` with
+//!   `x_0 > x_1 > … > x_255 > x_256 = 0` and the base strip (`i = 0`)
+//!   additionally owns the tail beyond [`R`];
+//! * a draw picks a strip from 8 low bits of one RNG word and a uniform
+//!   `u` from its top 53 bits; `x = u·x_i` is accepted immediately when
+//!   `x < x_{i+1}` (the point is under the curve for sure, ≈ 98% of
+//!   draws and the only path the branch predictor ever sees);
+//! * otherwise the wedge is resolved by one `exp` comparison, and the
+//!   base strip falls back to the analytic tail `R + Exp(1)` — both
+//!   cold, both exact, so the returned distribution is *exactly*
+//!   Exp(1), not an approximation.
+//!
+//! Tables are built on first use (a [`OnceLock`]; 2 × 257 doubles) and
+//! shared process-wide. Determinism: a draw consumes RNG words from the
+//! caller's generator in a fixed data-dependent order, so the stream of
+//! variates is a pure function of the RNG state — and
+//! [`fill`] produces bitwise the sequence of repeated [`sample`] calls,
+//! which the proptests pin. The inverse-CDF path
+//! ([`Exponential`](crate::Exponential)) stays available as the
+//! statistical oracle the agreement tests compare against.
+
+use crate::rng::Xoshiro256PlusPlus;
+use std::sync::OnceLock;
+
+/// Number of equal-area strips.
+const LAYERS: usize = 256;
+
+/// Rightmost strip boundary: the base strip hands `x > R` to the
+/// analytic tail. This is the Marsaglia–Tsang constant for 256 strips.
+pub const R: f64 = 7.697_117_470_131_05;
+
+/// Area of each strip (base strip includes the tail mass beyond [`R`]).
+const V: f64 = 3.949_659_822_581_572e-3;
+
+/// Strip geometry: `x[i]` is the right edge of strip `i` (`x[0]` is the
+/// base strip's *pseudo* width `V / f(R)`, `x[256] = 0`), `f[i] =
+/// e^{-x[i]}` its lower boundary height.
+struct Tables {
+    x: [f64; LAYERS + 1],
+    f: [f64; LAYERS + 1],
+}
+
+fn build_tables() -> Tables {
+    let mut x = [0.0; LAYERS + 1];
+    let mut f = [0.0; LAYERS + 1];
+    // Base strip: rectangle of width V / f(R) (area V including the
+    // tail), so `u·x[0] < R` accepts with the exact in-strip density.
+    x[0] = V * R.exp();
+    f[0] = (-x[0]).exp();
+    x[1] = R;
+    f[1] = (-R).exp();
+    // Each further strip stacks area V on top of the previous one:
+    // f(x_{i}) = f(x_{i-1}) + V / x_{i-1}.
+    for i in 2..LAYERS {
+        let fx = f[i - 1] + V / x[i - 1];
+        x[i] = -fx.ln();
+        f[i] = fx;
+    }
+    x[LAYERS] = 0.0;
+    f[LAYERS] = 1.0;
+    Tables { x, f }
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(build_tables)
+}
+
+/// Draws one standard Exp(1) variate by the 256-layer ziggurat.
+///
+/// Exact (not approximate): wedges and the tail are resolved
+/// analytically. Consumes one RNG word on the ≈ 98% fast path.
+#[inline]
+#[must_use]
+pub fn sample(rng: &mut Xoshiro256PlusPlus) -> f64 {
+    let t = tables();
+    loop {
+        let bits = rng.next();
+        let i = (bits & 0xFF) as usize;
+        // Top 53 bits → uniform in [0, 1); the low layer bits are
+        // disjoint from these, as in the classic implementations.
+        let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let x = u * t.x[i];
+        if x < t.x[i + 1] {
+            // Under the inner rectangle: certainly under the curve.
+            return x;
+        }
+        if let Some(v) = sample_edge(rng, t, i, x) {
+            return v;
+        }
+    }
+}
+
+/// The cold edges of a ziggurat draw: the analytic tail (base strip) and
+/// the wedge rejection test. Out of line so the fast path above stays a
+/// compare-and-return.
+#[cold]
+fn sample_edge(rng: &mut Xoshiro256PlusPlus, t: &Tables, i: usize, x: f64) -> Option<f64> {
+    if i == 0 {
+        // Base strip beyond R: the tail of Exp(1) restarted at R
+        // (memorylessness), sampled by inversion on a fresh uniform.
+        let u = rng.next_f64();
+        return Some(R - ((1.0 - u).max(1e-300)).ln());
+    }
+    // Wedge: the strip's vertical span is [f[i], f[i+1]); accept iff the
+    // uniform height lands under the curve.
+    let u = rng.next_f64();
+    if t.f[i] + u * (t.f[i + 1] - t.f[i]) < (-x).exp() {
+        Some(x)
+    } else {
+        None
+    }
+}
+
+/// Fills `out` with Exp(1) variates, bitwise identical to `out.len()`
+/// successive [`sample`] calls on the same RNG — the block refill of
+/// [`ExponentialBlock`](crate::ExponentialBlock).
+pub fn fill(rng: &mut Xoshiro256PlusPlus, out: &mut [f64]) {
+    let t = tables();
+    'slots: for slot in out.iter_mut() {
+        loop {
+            let bits = rng.next();
+            let i = (bits & 0xFF) as usize;
+            let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let x = u * t.x[i];
+            if x < t.x[i + 1] {
+                *slot = x;
+                continue 'slots;
+            }
+            if let Some(v) = sample_edge(rng, t, i, x) {
+                *slot = v;
+                continue 'slots;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exponential::Exponential;
+
+    #[test]
+    fn tables_are_monotone_and_close() {
+        let t = tables();
+        // Strip edges strictly decrease to 0; heights strictly increase
+        // to 1.
+        for i in 1..LAYERS {
+            assert!(t.x[i] > t.x[i + 1], "x not decreasing at {i}");
+            assert!(t.f[i] < t.f[i + 1], "f not increasing at {i}");
+        }
+        // The stack must close at the mode: one more strip of area V on
+        // top of strip 255 reaches f(0) = 1 (this pins the R/V pair).
+        let closure = t.f[LAYERS - 1] + V / t.x[LAYERS - 1];
+        assert!((closure - 1.0).abs() < 1e-7, "stack closes at {closure}");
+        // Every strip really has area V.
+        for i in 1..LAYERS {
+            let area = t.x[i] * (t.f[i + 1] - t.f[i]);
+            assert!((area - V).abs() < 1e-12, "strip {i} area {area}");
+        }
+    }
+
+    #[test]
+    fn samples_are_non_negative_and_deterministic() {
+        let mut a = Xoshiro256PlusPlus::from_u64_seed(1);
+        let mut b = Xoshiro256PlusPlus::from_u64_seed(1);
+        for _ in 0..50_000 {
+            let x = sample(&mut a);
+            assert!(x >= 0.0 && x.is_finite());
+            assert_eq!(x.to_bits(), sample(&mut b).to_bits());
+        }
+    }
+
+    #[test]
+    fn moments_match_exp1() {
+        // Exp(1): mean 1, variance 1, E[X^3] = 6.
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(2);
+        let n = 400_000;
+        let (mut m1, mut m2, mut m3) = (0.0f64, 0.0f64, 0.0f64);
+        for _ in 0..n {
+            let x = sample(&mut rng);
+            m1 += x;
+            m2 += x * x;
+            m3 += x * x * x;
+        }
+        let nf = n as f64;
+        let (m1, m2, m3) = (m1 / nf, m2 / nf, m3 / nf);
+        assert!((m1 - 1.0).abs() < 0.01, "mean {m1}");
+        assert!((m2 - 2.0).abs() < 0.05, "second moment {m2}");
+        assert!((m3 - 6.0).abs() < 0.4, "third moment {m3}");
+    }
+
+    #[test]
+    fn agrees_with_the_inverse_cdf_oracle() {
+        // KS-style check at fixed abscissae: the empirical CDFs of the
+        // ziggurat and the inverse-CDF oracle must both track the Exp(1)
+        // CDF (and hence each other) within Monte-Carlo tolerance.
+        let oracle = Exponential::new(1.0);
+        let mut zig_rng = Xoshiro256PlusPlus::from_u64_seed(3);
+        let mut inv_rng = Xoshiro256PlusPlus::from_u64_seed(4);
+        let n = 200_000usize;
+        let grid = [0.05, 0.2, 0.5, 1.0, 2.0, 4.0, 7.0, 9.0];
+        let mut zig_counts = [0u64; 8];
+        let mut inv_counts = [0u64; 8];
+        for _ in 0..n {
+            let z = sample(&mut zig_rng);
+            let o = oracle.sample(&mut inv_rng);
+            for (k, &g) in grid.iter().enumerate() {
+                zig_counts[k] += u64::from(z <= g);
+                inv_counts[k] += u64::from(o <= g);
+            }
+        }
+        // ~3.5 standard deviations of a Binomial(n, p≤1) frequency.
+        let tol = 3.5 * 0.5 / (n as f64).sqrt();
+        for (k, &g) in grid.iter().enumerate() {
+            let cdf = oracle.cdf(g);
+            let zf = zig_counts[k] as f64 / n as f64;
+            let of = inv_counts[k] as f64 / n as f64;
+            assert!((zf - cdf).abs() < tol, "ziggurat cdf at {g}: {zf} vs {cdf}");
+            assert!((of - cdf).abs() < tol, "oracle cdf at {g}: {of} vs {cdf}");
+        }
+    }
+
+    #[test]
+    fn tail_beyond_r_has_the_right_mass() {
+        // P(X > R) = e^{-R} ≈ 4.5e-4: the analytic-tail branch must
+        // actually fire and with the right frequency.
+        let mut rng = Xoshiro256PlusPlus::from_u64_seed(5);
+        let n = 2_000_000u64;
+        let beyond = (0..n).filter(|_| sample(&mut rng) > R).count() as f64;
+        let expect = (-R).exp() * n as f64;
+        assert!(beyond > 0.0, "tail branch never fired");
+        assert!(
+            (beyond - expect).abs() < 5.0 * expect.sqrt().max(1.0),
+            "tail count {beyond} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn fill_matches_scalar_bitwise() {
+        let mut scalar = Xoshiro256PlusPlus::from_u64_seed(6);
+        let mut block = Xoshiro256PlusPlus::from_u64_seed(6);
+        let mut buf = vec![0.0f64; 4_096];
+        fill(&mut block, &mut buf);
+        for (i, &b) in buf.iter().enumerate() {
+            assert_eq!(sample(&mut scalar).to_bits(), b.to_bits(), "draw {i}");
+        }
+        // RNG states must agree afterwards too.
+        assert_eq!(scalar.next(), block.next());
+    }
+}

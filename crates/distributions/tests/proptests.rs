@@ -137,3 +137,40 @@ fn samplers_pass_chi_square_against_exact_distribution() {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Ziggurat block fills replay scalar ziggurat draws bitwise from
+    /// any seed and for any block length — the determinism contract the
+    /// cluster simulator's pre-sampled service stream rests on.
+    #[test]
+    fn ziggurat_block_matches_scalar_bitwise(
+        seed in any::<u64>(),
+        len in 1usize..3000,
+    ) {
+        let mut scalar_rng = Xoshiro256PlusPlus::from_u64_seed(seed);
+        let mut block_rng = Xoshiro256PlusPlus::from_u64_seed(seed);
+        let mut buf = vec![0.0f64; len];
+        bnb_distributions::ziggurat::fill(&mut block_rng, &mut buf);
+        for (i, &b) in buf.iter().enumerate() {
+            let s = bnb_distributions::ziggurat::sample(&mut scalar_rng);
+            prop_assert_eq!(s.to_bits(), b.to_bits(), "draw {} diverged", i);
+        }
+        // The generators must leave in identical states.
+        prop_assert_eq!(scalar_rng.next(), block_rng.next());
+    }
+
+    /// An ExponentialBlock stream equals scalar ziggurat sampling on the
+    /// same seed across refill boundaries.
+    #[test]
+    fn exponential_block_is_the_ziggurat_stream(seed in any::<u64>()) {
+        let mut scalar_rng = Xoshiro256PlusPlus::from_u64_seed(seed);
+        let mut block =
+            bnb_distributions::ExponentialBlock::new(Xoshiro256PlusPlus::from_u64_seed(seed));
+        for i in 0..1500 {
+            let s = bnb_distributions::ziggurat::sample(&mut scalar_rng);
+            prop_assert_eq!(s.to_bits(), block.next().to_bits(), "draw {} diverged", i);
+        }
+    }
+}

@@ -243,7 +243,13 @@ fn main() -> ExitCode {
         }
     };
     if args.list {
-        print!("{}", usage());
+        // Machine-readable: one `id<TAB>title` line per scenario, so CI
+        // can drive a smoke run of every registered scenario straight
+        // from this output (a new scenario is picked up automatically —
+        // `--list | cut -f1` is the scenario matrix).
+        for sc in registry() {
+            println!("{}\t{}", sc.id, sc.title);
+        }
         return ExitCode::SUCCESS;
     }
 

@@ -16,10 +16,22 @@ pub struct RingPoint {
 /// Each peer owns the arcs ending at its points: a key `k` is served by
 /// the owner of the first point at or after `k` (wrapping) — the
 /// "successor", matching Chord's assignment direction.
+///
+/// Successor lookups are `O(1)`: alongside the sorted points the ring
+/// keeps a radix index of ~2 buckets per point over the key space, so a
+/// lookup is one shift, one table read and on average half a point of
+/// linear advance — identical results to the binary search it replaced,
+/// without the `log` levels of dependent cache misses per request that
+/// used to dominate the ring-placement hot path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HashRing {
     points: Vec<RingPoint>,
     n_peers: usize,
+    /// `index[b]` = index of the first point with `position ≥ b << shift`
+    /// (`points.len()` when none): the successor scan's starting hint.
+    index: Vec<u32>,
+    /// Key → bucket: `key >> shift` (the index length is a power of two).
+    shift: u32,
 }
 
 impl HashRing {
@@ -65,7 +77,25 @@ impl HashRing {
                 w[0].position
             );
         }
-        HashRing { points, n_peers }
+        // Radix successor index: ~2 buckets per point, power-of-two
+        // sized so the bucket of a key is a single shift.
+        let size = (points.len() * 2).next_power_of_two().max(2);
+        let shift = 64 - size.trailing_zeros();
+        let mut index = vec![0u32; size];
+        let mut p = 0usize;
+        for (b, slot) in index.iter_mut().enumerate() {
+            let start = (b as u64) << shift;
+            while p < points.len() && points[p].position < start {
+                p += 1;
+            }
+            *slot = p as u32;
+        }
+        HashRing {
+            points,
+            n_peers,
+            index,
+            shift,
+        }
     }
 
     /// Number of peers.
@@ -82,15 +112,21 @@ impl HashRing {
 
     /// The peer serving `key`: owner of the first point at or after `key`,
     /// wrapping to the first point.
+    #[inline]
     #[must_use]
     pub fn successor(&self, key: u64) -> usize {
         self.points[self.successor_index(key)].peer
     }
 
-    /// Index (into [`Self::points`]) of the successor point of `key`.
+    /// Index (into [`Self::points`]) of the successor point of `key`:
+    /// radix-bucket start, then a (short, usually empty) linear advance.
+    #[inline]
     #[must_use]
     pub fn successor_index(&self, key: u64) -> usize {
-        let idx = self.points.partition_point(|p| p.position < key);
+        let mut idx = self.index[(key >> self.shift) as usize] as usize;
+        while idx < self.points.len() && self.points[idx].position < key {
+            idx += 1;
+        }
         if idx == self.points.len() {
             0
         } else {

@@ -45,7 +45,7 @@ pub use chi2::{chi_square_statistic, chi_square_test, Chi2Outcome};
 pub use ci::ConfidenceInterval;
 pub use histogram::Histogram;
 pub use merge::{merge_ordered, Mergeable};
-pub use quantile::{median, quantile, quantile_select};
+pub use quantile::{median, quantile, quantile_select, quantiles_select};
 pub use series::{Series, SeriesSet};
 pub use summary::Summary;
 pub use table::TextTable;

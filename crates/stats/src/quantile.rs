@@ -97,6 +97,84 @@ pub fn quantile_select(values: &mut [f64], q: f64) -> Option<f64> {
     Some(x_lo + (x_hi - x_lo) * frac)
 }
 
+/// Several quantiles of an **unsorted** sample in one expected-`O(n)`
+/// sweep, reordering `values` in place. `qs` must be ascending.
+///
+/// Returns, per level, exactly what [`quantile_select`] returns — same
+/// order statistics, same interpolation, bit for bit — but selects the
+/// levels **highest first on shrinking prefixes**: once the `q₃` order
+/// statistic is partitioned into place, every smaller level lives
+/// entirely in the left partition, so the `q₂` select scans only that
+/// prefix, `q₁` only the one below, and so on. Three latency quantiles
+/// over a multi-hundred-thousand-request run cost barely more than one
+/// (three full-array quickselects used to show up next to the event
+/// loop itself in the cluster profile).
+///
+/// Returns `None` for an empty sample.
+///
+/// # Panics
+/// Panics if `qs` is not ascending or any level is outside `[0, 1]`.
+#[must_use]
+pub fn quantiles_select(values: &mut [f64], qs: &[f64]) -> Option<Vec<f64>> {
+    assert!(
+        qs.windows(2).all(|w| w[0] <= w[1]),
+        "quantile levels must be ascending"
+    );
+    let n = values.len();
+    if n == 0 {
+        return None;
+    }
+    let mut out = vec![0.0; qs.len()];
+    if n == 1 {
+        out.iter_mut().zip(qs).for_each(|(o, &q)| {
+            assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+            *o = values[0];
+        });
+        return Some(out);
+    }
+    // Highest level first; `prefix` shrinks to just past the previous
+    // (larger) level's order statistic. The cache
+    // `(lo, x_lo, x_hi, sel_prefix)` serves repeated levels hitting the
+    // same order-statistic index without re-selecting (or re-scanning
+    // for the interpolation neighbour); `sel_prefix` remembers how far
+    // the right partition of that select extends.
+    let mut prefix = n;
+    let mut cache: Option<(usize, f64, Option<f64>, usize)> = None;
+    for (k, &q) in qs.iter().enumerate().rev() {
+        assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+        let h = q * (n - 1) as f64;
+        let lo = h.floor() as usize;
+        let frac = h - lo as f64;
+        let (x_lo, mut x_hi, sel_prefix) = match cache {
+            Some((clo, cx_lo, cx_hi, csel)) if clo == lo => (cx_lo, cx_hi, csel),
+            _ => {
+                let (_, &mut x, _) = values[..prefix].select_nth_unstable_by(lo, f64::total_cmp);
+                (x, None, prefix)
+            }
+        };
+        out[k] = if frac == 0.0 {
+            x_lo
+        } else {
+            // The `lo+1`-th order statistic is the minimum of the
+            // select's right partition (`frac > 0` implies `lo < n−1`,
+            // and a fresh select only ever happens with `lo + 1 <
+            // sel_prefix` — an equal index hits the cache instead).
+            let hi = x_hi.unwrap_or_else(|| {
+                values[lo + 1..sel_prefix]
+                    .iter()
+                    .copied()
+                    .min_by(f64::total_cmp)
+                    .expect("right partition of a fractional-rank select is non-empty")
+            });
+            x_hi = Some(hi);
+            x_lo + (hi - x_lo) * frac
+        };
+        cache = Some((lo, x_lo, x_hi, sel_prefix));
+        prefix = lo + 1;
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +242,41 @@ mod tests {
         }
         assert_eq!(quantile_select(&mut [], 0.5), None);
         assert_eq!(quantile_select(&mut [7.0], 0.9), Some(7.0));
+    }
+
+    #[test]
+    fn multi_select_matches_repeated_single_selects_bitwise() {
+        let mut x = 3u64;
+        let values: Vec<f64> = (0..4_321)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((x >> 40) % 500) as f64 / 3.0
+            })
+            .collect();
+        // Includes duplicate levels, levels sharing an order-statistic
+        // index, exact-rank levels and the extremes.
+        let qs = [0.0, 0.25, 0.5, 0.5, 0.500_05, 0.9, 0.99, 0.999, 1.0];
+        let mut scratch = values.clone();
+        let multi = quantiles_select(&mut scratch, &qs).unwrap();
+        for (&q, &m) in qs.iter().zip(&multi) {
+            let mut single = values.clone();
+            let s = quantile_select(&mut single, q).unwrap();
+            assert_eq!(s.to_bits(), m.to_bits(), "level {q}: {s} vs {m}");
+        }
+        // Tiny and degenerate inputs.
+        assert_eq!(quantiles_select(&mut [], &[0.5]), None);
+        assert_eq!(
+            quantiles_select(&mut [7.0], &[0.1, 0.9]),
+            Some(vec![7.0, 7.0])
+        );
+        assert_eq!(quantiles_select(&mut [2.0, 1.0], &[]), Some(vec![]));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn multi_select_rejects_descending_levels() {
+        let _ = quantiles_select(&mut [1.0, 2.0], &[0.9, 0.5]);
     }
 }
