@@ -11,12 +11,18 @@
 //!   baseline;
 //! * `BENCH_cluster.json` — end-to-end requests/sec of the `bnb-cluster`
 //!   discrete-event simulator over the registered scenario workloads,
-//!   next to the baseline recorded when the subsystem landed.
+//!   next to the baseline recorded when the subsystem landed;
+//! * `BENCH_router.json` — routed placements/sec of the embeddable
+//!   `bnb-router` data plane under contention: 1–32 cloned
+//!   `RouterHandle`s routing d-choice d = 2 against one shared
+//!   epoch-published `FleetView`, next to the bare in-simulator
+//!   placement path measured in the same run.
 //!
 //! ```text
 //! bench-snapshot                       # full grids -> ./BENCH_throw.json
 //!                                      #             + ./BENCH_cluster.json
-//! bench-snapshot --out t.json --cluster-out c.json
+//!                                      #             + ./BENCH_router.json
+//! bench-snapshot --out t.json --cluster-out c.json --router-out r.json
 //! bench-snapshot --check               # tiny grids, CI smoke (fails if a
 //!                                      # file cannot be produced)
 //! ```
@@ -24,6 +30,7 @@
 use bnb_cluster::{find_scenario, ClusterSim};
 use bnb_core::prelude::*;
 use bnb_distributions::Xoshiro256PlusPlus;
+use bnb_router::{LoadView, Membership, PlacementSpec, Router, RouterBuilder};
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -187,6 +194,134 @@ fn measure_cluster(cell_name: &'static str, requests: u64, budget: Duration) -> 
     }
 }
 
+/// Routed placements/sec of one router-contention cell.
+struct RouterCell {
+    threads: usize,
+    routes_per_iter: u64,
+    total_routes: u64,
+    elapsed: Duration,
+    routes_per_sec: f64,
+}
+
+/// Provenance note embedded in the router snapshot. `sim_path` is the
+/// reference the `--floor` gate compares against (see
+/// [`measure_sim_path`]).
+const ROUTER_BASELINE_NOTE: &str = "sim_path is the bare PlacementEngine placing against a \
+     plain dense load mirror -- the exact shape ClusterSim drives single-threaded -- \
+     measured in the same run, same host, same estimator. The 1-thread routed cell pays \
+     the embeddable surface (epoch refresh + Arc snapshot + atomic queue counters) and is \
+     gated at --floor x sim_path. The bench host exposes a single core, so multi-thread \
+     cells measure contention overhead under oversubscription, not parallel scaling";
+
+/// The standard router-bench fleet: the two-class 64-server shape used
+/// by the cluster grids (32 x speed 1, 32 x speed 8).
+fn router_fleet_speeds() -> Vec<u64> {
+    (0..64).map(|i| if i < 32 { 1 } else { 8 }).collect()
+}
+
+/// The in-simulator reference path: a bare `PlacementEngine` placing
+/// against a plain (non-atomic) dense load mirror, single-threaded on
+/// RNG stream 0 — no epoch pointer, no `Arc`, no atomics. This is the
+/// hot call `ClusterSim` makes per request, so the gap between this
+/// rate and the 1-thread routed cell is exactly the cost of the
+/// embeddable `Router` surface.
+fn measure_sim_path(routes: u64, budget: Duration) -> f64 {
+    struct Mirror {
+        loads: Vec<(u64, u64)>,
+    }
+    impl LoadView for Mirror {
+        fn load(&self, slot: usize) -> (u64, u64) {
+            self.loads[slot]
+        }
+    }
+    let speeds = router_fleet_speeds();
+    let membership = Membership::from_speeds(&speeds);
+    let mut mirror = Mirror {
+        loads: speeds.iter().map(|&s| (0u64, s)).collect(),
+    };
+    let mut engine = RouterBuilder::new(PlacementSpec::DChoice { d: 2 })
+        .seed(bnb_bench::BENCH_SEED)
+        .build_engine(&membership);
+    let mut iter = || {
+        let mut acc = 0usize;
+        for _ in 0..routes {
+            let target = engine.place(&mirror, 0);
+            mirror.loads[target].0 += 1;
+            mirror.loads[target].0 -= 1;
+            acc ^= target;
+        }
+        std::hint::black_box(acc);
+    };
+    iter();
+    let mut best = 0.0f64;
+    let start = Instant::now();
+    loop {
+        let run_start = Instant::now();
+        iter();
+        best = best.max(routes as f64 / run_start.elapsed().as_secs_f64());
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    best
+}
+
+/// Times one contention cell: `threads` cloned `RouterHandle`s routing
+/// concurrently against one shared `FleetView`, each route followed by
+/// the join/depart pair an embedder records (so the atomic queue
+/// counters are exercised, not just read). Best single iteration within
+/// the budget, same estimator as the cluster grid.
+fn measure_router(threads: usize, routes_per_thread: u64, budget: Duration) -> RouterCell {
+    let speeds = router_fleet_speeds();
+    let (_view, handle) = RouterBuilder::new(PlacementSpec::DChoice { d: 2 })
+        .seed(bnb_bench::BENCH_SEED)
+        .build(&speeds);
+    let routes_per_iter = routes_per_thread * threads as u64;
+    let iter = || {
+        std::thread::scope(|s| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    let mut h = handle.clone();
+                    s.spawn(move || {
+                        let mut acc = 0usize;
+                        for i in 0..routes_per_thread {
+                            let target = h.route(i);
+                            acc ^= target.index();
+                            let snap = h.snapshot();
+                            snap.record_join(target);
+                            snap.record_depart(target);
+                        }
+                        std::hint::black_box(acc);
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().expect("router bench worker panicked");
+            }
+        });
+    };
+    iter();
+    let mut total = 0u64;
+    let mut best = 0.0f64;
+    let start = Instant::now();
+    loop {
+        let run_start = Instant::now();
+        iter();
+        best = best.max(routes_per_iter as f64 / run_start.elapsed().as_secs_f64());
+        total += routes_per_iter;
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    RouterCell {
+        threads,
+        routes_per_iter,
+        total_routes: total,
+        elapsed: start.elapsed(),
+        routes_per_sec: best,
+    }
+}
+
 /// Builds the capacity vector for a named scenario. The capacity RNG is
 /// seeded per (scenario, n) so every run times identical bin layouts.
 fn capacities(scenario: &str, n: usize) -> CapacityVector {
@@ -321,13 +456,53 @@ fn render_cluster_json(cells: &[ClusterCell], mode: &str) -> String {
     out
 }
 
+fn render_router_json(cells: &[RouterCell], sim_path_routes_per_sec: f64, mode: &str) -> String {
+    let generated = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape_free(mode)));
+    out.push_str(&format!("  \"generated_unix_secs\": {generated},\n"));
+    out.push_str(&format!("  \"seed\": {},\n", bnb_bench::BENCH_SEED));
+    out.push_str("  \"fleet\": \"two_class_64\",\n");
+    out.push_str("  \"spec\": \"d_choice_d2\",\n");
+    out.push_str(&format!(
+        "  \"sim_path_routes_per_sec\": {sim_path_routes_per_sec:.4e},\n"
+    ));
+    out.push_str(&format!(
+        "  \"baseline_note\": \"{ROUTER_BASELINE_NOTE}\",\n"
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"routes_per_iter\": {}, \
+             \"routes_per_sec\": {:.4e}, \"routes_total\": {}, \
+             \"elapsed_secs\": {:.4}, \"ratio_vs_sim_path\": {:.3}}}{}\n",
+            c.threads,
+            c.routes_per_iter,
+            c.routes_per_sec,
+            c.total_routes,
+            c.elapsed.as_secs_f64(),
+            c.routes_per_sec / sim_path_routes_per_sec,
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn usage() -> &'static str {
     "Usage: bench-snapshot [--check] [--floor RATIO] [--out PATH] [--cluster-out PATH]\n\
+     \x20                     [--router-out PATH]\n\
      \n\
      Measures balls/sec of the throw kernel over the standard scenario\n\
-     grid (-> BENCH_throw.json) and requests/sec of the cluster\n\
-     simulator over its workload grid (-> BENCH_cluster.json), in the\n\
-     current directory by default.\n\
+     grid (-> BENCH_throw.json), requests/sec of the cluster simulator\n\
+     over its workload grid (-> BENCH_cluster.json), and routed\n\
+     placements/sec of the bnb-router data plane under 1-32 thread\n\
+     contention (-> BENCH_router.json), in the current directory by\n\
+     default.\n\
      \n\
      Options:\n\
      \x20  --check             tiny grids + short budget: CI smoke that\n\
@@ -335,13 +510,16 @@ fn usage() -> &'static str {
      \x20                      files\n\
      \x20  --floor RATIO       perf-regression gate: fail if any cluster\n\
      \x20                      cell with a recorded baseline measures\n\
-     \x20                      below RATIO x that baseline (use a\n\
+     \x20                      below RATIO x that baseline, or if the\n\
+     \x20                      1-thread router cell falls below RATIO x\n\
+     \x20                      the in-simulator placement path (use a\n\
      \x20                      generous ratio, e.g. 0.25 — the gate is\n\
      \x20                      meant to catch debug-build-scale\n\
      \x20                      regressions without flaking on shared\n\
      \x20                      runners)\n\
      \x20  --out PATH          throw-kernel output (./BENCH_throw.json)\n\
-     \x20  --cluster-out PATH  cluster output (./BENCH_cluster.json)\n"
+     \x20  --cluster-out PATH  cluster output (./BENCH_cluster.json)\n\
+     \x20  --router-out PATH   router output (./BENCH_router.json)\n"
 }
 
 fn main() -> ExitCode {
@@ -349,6 +527,7 @@ fn main() -> ExitCode {
     let mut floor: Option<f64> = None;
     let mut out_path = PathBuf::from("BENCH_throw.json");
     let mut cluster_out_path = PathBuf::from("BENCH_cluster.json");
+    let mut router_out_path = PathBuf::from("BENCH_router.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -379,6 +558,13 @@ fn main() -> ExitCode {
                 Some(p) => cluster_out_path = PathBuf::from(p),
                 None => {
                     eprintln!("--cluster-out needs a path\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--router-out" => match args.next() {
+                Some(p) => router_out_path = PathBuf::from(p),
+                None => {
+                    eprintln!("--router-out needs a path\n\n{}", usage());
                     return ExitCode::from(2);
                 }
             },
@@ -456,10 +642,34 @@ fn main() -> ExitCode {
         cluster_cells.push(cell);
     }
 
+    // The router contention grid: the same fleet shape, routed through
+    // 1-32 cloned handles over one epoch-published view, next to the
+    // bare in-simulator placement path measured in the same window.
+    let (router_routes_per_thread, router_budget) = if check {
+        (2_000u64, Duration::from_millis(30))
+    } else {
+        (100_000u64, Duration::from_millis(400))
+    };
+    let sim_path = measure_sim_path(router_routes_per_thread, router_budget);
+    println!("router/sim_path (bare engine)   {sim_path:>10.3e} routes/s");
+    let mut router_cells = Vec::new();
+    for &threads in &[1usize, 2, 4, 8, 16, 32] {
+        let cell = measure_router(threads, router_routes_per_thread, router_budget);
+        println!(
+            "router/threads={:<2}  {:>10.3e} routes/s  ({:.2}x vs sim path)",
+            cell.threads,
+            cell.routes_per_sec,
+            cell.routes_per_sec / sim_path,
+        );
+        router_cells.push(cell);
+    }
+
     // The perf floor: every cluster cell with a recorded baseline must
-    // clear `ratio × baseline`. Ratios are generous by design — the
-    // gate exists to catch structural regressions (a debug build, an
-    // accidentally quadratic path), not to arbitrate benchmark noise.
+    // clear `ratio × baseline`, and the 1-thread router cell must clear
+    // `ratio × sim_path` (the embeddable surface may cost something,
+    // but never 4x). Ratios are generous by design — the gate exists to
+    // catch structural regressions (a debug build, an accidentally
+    // quadratic path), not to arbitrate benchmark noise.
     if let Some(ratio) = floor {
         let mut failed = false;
         for c in &cluster_cells {
@@ -473,6 +683,17 @@ fn main() -> ExitCode {
                     );
                     failed = true;
                 }
+            }
+        }
+        if let Some(single) = router_cells.iter().find(|c| c.threads == 1) {
+            let min = ratio * sim_path;
+            if single.routes_per_sec < min {
+                eprintln!(
+                    "FLOOR VIOLATION: router/threads=1 measured {:.3e} routes/s, \
+                     below {ratio} x sim path {sim_path:.3e} = {min:.3e}",
+                    single.routes_per_sec
+                );
+                failed = true;
             }
         }
         if failed {
@@ -494,6 +715,10 @@ fn main() -> ExitCode {
     for (path, json) in [
         (&out_path, render_json(&cells, mode)),
         (&cluster_out_path, render_cluster_json(&cluster_cells, mode)),
+        (
+            &router_out_path,
+            render_router_json(&router_cells, sim_path, mode),
+        ),
     ] {
         match write_file(path, &json) {
             Ok(()) => println!("wrote {}", path.display()),

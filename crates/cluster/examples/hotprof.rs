@@ -90,7 +90,7 @@ fn main() {
 
     // Fleet join/depart pair (two-class shape, busy server).
     {
-        use bnb_cluster::{ArrivalProcess, ArrivalSampler, Fleet, PlacementSpec, Router};
+        use bnb_cluster::{ArrivalProcess, ArrivalSampler, Fleet, PlacementEngine, PlacementSpec};
         let speeds: Vec<u64> = (0..64).map(|i| if i < 32 { 1 } else { 8 }).collect();
         let mut fleet = Fleet::new(&speeds, Some(64));
         time("fleet try_join+depart pair", || {
@@ -105,7 +105,8 @@ fn main() {
             }
             n
         });
-        let mut router = Router::new(PlacementSpec::DChoice { d: 2 }, &fleet, 5);
+        let mut router =
+            PlacementEngine::new(PlacementSpec::DChoice { d: 2 }, &fleet.membership(), 5);
         time("router place d=2", || {
             let n = 8_000_000u64;
             let mut acc = 0usize;
@@ -171,7 +172,8 @@ fn main() {
     });
 
     // Ring successor (churny-p2p shape: 64 peers x 8 vnodes).
-    let ring = bnb_hashring::churn::membership_ring(9, &(0..64u64).collect::<Vec<_>>(), 8);
+    use bnb_hashring::MembershipRing;
+    let ring = MembershipRing::new(9, 8, &(0..64u64).collect::<Vec<_>>()).into_ring();
     time("ring successor", || {
         let n = 8_000_000u64;
         let mut acc = 0usize;
@@ -184,14 +186,31 @@ fn main() {
         n
     });
 
-    // Ring rebuild (churn tick cost).
-    time("membership_ring rebuild", || {
+    // Ring rebuild, from scratch (the old churn-tick cost).
+    time("membership_ring full build", || {
         let ids: Vec<u64> = (0..64).collect();
         let n = 20_000u64;
         let mut acc = 0usize;
         for _ in 0..n {
-            let r = bnb_hashring::churn::membership_ring(9, &ids, 8);
-            acc ^= r.successor(1);
+            let r = MembershipRing::new(9, 8, &ids);
+            acc ^= r.ring().successor(1);
+        }
+        std::hint::black_box(acc);
+        n
+    });
+
+    // Ring rebuild, incremental (the new churn-tick cost): each tick
+    // retires the lowest id and admits a fresh one, like fleet churn.
+    time("membership_ring incr update", || {
+        let n = 20_000u64;
+        let mut ids: Vec<u64> = (0..64).collect();
+        let mut mring = MembershipRing::new(9, 8, &ids);
+        let mut acc = 0usize;
+        for next in 64..64 + n {
+            ids.remove(0);
+            ids.push(next);
+            mring.update(&ids);
+            acc ^= mring.ring().successor(1);
         }
         std::hint::black_box(acc);
         n

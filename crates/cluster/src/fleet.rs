@@ -16,6 +16,7 @@
 use bnb_core::Load;
 use bnb_queueing::events::Time;
 use bnb_queueing::server::Admission;
+use bnb_router::{LoadView, Member, Membership};
 use std::collections::VecDeque;
 
 /// One cluster server: queue counters plus latency and membership
@@ -189,6 +190,28 @@ impl Fleet {
             .collect()
     }
 
+    /// The alive servers as a router [`Membership`]: slots, stable ids
+    /// and speeds in creation order — exactly what
+    /// [`bnb_router::PlacementEngine`] builds its derived structures
+    /// over. Ids are handed out in creation order and never reused, so
+    /// the member id list is strictly increasing and churn rebuilds
+    /// take the ring's incremental path.
+    #[must_use]
+    pub fn membership(&self) -> Membership {
+        Membership::new(
+            self.servers
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.alive)
+                .map(|(i, s)| Member {
+                    slot: i,
+                    id: s.id,
+                    speed: s.speed,
+                })
+                .collect(),
+        )
+    }
+
     /// Sum of alive servers' speeds — the fleet's service capacity.
     #[must_use]
     pub fn total_alive_speed(&self) -> u64 {
@@ -225,11 +248,15 @@ impl Fleet {
 
     /// The ordering key of Algorithm 1's allocation step for slot `i`:
     /// post-join normalised load first (exact rational), then *larger*
-    /// capacity preferred (hence the inverted speed component). Served
-    /// from the dense load mirror — this is the placement hot path.
+    /// capacity preferred (hence the inverted speed component).
     ///
     /// # Panics
     /// Panics if `i` is out of range.
+    #[deprecated(
+        since = "0.1.0",
+        note = "the placement engine derives Algorithm 1's key from \
+                bnb_router::LoadView::load itself; read the mirror through that trait"
+    )]
     #[inline]
     #[must_use]
     pub fn post_join_key(&self, i: usize) -> (Load, u64) {
@@ -237,22 +264,15 @@ impl Fleet {
         (Load::new(q + 1, s), u64::MAX - s)
     }
 
-    /// Jobs in the system on slot `i`, served from the dense mirror
-    /// (the hash-then-probe hot path).
+    /// Jobs in the system on slot `i`, served from the dense mirror.
     ///
     /// # Panics
     /// Panics if `i` is out of range.
+    #[deprecated(since = "0.1.0", note = "use bnb_router::LoadView::queue_len")]
     #[inline]
     #[must_use]
     pub fn queue_len_of(&self, i: usize) -> u64 {
         self.loads[i].0
-    }
-
-    /// Dense-mirror `(queue_len, speed)` of slot `i` (the unrolled d = 2
-    /// compare reads both words at once).
-    #[inline]
-    pub(crate) fn load_of(&self, i: usize) -> (u64, u64) {
-        self.loads[i]
     }
 
     /// `1 / speed` of slot `i`, from the dense mirror — how the
@@ -333,6 +353,17 @@ impl Fleet {
     #[must_use]
     pub fn total_dropped(&self) -> u64 {
         self.servers.iter().map(ClusterServer::dropped).sum()
+    }
+}
+
+/// The fleet's dense `(queue_len, speed)` mirror as the router's
+/// [`LoadView`]: the simulator drives [`bnb_router::PlacementEngine`]
+/// directly against it — the same placement code path a live embedding
+/// runs against a [`bnb_router::FleetSnapshot`].
+impl LoadView for Fleet {
+    #[inline]
+    fn load(&self, slot: usize) -> (u64, u64) {
+        self.loads[slot]
     }
 }
 

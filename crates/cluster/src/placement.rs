@@ -1,546 +1,72 @@
-//! Pluggable placement policies: which server an arriving request joins.
+//! Placement, re-exported from its new home in `bnb-router`.
 //!
-//! Four families, spanning the paper's motivation end to end:
+//! The four placement policies, the batched candidate machinery and
+//! the derived structures (alias table, membership ring, rendezvous
+//! scores) used to live in this module; they are now the standalone
+//! [`bnb_router`] data plane, which this simulator drives through
+//! [`bnb_router::PlacementEngine`] against the fleet's dense load
+//! mirror (the fleet implements [`bnb_router::LoadView`]). The RNG
+//! streams, candidate block size and tie-break semantics moved
+//! unchanged, so traces are byte-identical across the move — the
+//! registry-wide differential tests pin that.
 //!
-//! * [`PlacementSpec::DChoice`] — the paper's Algorithm 1 as a router:
-//!   `d` candidates drawn proportionally to speed through the same
-//!   [`bnb_distributions::WeightedSampler`] machinery as
-//!   `bnb_core::Game`, allocation to the
-//!   smallest *post-join normalised* queue `(q+1)/speed` with the
-//!   capacity tie-break. On a frozen fleet (no departures) this is
-//!   distribution-identical to `core::Game` with
-//!   `Selection::ProportionalToCapacity` — the differential test pins
-//!   that equivalence.
-//! * [`PlacementSpec::ConsistentHash`] — Chord-style successor placement
-//!   on a [`HashRing`]: load-oblivious, one lookup, the `Θ(log n)` arc
-//!   imbalance the paper's §1 warns about.
-//! * [`PlacementSpec::Rendezvous`] — weighted highest-random-weight
-//!   placement: load-oblivious but *capacity-fair* in expectation.
-//! * [`PlacementSpec::HashThenProbe`] — Byers et al.: hash the request
-//!   to `d` ring points and join the successor with the fewest jobs in
-//!   system; the hybrid that keeps lookup locality *and* the
-//!   `ln ln n / ln d` tail.
-//!
-//! A [`Router`] owns the derived structures (alias table, ring,
-//! rendezvous scores) **and its own RNG streams**: candidate sampling
-//! draws from a dedicated placement stream in pre-sampled blocks
-//! (through [`WeightedSampler::sample_batch`], the PR-2 batched
-//! machinery), and residual tie-breaks draw from a separate tie stream
-//! — so placement randomness is independent of the arrival, service and
-//! churn streams and a run stays bitwise reproducible in
-//! `(spec, seed)`. The router is rebuilt on churn through
-//! [`bnb_hashring::churn::membership_ring`], so membership changes move
-//! only the arcs of the peers that actually changed (and invalidate any
-//! unconsumed candidate block, which was drawn against the old alias
-//! table).
+//! New code should construct engines through
+//! [`bnb_router::RouterBuilder`] (or [`PlacementEngine::new`] with a
+//! [`bnb_router::Membership`], e.g. from
+//! [`Fleet::membership`](crate::fleet::Fleet::membership)); the items
+//! below keep the old entry points compiling, deprecated.
+
+pub use bnb_router::{PlacementEngine, PlacementSpec};
 
 use crate::fleet::Fleet;
-use bnb_core::choice::MAX_D;
-use bnb_distributions::{derive_seed, AliasTable, WeightedSampler, Xoshiro256PlusPlus};
-use bnb_hashring::churn::membership_ring;
-use bnb_hashring::hash::request_point;
-use bnb_hashring::{HashRing, Rendezvous};
 
-/// Stream id of the candidate-sampling RNG, derived from the router
-/// seed.
-const PLACEMENT_STREAM: u64 = 0x706C_6163; // "plac"
-/// Stream id of the tie-break RNG, derived from the router seed.
-const TIE_STREAM: u64 = 0x7469_6562; // "tieb"
+/// The old name of the placement state machine, kept as an alias.
+#[deprecated(
+    since = "0.1.0",
+    note = "use bnb_router::PlacementEngine (constructed from a Membership) \
+            or the bnb_router::Router trait for concurrent embeddings"
+)]
+pub type Router = PlacementEngine;
 
-/// Candidate tokens pre-sampled per block refill (requests' worth; the
-/// buffer holds `d` tokens per request).
-const CAND_REQUESTS_PER_BLOCK: usize = 512;
-
-/// Which placement policy routes arriving requests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PlacementSpec {
-    /// d-choice over non-uniform capacities: candidates proportional to
-    /// speed, join the smallest post-join normalised queue (Algorithm 1).
-    DChoice {
-        /// Candidates per request, `1..=MAX_D`.
-        d: usize,
-    },
-    /// Consistent-hash successor placement (load-oblivious).
-    ConsistentHash {
-        /// Virtual nodes per server on the ring.
-        vnodes: usize,
-    },
-    /// Weighted rendezvous (highest-random-weight) placement.
-    Rendezvous,
-    /// Byers-style hybrid: hash to `d` ring points, join the successor
-    /// with the fewest jobs in system.
-    HashThenProbe {
-        /// Probe points per request, `1..=MAX_D`.
-        d: usize,
-        /// Virtual nodes per server on the ring.
-        vnodes: usize,
-    },
-}
-
-impl PlacementSpec {
-    /// Short stable name, used in metrics output.
-    #[must_use]
-    pub fn name(&self) -> &'static str {
-        match self {
-            PlacementSpec::DChoice { .. } => "d-choice",
-            PlacementSpec::ConsistentHash { .. } => "consistent-hash",
-            PlacementSpec::Rendezvous => "rendezvous",
-            PlacementSpec::HashThenProbe { .. } => "hash-then-probe",
-        }
-    }
-
-    /// This spec with its probe count replaced by `d`, where the policy
-    /// has one (`DChoice`, `HashThenProbe`); the load-oblivious policies
-    /// are returned unchanged. This is how the d-sweep runner varies `d`
-    /// across a scenario without rebuilding its traffic recipe.
-    #[must_use]
-    pub fn with_d(self, d: usize) -> Self {
-        match self {
-            PlacementSpec::DChoice { .. } => PlacementSpec::DChoice { d },
-            PlacementSpec::HashThenProbe { vnodes, .. } => {
-                PlacementSpec::HashThenProbe { d, vnodes }
-            }
-            other => other,
-        }
-    }
-
-    /// Whether [`PlacementSpec::with_d`] actually varies this policy.
-    #[must_use]
-    pub fn has_d(&self) -> bool {
-        matches!(
-            self,
-            PlacementSpec::DChoice { .. } | PlacementSpec::HashThenProbe { .. }
-        )
-    }
-}
-
-/// The routing state derived from a placement spec and the current fleet
-/// membership. Rebuilt (cheaply, O(n log n)) whenever churn changes the
-/// alive set.
-#[derive(Debug, Clone)]
-pub struct Router {
-    spec: PlacementSpec,
-    seed: u64,
-    /// Alive server slots, in creation order; every derived structure
-    /// indexes into this.
-    alive: Vec<usize>,
-    /// `DChoice`: alias table over alive speeds.
-    alias: Option<AliasTable>,
-    /// Ring policies: membership ring over alive servers' stable ids.
-    ring: Option<HashRing>,
-    /// `Rendezvous`: HRW scores over alive speeds.
-    rdv: Option<Rendezvous>,
-    /// Dedicated candidate-sampling stream (`DChoice` only).
-    place_rng: Xoshiro256PlusPlus,
-    /// Dedicated residual-tie-break stream (load-aware policies).
-    tie_rng: Xoshiro256PlusPlus,
-    /// Pre-sampled candidate tokens, `d` per request; refilled in
-    /// blocks, invalidated by [`Router::rebuild`].
-    cand_buf: Vec<usize>,
-    /// Next unconsumed token in `cand_buf`.
-    cand_pos: usize,
-}
-
-impl Router {
-    /// Builds the router for the fleet's current membership.
-    ///
-    /// # Panics
-    /// Panics if a `d` parameter is outside `1..=MAX_D` or a `vnodes`
-    /// parameter is zero.
-    #[must_use]
-    pub fn new(spec: PlacementSpec, fleet: &Fleet, seed: u64) -> Self {
-        match spec {
-            PlacementSpec::DChoice { d } | PlacementSpec::HashThenProbe { d, .. } => {
-                assert!(
-                    (1..=MAX_D).contains(&d),
-                    "d must be in 1..={MAX_D}, got {d}"
-                );
-            }
-            PlacementSpec::ConsistentHash { .. } | PlacementSpec::Rendezvous => {}
-        }
-        if let PlacementSpec::ConsistentHash { vnodes }
-        | PlacementSpec::HashThenProbe { vnodes, .. } = spec
-        {
-            assert!(vnodes > 0, "need at least one vnode");
-        }
-        let mut router = Router {
-            spec,
-            seed,
-            alive: Vec::new(),
-            alias: None,
-            ring: None,
-            rdv: None,
-            place_rng: Xoshiro256PlusPlus::from_u64_seed(derive_seed(seed, PLACEMENT_STREAM, 0)),
-            tie_rng: Xoshiro256PlusPlus::from_u64_seed(derive_seed(seed, TIE_STREAM, 0)),
-            cand_buf: Vec::new(),
-            cand_pos: 0,
-        };
-        router.rebuild(fleet);
-        router
-    }
-
-    /// The placement spec in force.
-    #[must_use]
-    pub fn spec(&self) -> PlacementSpec {
-        self.spec
-    }
-
-    /// Recomputes the derived structures after a membership change. Ring
-    /// policies go through [`membership_ring`] on the alive servers'
-    /// stable ids, so surviving servers keep their exact arcs. Any
-    /// unconsumed pre-sampled candidates are discarded: they were drawn
-    /// against the old membership's alias table.
-    pub fn rebuild(&mut self, fleet: &Fleet) {
-        self.alive = fleet.alive_indices();
-        self.cand_pos = self.cand_buf.len();
-        match self.spec {
-            PlacementSpec::DChoice { d } => {
-                let weights: Vec<f64> = self
-                    .alive
-                    .iter()
-                    .map(|&i| fleet.server(i).speed() as f64)
-                    .collect();
-                self.alias = Some(AliasTable::new(&weights));
-                // Resize in place: churn rebuilds must not reallocate
-                // the candidate block every tick.
-                self.cand_buf.resize(d * CAND_REQUESTS_PER_BLOCK, 0);
-                self.cand_pos = self.cand_buf.len();
-            }
-            PlacementSpec::ConsistentHash { vnodes }
-            | PlacementSpec::HashThenProbe { vnodes, .. } => {
-                let ids: Vec<u64> = self.alive.iter().map(|&i| fleet.server(i).id()).collect();
-                self.ring = Some(membership_ring(self.seed, &ids, vnodes));
-            }
-            PlacementSpec::Rendezvous => {
-                let weights: Vec<f64> = self
-                    .alive
-                    .iter()
-                    .map(|&i| fleet.server(i).speed() as f64)
-                    .collect();
-                self.rdv = Some(Rendezvous::new(weights, self.seed));
-            }
-        }
-    }
-
-    /// Whether this policy reads the request key at all (`DChoice` is
-    /// key-oblivious, so callers can skip hashing a key for it).
-    #[must_use]
-    pub fn needs_key(&self) -> bool {
-        !matches!(self.spec, PlacementSpec::DChoice { .. })
-    }
-
-    /// Routes a request with hash `key`, returning the target server's
-    /// slot index. Only the load-aware policies consume RNG draws —
-    /// candidate sampling from the router's placement stream (block
-    /// pre-sampled), residual tie-breaks from its tie stream.
-    ///
-    /// Using a router whose membership is stale (the fleet churned since
-    /// the last [`Router::rebuild`]) is a logic error. It is only
-    /// partially detectable here — a leave+join pair keeps the alive
-    /// *count* unchanged — so the backstop is downstream:
-    /// [`Fleet::try_join`] panics when a request is routed to a departed
-    /// slot. Debug builds additionally assert the alive count matches.
-    #[inline]
-    #[must_use]
-    pub fn place(&mut self, fleet: &Fleet, key: u64) -> usize {
-        debug_assert_eq!(
-            self.alive.len(),
-            fleet.n_alive(),
-            "router is stale; call rebuild after churn"
-        );
-        match self.spec {
-            PlacementSpec::DChoice { d } => {
-                if d == 2 {
-                    // The dominant configuration, unrolled; shared with
-                    // the fused cluster loop.
-                    return self.place_d2(fleet);
-                }
-                if self.cand_pos + d > self.cand_buf.len() {
-                    // Refill the candidate block: identical draw order
-                    // to d successive scalar samples per request.
-                    let alias = self.alias.as_ref().expect("alias built for DChoice");
-                    alias.sample_batch(&mut self.place_rng, &mut self.cand_buf);
-                    self.cand_pos = 0;
-                }
-                let pos = self.cand_pos;
-                self.cand_pos += d;
-                // Algorithm 1 over the candidate *set*: smallest post-join
-                // normalised queue, capacity tie-break towards the faster
-                // server, residual ties uniform (reservoir).
-                reservoir_argmin(
-                    &self.cand_buf[pos..pos + d],
-                    &mut self.tie_rng,
-                    |t| self.alive[t],
-                    |s| placement_key(fleet, s),
-                )
-            }
-            PlacementSpec::ConsistentHash { .. } => {
-                let ring = self.ring.as_ref().expect("ring built for ConsistentHash");
-                self.alive[ring.successor(key)]
-            }
-            PlacementSpec::Rendezvous => {
-                let rdv = self.rdv.as_ref().expect("scores built for Rendezvous");
-                self.alive[rdv.owner(key)]
-            }
-            PlacementSpec::HashThenProbe { d, .. } => {
-                let ring = self.ring.as_ref().expect("ring built for HashThenProbe");
-                // Byers et al.: d probe points, join the successor with
-                // the fewest jobs in system; ties uniform over distinct
-                // candidates.
-                if d == 2 {
-                    // The dominant probe count, unrolled with the same
-                    // dedup/tie semantics as the reservoir scan below.
-                    let p0 = ring.successor(request_point(self.seed, key, 0));
-                    let p1 = ring.successor(request_point(self.seed, key, 1));
-                    let s0 = self.alive[p0];
-                    if p0 == p1 {
-                        return s0;
-                    }
-                    let s1 = self.alive[p1];
-                    let (q0, q1) = (fleet.queue_len_of(s0), fleet.queue_len_of(s1));
-                    if q1 != q0 {
-                        return if q1 < q0 { s1 } else { s0 };
-                    }
-                    return if self.tie_rng.next_below(2) == 0 {
-                        s1
-                    } else {
-                        s0
-                    };
-                }
-                let mut probes = [0usize; MAX_D];
-                for (k, probe) in probes[..d].iter_mut().enumerate() {
-                    *probe = ring.successor(request_point(self.seed, key, k as u64));
-                }
-                reservoir_argmin(
-                    &probes[..d],
-                    &mut self.tie_rng,
-                    |peer| self.alive[peer],
-                    |s| fleet.queue_len_of(s),
-                )
-            }
-        }
-    }
-
-    /// The unrolled `d = 2` placement of Algorithm 1 — the dominant
-    /// configuration, called per request by both [`Router::place`] and
-    /// the fused cluster drive loop. Semantics (candidate draws, dedup,
-    /// capacity tie-break, residual tie-stream draw) are exactly the
-    /// reservoir scan's, which the equivalence tests pin.
-    ///
-    /// # Panics
-    /// Panics if the router's policy is not `DChoice { d: 2 }`.
-    #[inline]
-    pub(crate) fn place_d2(&mut self, fleet: &Fleet) -> usize {
-        if self.cand_pos + 2 > self.cand_buf.len() {
-            // Refill the candidate block: identical draw order to two
-            // successive scalar samples per request.
-            let alias = self.alias.as_ref().expect("alias built for DChoice");
-            alias.sample_batch(&mut self.place_rng, &mut self.cand_buf);
-            self.cand_pos = 0;
-        }
-        let pos = self.cand_pos;
-        self.cand_pos += 2;
-        let (a, b) = (self.cand_buf[pos], self.cand_buf[pos + 1]);
-        let sa = self.alive[a];
-        if a == b {
-            return sa;
-        }
-        let sb = self.alive[b];
-        // Algorithm 1's key, written out directly instead of through the
-        // `(Load, u64)` tuple `Ord`: smallest post-join normalised load
-        // `(q+1)/speed` by exact cross-multiplication, capacity
-        // tie-break towards the faster server, residual ties uniform —
-        // the identical order `placement_key` induces, with two fewer
-        // data-dependent branches per request.
-        let (qa, ca) = fleet.load_of(sa);
-        let (qb, cb) = fleet.load_of(sb);
-        let lhs = (qa + 1) as u128 * cb as u128;
-        let rhs = (qb + 1) as u128 * ca as u128;
-        if lhs != rhs {
-            return if lhs < rhs { sa } else { sb };
-        }
-        if ca != cb {
-            return if ca > cb { sa } else { sb };
-        }
-        if self.tie_rng.next_below(2) == 0 {
-            sb
-        } else {
-            sa
-        }
-    }
-}
-
-/// Ordering key of Algorithm 1's allocation step: post-join normalised
-/// load first (exact rational), then *larger* capacity preferred — read
-/// from the fleet's dense load mirror ([`Fleet::post_join_key`]).
-#[inline]
-fn placement_key(fleet: &Fleet, server: usize) -> (bnb_core::Load, u64) {
-    fleet.post_join_key(server)
-}
-
-/// Reservoir-tied argmin over a candidate token prefix, skipping
-/// duplicate tokens — the dedup-prefix scan + 1/k reservoir tie
-/// semantics shared with `core::policy`'s Algorithm 1 (which the
-/// differential test pins). `map` converts a token (alias index or ring
-/// peer) to a server slot; `key` orders slots, smaller wins. Consumes
-/// one RNG draw per residual tie, none otherwise.
-///
-/// # Panics
-/// Panics if `tokens` is empty.
-fn reservoir_argmin<K: Ord>(
-    tokens: &[usize],
-    rng: &mut Xoshiro256PlusPlus,
-    map: impl Fn(usize) -> usize,
-    key: impl Fn(usize) -> K,
-) -> usize {
-    let mut best = map(tokens[0]);
-    let mut best_key = key(best);
-    let mut ties = 1u64;
-    for idx in 1..tokens.len() {
-        if tokens[..idx].contains(&tokens[idx]) {
-            continue;
-        }
-        let cand = map(tokens[idx]);
-        let cand_key = key(cand);
-        match cand_key.cmp(&best_key) {
-            std::cmp::Ordering::Less => {
-                best = cand;
-                best_key = cand_key;
-                ties = 1;
-            }
-            std::cmp::Ordering::Equal => {
-                ties += 1;
-                if rng.next_below(ties) == 0 {
-                    best = cand;
-                }
-            }
-            std::cmp::Ordering::Greater => {}
-        }
-    }
-    best
+/// The old fleet-coupled constructor: builds a placement engine for the
+/// fleet's current membership on RNG stream 0.
+#[deprecated(
+    since = "0.1.0",
+    note = "use PlacementEngine::new(spec, &fleet.membership(), seed) \
+            or bnb_router::RouterBuilder"
+)]
+#[must_use]
+pub fn fleet_router(spec: PlacementSpec, fleet: &Fleet, seed: u64) -> PlacementEngine {
+    PlacementEngine::new(spec, &fleet.membership(), seed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn two_class_fleet() -> Fleet {
-        // 4 slow (speed 1) + 4 fast (speed 8).
-        Fleet::new(&[1, 1, 1, 1, 8, 8, 8, 8], None)
-    }
+    use bnb_router::LoadView;
 
     #[test]
-    fn dchoice_prefers_the_emptier_normalised_queue() {
-        let mut fleet = two_class_fleet();
-        // Pile jobs on every slow server so any fast candidate wins.
-        for i in 0..4 {
-            for _ in 0..5 {
-                fleet.try_join(i, 0.0);
-            }
-        }
-        let mut router = Router::new(PlacementSpec::DChoice { d: 2 }, &fleet, 7);
-        // Whenever the candidate pair contains a fast server it must win;
-        // only the ≈1.2% both-slow draws may pick a slow one.
-        let fast_picks = (0..400).filter(|_| router.place(&fleet, 0) >= 4).count();
-        assert!(
-            fast_picks >= 380,
-            "idle fast servers picked only {fast_picks}/400 times"
-        );
-    }
-
-    #[test]
-    fn dchoice_candidate_blocks_span_refills_deterministically() {
-        // Two identical routers must agree placement-by-placement far
-        // past the candidate-block boundary (512 requests per refill).
-        let fleet = two_class_fleet();
-        let mut a = Router::new(PlacementSpec::DChoice { d: 2 }, &fleet, 9);
-        let mut b = Router::new(PlacementSpec::DChoice { d: 2 }, &fleet, 9);
-        for i in 0..2_000u64 {
-            assert_eq!(a.place(&fleet, i), b.place(&fleet, i), "request {i}");
+    #[allow(deprecated)]
+    fn deprecated_entry_points_match_the_new_surface() {
+        // The shim constructor and the new membership-based one must be
+        // the same engine: identical placements, draw for draw.
+        let fleet = Fleet::new(&[1, 1, 8, 8], None);
+        let spec = PlacementSpec::DChoice { d: 3 };
+        let mut old: Router = fleet_router(spec, &fleet, 11);
+        let mut new = PlacementEngine::new(spec, &fleet.membership(), 11);
+        for i in 0..1_500u64 {
+            assert_eq!(old.place(&fleet, i), new.place(&fleet, i), "request {i}");
         }
     }
 
     #[test]
-    fn consistent_hash_is_key_pure_and_deterministic() {
-        let fleet = two_class_fleet();
-        let mut router = Router::new(PlacementSpec::ConsistentHash { vnodes: 8 }, &fleet, 42);
-        let mut other = Router::new(PlacementSpec::ConsistentHash { vnodes: 8 }, &fleet, 42);
-        assert!(router.needs_key());
-        for key in 0..500u64 {
-            let t = router.place(&fleet, key);
-            // Same key, any call order, any router instance: same target.
-            assert_eq!(t, router.place(&fleet, key));
-            assert_eq!(t, other.place(&fleet, key), "instance-independent");
-        }
-    }
-
-    #[test]
-    fn rendezvous_shares_follow_speeds() {
-        let fleet = two_class_fleet();
-        let mut router = Router::new(PlacementSpec::Rendezvous, &fleet, 3);
-        let mut fast = 0u64;
-        let n = 40_000u64;
-        for key in 0..n {
-            if router.place(&fleet, bnb_hashring::hash::mix64(key)) >= 4 {
-                fast += 1;
-            }
-        }
-        // Fast servers hold 32/36 of the weight ≈ 0.889.
-        let frac = fast as f64 / n as f64;
-        assert!((frac - 32.0 / 36.0).abs() < 0.02, "fast share {frac}");
-    }
-
-    #[test]
-    fn hash_then_probe_avoids_the_loaded_successor() {
-        let mut fleet = Fleet::new(&[1; 16], None);
-        let mut router = Router::new(PlacementSpec::HashThenProbe { d: 2, vnodes: 4 }, &fleet, 11);
-        // Route a stream of requests, loading as we go: max load must
-        // stay far below the one-choice successor pile-up.
-        let mut one = Router::new(PlacementSpec::ConsistentHash { vnodes: 4 }, &fleet, 11);
-        let mut one_counts = [0u64; 16];
-        for key in 0..1600u64 {
-            let hashed = bnb_hashring::hash::mix64(key ^ 0xC0FFEE);
-            let t = router.place(&fleet, hashed);
-            fleet.try_join(t, 0.0);
-            one_counts[one.place(&fleet, hashed)] += 1;
-        }
-        let probe_max = fleet.servers().iter().map(|s| s.queue_len()).max().unwrap();
-        let one_max = *one_counts.iter().max().unwrap();
-        assert!(
-            probe_max < one_max,
-            "probing ({probe_max}) should beat successor placement ({one_max})"
-        );
-    }
-
-    #[test]
-    fn rebuild_after_churn_reroutes_only_necessary_keys() {
-        let mut fleet = Fleet::new(&[2; 10], None);
-        let mut router = Router::new(PlacementSpec::ConsistentHash { vnodes: 16 }, &fleet, 9);
-        let keys: Vec<u64> = (0..2000u64).map(bnb_hashring::hash::mix64).collect();
-        let before: Vec<usize> = keys.iter().map(|&k| router.place(&fleet, k)).collect();
-        let victim = 3;
-        fleet.deactivate(victim, 0.0);
-        router.rebuild(&fleet);
-        let mut moved = 0;
-        for (i, &k) in keys.iter().enumerate() {
-            let after = router.place(&fleet, k);
-            if after != before[i] {
-                moved += 1;
-                assert_eq!(
-                    before[i], victim,
-                    "a key moved that the departed server never owned"
-                );
-            }
-            assert_ne!(after, victim, "key still routed to the departed server");
-        }
-        // The victim owned ≈ 1/10 of the keys; all (and only) those move.
-        assert!(moved > 0, "the departed server's keys must move");
-    }
-
-    #[test]
-    #[should_panic(expected = "d must be in 1..=")]
-    fn oversized_d_rejected() {
-        let fleet = two_class_fleet();
-        let _ = Router::new(PlacementSpec::DChoice { d: 99 }, &fleet, 0);
+    fn fleet_load_view_mirrors_joins_and_departs() {
+        let mut fleet = Fleet::new(&[2, 4], Some(8));
+        fleet.try_join(1, 0.5);
+        fleet.try_join(1, 0.6);
+        assert_eq!(fleet.load(1), (2, 4));
+        assert_eq!(fleet.queue_len(0), 0);
+        let _ = fleet.depart(1, 1.0);
+        assert_eq!(fleet.load(1), (1, 4));
     }
 }

@@ -35,13 +35,14 @@
 use crate::arrivals::{ArrivalProcess, ArrivalSampler};
 use crate::fleet::Fleet;
 use crate::metrics::ClusterMetrics;
-use crate::placement::{PlacementSpec, Router};
+use crate::placement::PlacementSpec;
 use bnb_core::CapacityVector;
 use bnb_distributions::{derive_seed, ExponentialBlock, Xoshiro256PlusPlus};
 use bnb_hashring::hash::mix64;
 use bnb_queueing::calendar::CalendarQueue;
 use bnb_queueing::events::{EventScheduler, Time};
 use bnb_queueing::server::Admission;
+use bnb_router::PlacementEngine;
 use std::any::TypeId;
 
 /// Stream id of the arrival-time RNG (gaps + thinning acceptances).
@@ -109,7 +110,7 @@ pub enum ClusterEvent {
 pub struct ClusterSim<Sch: EventScheduler<ClusterEvent> = CalendarQueue<ClusterEvent>> {
     spec: ClusterSpec,
     fleet: Fleet,
-    router: Router,
+    router: PlacementEngine,
     events: Sch,
     arrivals: ArrivalSampler,
     /// Block-sampled Exp(1) service variates; scaled by `1/speed` at
@@ -169,7 +170,7 @@ impl<Sch: EventScheduler<ClusterEvent> + 'static> ClusterSim<Sch> {
             );
         }
         let fleet = Fleet::new(spec.speeds.as_slice(), spec.queue_capacity);
-        let router = Router::new(spec.placement, &fleet, seed);
+        let router = PlacementEngine::new(spec.placement, &fleet.membership(), seed);
         ClusterSim {
             fleet,
             router,
@@ -428,7 +429,7 @@ impl<Sch: EventScheduler<ClusterEvent> + 'static> ClusterSim<Sch> {
             // mix, fresh arcs on the ring.
             self.fleet.activate_new(speed);
             self.joins += 1;
-            self.router.rebuild(&self.fleet);
+            self.router.rebuild(&self.fleet.membership());
         }
         let interval = self.spec.churn.expect("tick implies churn config").interval;
         self.events

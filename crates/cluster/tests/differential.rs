@@ -13,7 +13,7 @@
 //!    contract, end to end).
 
 use bnb_cluster::{
-    registry, ClusterEvent, ClusterSim, Fleet, PlacementSpec, Router, SMOKE_DIVISOR,
+    registry, ClusterEvent, ClusterSim, Fleet, PlacementEngine, PlacementSpec, SMOKE_DIVISOR,
 };
 use bnb_core::prelude::*;
 use bnb_hashring::hash::mix64;
@@ -24,7 +24,7 @@ use bnb_queueing::EventQueue;
 fn frozen_fleet_counts(speeds: &CapacityVector, d: usize, m: u64, seed: u64) -> Vec<u64> {
     let fleet_speeds = speeds.as_slice();
     let mut fleet = Fleet::new(fleet_speeds, None);
-    let mut router = Router::new(PlacementSpec::DChoice { d }, &fleet, seed);
+    let mut router = PlacementEngine::new(PlacementSpec::DChoice { d }, &fleet.membership(), seed);
     for i in 0..m {
         let key = mix64(seed ^ i);
         let target = router.place(&fleet, key);

@@ -11,37 +11,170 @@ use crate::ring::{HashRing, RingPoint};
 
 /// Builds the ring for an explicit membership: peer `i` of the returned
 /// ring is `peer_ids[i]`, placed at its `vnodes_per_peer` stable
-/// pseudo-random points. Because a peer's points depend only on
-/// `(seed, id)`, membership changes perturb nobody else's points — the
-/// consistent-hashing minimal-disruption property. [`ChurnSimulator`]
-/// builds its rings through this function, and so does the cluster
-/// simulator's churn handling (`bnb-cluster`), which keeps the two
-/// membership models bit-identical.
+/// pseudo-random points.
 ///
 /// # Panics
 /// Panics if `peer_ids` is empty, contains duplicates (two peers would
 /// collide on every point), or `vnodes_per_peer == 0`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use MembershipRing::new, which also supports incremental rebuilds \
+            on churn (or route through bnb-router's RouterBuilder)"
+)]
 #[must_use]
 pub fn membership_ring(seed: u64, peer_ids: &[u64], vnodes_per_peer: usize) -> HashRing {
-    assert!(!peer_ids.is_empty(), "need at least one peer");
-    assert!(vnodes_per_peer > 0, "need at least one vnode");
-    let mut points = Vec::with_capacity(peer_ids.len() * vnodes_per_peer);
-    for (idx, &peer_id) in peer_ids.iter().enumerate() {
-        for v in 0..vnodes_per_peer as u64 {
-            points.push(RingPoint {
-                position: peer_point(seed, peer_id, v),
-                peer: idx,
-            });
+    MembershipRing::new(seed, vnodes_per_peer, peer_ids).into_ring()
+}
+
+/// A membership-indexed ring that rebuilds **incrementally** on churn.
+///
+/// Peer `i` of the ring is `peer_ids[i]`, placed at its
+/// `vnodes_per_peer` stable pseudo-random points. Because a peer's
+/// points depend only on `(seed, id)`, membership changes perturb
+/// nobody else's points — the consistent-hashing minimal-disruption
+/// property — and a sorted point set determines the ring. So
+/// [`MembershipRing::update`] never re-hashes or re-sorts the survivors:
+/// it drops the leavers' points, remaps surviving peer indices in one
+/// sorted pass, merge-inserts the joiners' (few, freshly hashed) points,
+/// and rebuilds only the `O(n)` radix successor index. The result is
+/// bit-identical to a from-scratch build over the same membership (the
+/// equivalence proptest pins it); only the `O(n log n)` re-sort and the
+/// `O(n · vnodes)` re-hash per churn tick are gone.
+///
+/// [`ChurnSimulator`] builds its rings through this type, and so does
+/// the placement engine in `bnb-router` (which the cluster simulator's
+/// churn handling rides on), keeping the membership models
+/// bit-identical.
+#[derive(Debug, Clone)]
+pub struct MembershipRing {
+    seed: u64,
+    vnodes: usize,
+    ids: Vec<u64>,
+    ring: HashRing,
+}
+
+impl MembershipRing {
+    /// Builds the ring for an initial membership (full build).
+    ///
+    /// # Panics
+    /// Panics if `peer_ids` is empty, contains duplicates (two peers
+    /// would collide on every point), or `vnodes_per_peer == 0`.
+    #[must_use]
+    pub fn new(seed: u64, vnodes_per_peer: usize, peer_ids: &[u64]) -> Self {
+        assert!(!peer_ids.is_empty(), "need at least one peer");
+        assert!(vnodes_per_peer > 0, "need at least one vnode");
+        let mut points = Vec::with_capacity(peer_ids.len() * vnodes_per_peer);
+        for (idx, &peer_id) in peer_ids.iter().enumerate() {
+            for v in 0..vnodes_per_peer as u64 {
+                points.push(RingPoint {
+                    position: peer_point(seed, peer_id, v),
+                    peer: idx,
+                });
+            }
+        }
+        MembershipRing {
+            seed,
+            vnodes: vnodes_per_peer,
+            ids: peer_ids.to_vec(),
+            ring: HashRing::from_points(points, peer_ids.len()),
         }
     }
-    HashRing::from_points(points, peer_ids.len())
+
+    /// Rebuilds for a changed membership. When both the old and new id
+    /// lists are strictly increasing (the common case: stable ids are
+    /// handed out in creation order and leavers are filtered out), the
+    /// rebuild is incremental — survivors keep their points, only
+    /// joiners are hashed, nothing is re-sorted. Otherwise it falls back
+    /// to a full build.
+    ///
+    /// # Panics
+    /// Panics if `peer_ids` is empty or contains duplicates.
+    pub fn update(&mut self, peer_ids: &[u64]) {
+        assert!(!peer_ids.is_empty(), "need at least one peer");
+        if peer_ids == self.ids {
+            return;
+        }
+        let sorted = |ids: &[u64]| ids.windows(2).all(|w| w[0] < w[1]);
+        if !sorted(&self.ids) || !sorted(peer_ids) {
+            *self = MembershipRing::new(self.seed, self.vnodes, peer_ids);
+            return;
+        }
+        // Two-pointer diff of the strictly-increasing id lists: map each
+        // surviving old peer index to its new index, and collect joiners.
+        let mut old_to_new = vec![u32::MAX; self.ids.len()];
+        let mut joined: Vec<(usize, u64)> = Vec::new();
+        let mut o = 0usize;
+        for (n, &id) in peer_ids.iter().enumerate() {
+            while o < self.ids.len() && self.ids[o] < id {
+                o += 1; // old peer departed
+            }
+            if o < self.ids.len() && self.ids[o] == id {
+                old_to_new[o] = n as u32;
+                o += 1;
+            } else {
+                joined.push((n, id));
+            }
+        }
+        // Joiners' points: hashed fresh, sorted among themselves (small).
+        let mut new_points = Vec::with_capacity(joined.len() * self.vnodes);
+        for &(idx, id) in &joined {
+            for v in 0..self.vnodes as u64 {
+                new_points.push(RingPoint {
+                    position: peer_point(self.seed, id, v),
+                    peer: idx,
+                });
+            }
+        }
+        new_points.sort_by_key(|p| p.position);
+        // One sorted pass over the old ring: drop leavers, remap
+        // survivors, merge the joiners' points in position order.
+        let old = self.ring.points();
+        let mut merged = Vec::with_capacity(peer_ids.len() * self.vnodes);
+        let mut j = 0usize;
+        for p in old {
+            let new_peer = old_to_new[p.peer];
+            if new_peer == u32::MAX {
+                continue;
+            }
+            while j < new_points.len() && new_points[j].position < p.position {
+                merged.push(new_points[j]);
+                j += 1;
+            }
+            merged.push(RingPoint {
+                position: p.position,
+                peer: new_peer as usize,
+            });
+        }
+        merged.extend_from_slice(&new_points[j..]);
+        self.ring = HashRing::from_sorted_points(merged, peer_ids.len());
+        self.ids.clear();
+        self.ids.extend_from_slice(peer_ids);
+    }
+
+    /// The current ring.
+    #[must_use]
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Consumes the cache, returning the current ring.
+    #[must_use]
+    pub fn into_ring(self) -> HashRing {
+        self.ring
+    }
+
+    /// The current membership's peer ids (ring peer `i` is `ids[i]`).
+    #[must_use]
+    pub fn peer_ids(&self) -> &[u64] {
+        &self.ids
+    }
 }
 
 /// Tracks key placements across ring membership changes.
 #[derive(Debug, Clone)]
 pub struct ChurnSimulator {
-    seed: u64,
-    vnodes_per_peer: usize,
+    /// The ring, rebuilt incrementally as membership changes.
+    mring: MembershipRing,
     /// Current peer ids (stable across joins/leaves; ring peer indices
     /// are positions in this vector).
     peers: Vec<u64>,
@@ -90,8 +223,7 @@ impl ChurnSimulator {
             .map(|i| mix64(seed ^ i.wrapping_mul(0x2545_F491_4F6C_DD1D)))
             .collect();
         let mut sim = ChurnSimulator {
-            seed,
-            vnodes_per_peer,
+            mring: MembershipRing::new(seed, vnodes_per_peer, &peers),
             peers,
             next_peer_id: n_peers as u64,
             keys,
@@ -104,11 +236,11 @@ impl ChurnSimulator {
     /// Current ring.
     #[must_use]
     pub fn ring(&self) -> HashRing {
-        membership_ring(self.seed, &self.peers, self.vnodes_per_peer)
+        self.mring.ring().clone()
     }
 
     fn compute_owners(&self) -> Vec<u64> {
-        let ring = self.ring();
+        let ring = self.mring.ring();
         self.keys
             .iter()
             .map(|&k| self.peers[ring.successor(k)])
@@ -116,6 +248,7 @@ impl ChurnSimulator {
     }
 
     fn diff_owners(&mut self) -> ChurnOutcome {
+        self.mring.update(&self.peers);
         let new_owners = self.compute_owners();
         let moved = self
             .owners
@@ -244,8 +377,8 @@ mod tests {
     fn membership_ring_points_are_stable_across_membership() {
         // A peer's points depend only on (seed, id): removing peer 1 must
         // leave peer 0's and peer 2's positions untouched.
-        let full = membership_ring(42, &[0, 1, 2], 4);
-        let reduced = membership_ring(42, &[0, 2], 4);
+        let full = MembershipRing::new(42, 4, &[0, 1, 2]);
+        let reduced = MembershipRing::new(42, 4, &[0, 2]);
         let positions_of = |ring: &HashRing, peer: usize| -> Vec<u64> {
             let mut v: Vec<u64> = ring
                 .points()
@@ -256,19 +389,67 @@ mod tests {
             v.sort_unstable();
             v
         };
-        assert_eq!(positions_of(&full, 0), positions_of(&reduced, 0));
-        assert_eq!(positions_of(&full, 2), positions_of(&reduced, 1));
+        assert_eq!(
+            positions_of(full.ring(), 0),
+            positions_of(reduced.ring(), 0)
+        );
+        assert_eq!(
+            positions_of(full.ring(), 2),
+            positions_of(reduced.ring(), 1)
+        );
+    }
+
+    #[test]
+    fn incremental_update_equals_full_build() {
+        // Leave, join, and leave+join in one step: after every update the
+        // incrementally maintained ring must be bit-identical to a
+        // from-scratch build over the same membership.
+        let mut mring = MembershipRing::new(9, 6, &[0, 1, 2, 3, 4]);
+        for ids in [
+            vec![0, 1, 3, 4],       // peer 2 leaves
+            vec![0, 1, 3, 4, 7],    // peer 7 joins
+            vec![0, 3, 4, 7, 9],    // 1 leaves, 9 joins
+            vec![0, 3, 4, 7, 9],    // no change
+            vec![3, 9, 11, 12, 13], // mass churn
+        ] {
+            mring.update(&ids);
+            assert_eq!(mring.peer_ids(), ids.as_slice());
+            let full = MembershipRing::new(9, 6, &ids);
+            assert_eq!(
+                mring.ring(),
+                full.ring(),
+                "incremental ring diverged at membership {ids:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsorted_memberships_fall_back_to_full_build() {
+        let mut mring = MembershipRing::new(5, 4, &[0, 1, 2]);
+        mring.update(&[2, 0, 5]); // unsorted: full rebuild path
+        let full = MembershipRing::new(5, 4, &[2, 0, 5]);
+        assert_eq!(mring.ring(), full.ring());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_membership_ring_matches_membership_ring_type() {
+        // The deprecated free function is a shim over MembershipRing and
+        // must keep returning the identical ring.
+        let old = membership_ring(42, &[3, 5, 8], 4);
+        let new = MembershipRing::new(42, 4, &[3, 5, 8]);
+        assert_eq!(&old, new.ring());
     }
 
     #[test]
     #[should_panic(expected = "collide")]
     fn membership_ring_rejects_duplicate_ids() {
-        let _ = membership_ring(7, &[3, 3], 2);
+        let _ = MembershipRing::new(7, 2, &[3, 3]);
     }
 
     #[test]
     #[should_panic(expected = "at least one peer")]
     fn membership_ring_rejects_empty() {
-        let _ = membership_ring(7, &[], 2);
+        let _ = MembershipRing::new(7, 2, &[]);
     }
 }

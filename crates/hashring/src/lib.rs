@@ -38,6 +38,8 @@ pub mod ring;
 
 pub use byers::ByersGame;
 pub use chord::ChordOverlay;
-pub use churn::{membership_ring, ChurnSimulator};
+#[allow(deprecated)]
+pub use churn::membership_ring;
+pub use churn::{ChurnSimulator, MembershipRing};
 pub use rendezvous::Rendezvous;
 pub use ring::HashRing;

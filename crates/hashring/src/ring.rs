@@ -64,13 +64,35 @@ impl HashRing {
     /// placements; explicit placements must avoid collisions).
     #[must_use]
     pub fn from_points(mut points: Vec<RingPoint>, n_peers: usize) -> Self {
+        points.sort_by_key(|p| p.position);
+        Self::from_sorted_points(points, n_peers)
+    }
+
+    /// Builds a ring from points already sorted by position — the
+    /// incremental-rebuild entry point
+    /// ([`crate::churn::MembershipRing`] merges surviving points with a
+    /// joiner's instead of re-sorting the whole ring), which skips the
+    /// `O(n log n)` sort and leaves only the `O(n)` validation scan and
+    /// radix-index build. Positions are unique by construction, so a
+    /// sorted point set determines the ring: this constructor and
+    /// [`HashRing::from_points`] build identical rings from the same
+    /// points.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty, unsorted, a peer index is out of
+    /// range, or two points collide on the same position.
+    #[must_use]
+    pub fn from_sorted_points(points: Vec<RingPoint>, n_peers: usize) -> Self {
         assert!(!points.is_empty(), "ring needs at least one point");
         assert!(
             points.iter().all(|p| p.peer < n_peers),
             "peer index out of range"
         );
-        points.sort_by_key(|p| p.position);
         for w in points.windows(2) {
+            assert!(
+                w[0].position <= w[1].position,
+                "points must be sorted by position"
+            );
             assert_ne!(
                 w[0].position, w[1].position,
                 "two ring points collide at {}",

@@ -3,7 +3,7 @@
 use bnb_distributions::Xoshiro256PlusPlus;
 use bnb_hashring::chord::ChordOverlay;
 use bnb_hashring::ring::{HashRing, RingPoint};
-use bnb_hashring::ChurnSimulator;
+use bnb_hashring::{ChurnSimulator, MembershipRing};
 use proptest::prelude::*;
 
 /// Strategy: a set of distinct ring positions assigned round-robin to
@@ -165,6 +165,35 @@ proptest! {
                 prop_assert_eq!(*old, leaver_id, "a surviving peer's key moved");
             }
             prop_assert!(*new != leaver_id, "a key still maps to the departed peer");
+        }
+    }
+
+    /// The incremental membership-ring rebuild is *bit-identical* to a
+    /// from-scratch build after any sequence of strictly-increasing
+    /// membership changes — the equivalence the router's churn path
+    /// rides on.
+    #[test]
+    fn incremental_ring_rebuild_matches_full_build(
+        vnodes in 1usize..6,
+        seed in any::<u64>(),
+        steps in prop::collection::vec(
+            (prop::collection::btree_set(0u64..64, 1..12), any::<bool>()),
+            1..8,
+        ),
+    ) {
+        let initial: Vec<u64> = steps[0].0.iter().copied().collect();
+        let mut mring = MembershipRing::new(seed, vnodes, &initial);
+        for (ids, add_high) in &steps {
+            let mut ids: Vec<u64> = ids.iter().copied().collect();
+            if *add_high {
+                // Exercise the pure-append path too (a joiner beyond
+                // every existing id, like fleet churn produces).
+                ids.push(64 + (seed % 64));
+            }
+            mring.update(&ids);
+            let full = MembershipRing::new(seed, vnodes, &ids);
+            prop_assert_eq!(mring.ring(), full.ring());
+            prop_assert_eq!(mring.peer_ids(), full.peer_ids());
         }
     }
 }

@@ -1,0 +1,65 @@
+//! Placement policy specifications: which family routes requests, with
+//! which parameters.
+
+/// Which placement policy routes arriving requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementSpec {
+    /// d-choice over non-uniform capacities: candidates proportional to
+    /// speed, join the smallest post-join normalised queue (Algorithm 1).
+    DChoice {
+        /// Candidates per request, `1..=MAX_D`.
+        d: usize,
+    },
+    /// Consistent-hash successor placement (load-oblivious).
+    ConsistentHash {
+        /// Virtual nodes per server on the ring.
+        vnodes: usize,
+    },
+    /// Weighted rendezvous (highest-random-weight) placement.
+    Rendezvous,
+    /// Byers-style hybrid: hash to `d` ring points, join the successor
+    /// with the fewest jobs in system.
+    HashThenProbe {
+        /// Probe points per request, `1..=MAX_D`.
+        d: usize,
+        /// Virtual nodes per server on the ring.
+        vnodes: usize,
+    },
+}
+
+impl PlacementSpec {
+    /// Short stable name, used in metrics output.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlacementSpec::DChoice { .. } => "d-choice",
+            PlacementSpec::ConsistentHash { .. } => "consistent-hash",
+            PlacementSpec::Rendezvous => "rendezvous",
+            PlacementSpec::HashThenProbe { .. } => "hash-then-probe",
+        }
+    }
+
+    /// This spec with its probe count replaced by `d`, where the policy
+    /// has one (`DChoice`, `HashThenProbe`); the load-oblivious policies
+    /// are returned unchanged. This is how the d-sweep runner varies `d`
+    /// across a scenario without rebuilding its traffic recipe.
+    #[must_use]
+    pub fn with_d(self, d: usize) -> Self {
+        match self {
+            PlacementSpec::DChoice { .. } => PlacementSpec::DChoice { d },
+            PlacementSpec::HashThenProbe { vnodes, .. } => {
+                PlacementSpec::HashThenProbe { d, vnodes }
+            }
+            other => other,
+        }
+    }
+
+    /// Whether [`PlacementSpec::with_d`] actually varies this policy.
+    #[must_use]
+    pub fn has_d(&self) -> bool {
+        matches!(
+            self,
+            PlacementSpec::DChoice { .. } | PlacementSpec::HashThenProbe { .. }
+        )
+    }
+}

@@ -14,9 +14,12 @@
 //!   Byers et al. d-point game, Chord finger tables.
 //! * [`queueing`] — the discrete-event queueing substrate: JSQ(d) over
 //!   heterogeneous-speed servers, finite queues, drop accounting.
+//! * [`router`] — the embeddable placement data plane: the four
+//!   policies behind one [`Router`](bnb_router::Router) trait, with
+//!   lock-free epoch-published fleet views for concurrent embedders.
 //! * [`cluster`] — the heterogeneous-cluster simulator: paper-faithful
-//!   traffic served end to end through pluggable placement policies,
-//!   with churn; drives the `cluster-sim` CLI.
+//!   traffic served end to end through `bnb-router` placement, with
+//!   churn; drives the `cluster-sim` CLI.
 //! * [`stats`] — summaries, histograms, series, chi-square, CSV/tables.
 //! * [`experiments`] — runners for all 18 paper figures and the `repro`
 //!   CLI.
@@ -46,6 +49,7 @@ pub use bnb_distributions as distributions;
 pub use bnb_experiments as experiments;
 pub use bnb_hashring as hashring;
 pub use bnb_queueing as queueing;
+pub use bnb_router as router;
 pub use bnb_stats as stats;
 
 /// One-stop namespace over the whole workspace: the core model's
@@ -67,15 +71,18 @@ pub use bnb_stats as stats;
 pub mod prelude {
     pub use bnb_cluster::{
         find_scenario, ArrivalProcess, ArrivalSampler, ChurnConfig, ClusterEvent, ClusterMetrics,
-        ClusterServer, ClusterSim, ClusterSpec, Fleet, PlacementSpec, ReplicaAccumulator, Router,
-        Scenario,
+        ClusterServer, ClusterSim, ClusterSpec, Fleet, ReplicaAccumulator, Scenario,
     };
     pub use bnb_core::prelude::*;
     pub use bnb_hashring::{
-        membership_ring, ByersGame, ChordOverlay, ChurnSimulator, HashRing, Rendezvous,
+        ByersGame, ChordOverlay, ChurnSimulator, HashRing, MembershipRing, Rendezvous,
     };
     pub use bnb_queueing::{
         Admission, CalendarQueue, EventQueue, EventScheduler, QueueMetrics, QueueSystem,
         RoutingPolicy, Server, SystemConfig,
+    };
+    pub use bnb_router::{
+        FleetReader, FleetSnapshot, FleetView, LoadView, Member, Membership, PlacementEngine,
+        PlacementSpec, Router, RouterBuilder, RouterHandle, ServerId,
     };
 }
