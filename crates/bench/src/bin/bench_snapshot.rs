@@ -130,6 +130,38 @@ const CLUSTER_BASELINE_NOTE: &str = "baselines are the PR-3 subsystem (40c5325; 
      with HEAD under the best-single-run estimator -- same-host ratios, not the old \
      cross-machine ones";
 
+/// Why the diurnal cell trails the stationary d-choice cells (embedded
+/// in the snapshot so the number ships with its explanation). The
+/// diurnal scenario now runs the same fused loop with block-pre-sampled
+/// arrivals, a hoisted `1/peak` and a squeeze floor that skips the
+/// `sin` evaluation whenever the uniform draw falls below
+/// `min_rate/peak` — that took it from 1.16x to ~1.3x — but its
+/// baseline is different in kind: Ogata thinning at `amplitude = 0.5`
+/// *rejects* ~1/3 of candidate gaps, so each accepted arrival costs
+/// ~1.5 gap draws + uniforms, and the surviving rejects still pay the
+/// `sin`. The stationary cells' baselines had no rejection step to
+/// optimise away, so the same hot-loop work moves their ratio further.
+/// Closing the rest means a cheaper non-stationary sampler (piecewise-
+/// constant rate majorisation), not more fused-loop work.
+const DIURNAL_NOTE: &str = "diurnal trails the stationary cells by construction: thinning at \
+     amplitude 0.5 rejects ~1/3 of candidate gaps (each accepted arrival costs ~1.5 draws), \
+     and surviving rejects still evaluate sin. The squeeze floor + block pre-sampling lifted \
+     it 1.16x -> ~1.3x; the remaining gap needs piecewise-constant rate majorisation, not \
+     more fused-loop work";
+
+/// Per-cell ratchets over the generic `--floor` ratio: the four
+/// d-choice cells hold a multiple of their PR-3 baselines since the
+/// fused-hot-loop work landed, so they are gated at **0.5×** — losing
+/// half of a 3×-class win is a structural regression, not noise — while
+/// the generic-loop and non-stationary cells keep the caller's ratio.
+/// The effective floor for a cell is `max(--floor, ratchet)`.
+const CELL_FLOOR: &[(&str, f64)] = &[
+    ("uniform", 0.5),
+    ("two_class", 0.5),
+    ("zipf", 0.5),
+    ("flash_crowd", 0.5),
+];
+
 fn cluster_baseline_for(scenario: &str) -> Option<f64> {
     CLUSTER_BASELINE
         .iter()
@@ -429,6 +461,7 @@ fn render_cluster_json(cells: &[ClusterCell], mode: &str) -> String {
     out.push_str(&format!(
         "  \"baseline_note\": \"{CLUSTER_BASELINE_NOTE}\",\n"
     ));
+    out.push_str(&format!("  \"diurnal_note\": \"{DIURNAL_NOTE}\",\n"));
     out.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let baseline = c
@@ -665,20 +698,25 @@ fn main() -> ExitCode {
     }
 
     // The perf floor: every cluster cell with a recorded baseline must
-    // clear `ratio × baseline`, and the 1-thread router cell must clear
-    // `ratio × sim_path` (the embeddable surface may cost something,
-    // but never 4x). Ratios are generous by design — the gate exists to
-    // catch structural regressions (a debug build, an accidentally
-    // quadratic path), not to arbitrate benchmark noise.
+    // clear `ratio × baseline` (tightened per cell by [`CELL_FLOOR`]),
+    // and the 1-thread router cell must clear `ratio × sim_path` (the
+    // embeddable surface may cost something, but never 4x). Ratios are
+    // generous by design — the gate exists to catch structural
+    // regressions (a debug build, an accidentally quadratic path), not
+    // to arbitrate benchmark noise.
     if let Some(ratio) = floor {
         let mut failed = false;
         for c in &cluster_cells {
             if let Some(b) = c.baseline_req_per_sec {
-                let min = ratio * b;
+                let cell_ratio = CELL_FLOOR
+                    .iter()
+                    .find(|(name, _)| *name == c.scenario)
+                    .map_or(ratio, |&(_, r)| ratio.max(r));
+                let min = cell_ratio * b;
                 if c.req_per_sec < min {
                     eprintln!(
                         "FLOOR VIOLATION: cluster/{} measured {:.3e} req/s, \
-                         below {ratio} x baseline {b:.3e} = {min:.3e}",
+                         below {cell_ratio} x baseline {b:.3e} = {min:.3e}",
                         c.scenario, c.req_per_sec
                     );
                     failed = true;

@@ -15,19 +15,31 @@
 //! performance section; `perf` is rarely available in the containers
 //! this repo is benched in, so the decomposition is measured, not
 //! sampled.
+//!
+//! `--smoke` shrinks every cell ~20× and takes the best of two runs:
+//! CI runs it so a scheduler-pair regression surfaces against a named
+//! component, not just an end-to-end cell ratio. Smoke timings are
+//! printed for the log but not gated — shared runners are far too
+//! noisy to assert on nanoseconds.
 
 use bnb_cluster::{find_scenario, ClusterEvent, ClusterSim};
 use bnb_distributions::{AliasTable, ExponentialBlock, WeightedSampler, Xoshiro256PlusPlus};
+use bnb_queueing::board::SlotBoard;
 use bnb_queueing::calendar::CalendarQueue;
 use bnb_queueing::events::{EventQueue, EventScheduler};
 use std::time::Instant;
 
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
 fn time<F: FnMut() -> u64>(label: &str, mut f: F) {
-    // Warm once, then take the best of 5.
+    // Warm once, then take the best of 5 (2 in smoke mode).
     f();
+    let runs = if smoke() { 2 } else { 5 };
     let mut best = f64::INFINITY;
     let mut ops = 0u64;
-    for _ in 0..5 {
+    for _ in 0..runs {
         let start = Instant::now();
         ops = f();
         best = best.min(start.elapsed().as_secs_f64());
@@ -40,21 +52,23 @@ fn time<F: FnMut() -> u64>(label: &str, mut f: F) {
 }
 
 fn main() {
+    // Work per cell shrinks by this factor in smoke mode.
+    let scale: u64 = if smoke() { 20 } else { 1 };
     // End-to-end scenarios on both schedulers, fused vs generic loop.
     for id in ["uniform", "two-class", "churny-p2p"] {
         let sc = find_scenario(id).unwrap();
         time(&format!("{id} fused"), || {
-            let spec = (sc.build)(42, 200_000);
+            let spec = (sc.build)(42, 200_000 / scale);
             let m = ClusterSim::new(spec, 42).run();
             m.requests
         });
         time(&format!("{id} generic"), || {
-            let spec = (sc.build)(42, 200_000);
+            let spec = (sc.build)(42, 200_000 / scale);
             let m = ClusterSim::new(spec, 42).run_generic();
             m.requests
         });
         time(&format!("{id} heap"), || {
-            let spec = (sc.build)(42, 200_000);
+            let spec = (sc.build)(42, 200_000 / scale);
             let m = ClusterSim::<EventQueue<ClusterEvent>>::with_scheduler(spec, 42).run();
             m.requests
         });
@@ -68,10 +82,22 @@ fn main() {
         for i in 0..64u32 {
             q.schedule(exp.next(), i);
         }
-        let n = 2_000_000u64;
+        let n = 2_000_000 / scale;
         for _ in 0..n {
             let (t, s) = q.pop().unwrap();
             q.schedule(t + exp.next(), s);
+        }
+        n
+    });
+    time("board hold(64) sched+pop", || {
+        let mut q = SlotBoard::new(64);
+        for i in 0..64u32 {
+            q.schedule(i, exp.next());
+        }
+        let n = 2_000_000 / scale;
+        for _ in 0..n {
+            let (t, s) = q.pop().unwrap();
+            q.schedule(s, t + exp.next());
         }
         n
     });
@@ -80,7 +106,7 @@ fn main() {
         for i in 0..64u32 {
             EventScheduler::schedule(&mut q, exp.next(), i);
         }
-        let n = 2_000_000u64;
+        let n = 2_000_000 / scale;
         for _ in 0..n {
             let (t, s) = q.pop().unwrap();
             EventScheduler::schedule(&mut q, t + exp.next(), s);
@@ -94,7 +120,7 @@ fn main() {
         let speeds: Vec<u64> = (0..64).map(|i| if i < 32 { 1 } else { 8 }).collect();
         let mut fleet = Fleet::new(&speeds, Some(64));
         time("fleet try_join+depart pair", || {
-            let n = 4_000_000u64;
+            let n = 4_000_000 / scale;
             let mut now = 0.0;
             for i in 0..n {
                 let s = (i % 64) as usize;
@@ -108,7 +134,7 @@ fn main() {
         let mut router =
             PlacementEngine::new(PlacementSpec::DChoice { d: 2 }, &fleet.membership(), 5);
         time("router place d=2", || {
-            let n = 8_000_000u64;
+            let n = 8_000_000 / scale;
             let mut acc = 0usize;
             for _ in 0..n {
                 acc ^= router.place(&fleet, 0);
@@ -118,7 +144,7 @@ fn main() {
         });
         let mut arr = ArrivalSampler::new(ArrivalProcess::Poisson { rate: 230.0 }, 3);
         time("arrival next_after (poisson)", || {
-            let n = 8_000_000u64;
+            let n = 8_000_000 / scale;
             let mut t = 0.0;
             for _ in 0..n {
                 t = arr.next_after(t);
@@ -135,7 +161,7 @@ fn main() {
         let mut rng = Xoshiro256PlusPlus::from_u64_seed(11);
         let lats: Vec<f64> = (0..200_000).map(|_| rng.next_f64() * 10.0).collect();
         time("metrics collect per latency", || {
-            let n = 40u64;
+            let n = (40 / scale).max(1);
             for _ in 0..n {
                 let m = ClusterMetrics::collect(&fleet, lats.clone(), 200_000, 0, 0, 0, 1.0);
                 std::hint::black_box(m.latency);
@@ -146,7 +172,7 @@ fn main() {
 
     // Exp block throughput.
     time("exp block next()", || {
-        let n = 8_000_000u64;
+        let n = 8_000_000 / scale;
         let mut acc = 0.0;
         for _ in 0..n {
             acc += exp.next();
@@ -161,7 +187,7 @@ fn main() {
     let mut rng = Xoshiro256PlusPlus::from_u64_seed(3);
     time("alias sample_batch per token", || {
         let mut buf = [0usize; 1024];
-        let n = 4_000u64;
+        let n = 4_000 / scale;
         let mut acc = 0usize;
         for _ in 0..n {
             table.sample_batch(&mut rng, &mut buf);
@@ -175,7 +201,7 @@ fn main() {
     use bnb_hashring::MembershipRing;
     let ring = MembershipRing::new(9, 8, &(0..64u64).collect::<Vec<_>>()).into_ring();
     time("ring successor", || {
-        let n = 8_000_000u64;
+        let n = 8_000_000 / scale;
         let mut acc = 0usize;
         let mut k = 0x9E37_79B9_7F4A_7C15u64;
         for _ in 0..n {
@@ -189,7 +215,7 @@ fn main() {
     // Ring rebuild, from scratch (the old churn-tick cost).
     time("membership_ring full build", || {
         let ids: Vec<u64> = (0..64).collect();
-        let n = 20_000u64;
+        let n = 20_000 / scale;
         let mut acc = 0usize;
         for _ in 0..n {
             let r = MembershipRing::new(9, 8, &ids);
@@ -202,7 +228,7 @@ fn main() {
     // Ring rebuild, incremental (the new churn-tick cost): each tick
     // retires the lowest id and admits a fresh one, like fleet churn.
     time("membership_ring incr update", || {
-        let n = 20_000u64;
+        let n = 20_000 / scale;
         let mut ids: Vec<u64> = (0..64).collect();
         let mut mring = MembershipRing::new(9, 8, &ids);
         let mut acc = 0usize;

@@ -111,11 +111,16 @@ impl ClusterServer {
 #[derive(Debug, Clone)]
 pub struct Fleet {
     servers: Vec<ClusterServer>,
-    /// Dense `(queue_len, speed)` per slot, mirrored on every join and
-    /// depart: the placement hot path compares loads thousands of times
-    /// per simulated second, and reading two words from this
-    /// cache-resident array beats chasing into the full server structs.
-    loads: Vec<(u64, u64)>,
+    /// Dense queue length per slot, mirrored on every join and depart:
+    /// the placement hot path compares loads thousands of times per
+    /// simulated second, and reading words from this cache-resident
+    /// array beats chasing into the full server structs. Split from
+    /// `speeds` as structure-of-arrays so the router's batched scan
+    /// kernel can run chunked compares over each component directly
+    /// (`LoadView::dense`).
+    queues: Vec<u64>,
+    /// Dense speed per slot — the immutable half of the mirror.
+    speeds: Vec<u64>,
     /// Dense `1 / speed` per slot: the departure-scheduling hot path
     /// scales Exp(1) work by this (a multiply instead of a divide).
     inv_speeds: Vec<f64>,
@@ -143,7 +148,8 @@ impl Fleet {
         Fleet {
             n_alive: servers.len(),
             next_id: servers.len() as u64,
-            loads: speeds.iter().map(|&s| (0, s)).collect(),
+            queues: vec![0; speeds.len()],
+            speeds: speeds.to_vec(),
             inv_speeds: speeds.iter().map(|&s| 1.0 / s as f64).collect(),
             servers,
             queue_capacity,
@@ -238,7 +244,7 @@ impl Fleet {
         s.queue += 1;
         s.max_queue = s.max_queue.max(s.queue);
         s.in_flight.push_back(now);
-        self.loads[i].0 += 1;
+        self.queues[i] += 1;
         if s.queue == 1 {
             Admission::StartedService
         } else {
@@ -260,7 +266,7 @@ impl Fleet {
     #[inline]
     #[must_use]
     pub fn post_join_key(&self, i: usize) -> (Load, u64) {
-        let (q, s) = self.loads[i];
+        let (q, s) = (self.queues[i], self.speeds[i]);
         (Load::new(q + 1, s), u64::MAX - s)
     }
 
@@ -272,7 +278,7 @@ impl Fleet {
     #[inline]
     #[must_use]
     pub fn queue_len_of(&self, i: usize) -> u64 {
-        self.loads[i].0
+        self.queues[i]
     }
 
     /// `1 / speed` of slot `i`, from the dense mirror — how the
@@ -303,7 +309,7 @@ impl Fleet {
             .expect("departure from an empty cluster server");
         s.queue -= 1;
         s.completed += 1;
-        self.loads[i].0 -= 1;
+        self.queues[i] -= 1;
         (now - admitted, s.queue > 0)
     }
 
@@ -323,7 +329,7 @@ impl Fleet {
         s.alive = false;
         s.in_flight.clear();
         self.n_alive -= 1;
-        self.loads[i].0 = 0;
+        self.queues[i] = 0;
         let orphans = s.queue;
         s.queue = 0;
         orphans
@@ -337,7 +343,8 @@ impl Fleet {
         self.next_id += 1;
         self.servers
             .push(ClusterServer::new(speed, self.queue_capacity, id));
-        self.loads.push((0, speed));
+        self.queues.push(0);
+        self.speeds.push(speed);
         self.inv_speeds.push(1.0 / speed as f64);
         self.n_alive += 1;
         self.servers.len() - 1
@@ -359,11 +366,18 @@ impl Fleet {
 /// The fleet's dense `(queue_len, speed)` mirror as the router's
 /// [`LoadView`]: the simulator drives [`bnb_router::PlacementEngine`]
 /// directly against it — the same placement code path a live embedding
-/// runs against a [`bnb_router::FleetSnapshot`].
+/// runs against a [`bnb_router::FleetSnapshot`]. The mirror is plain
+/// (single-threaded) structure-of-arrays, so it also exposes the dense
+/// slices the router's batched scan kernel gathers from directly.
 impl LoadView for Fleet {
     #[inline]
     fn load(&self, slot: usize) -> (u64, u64) {
-        self.loads[slot]
+        (self.queues[slot], self.speeds[slot])
+    }
+
+    #[inline]
+    fn dense(&self) -> Option<(&[u64], &[u64])> {
+        Some((&self.queues, &self.speeds))
     }
 }
 

@@ -10,7 +10,9 @@
 //! arrival merging, the unrolled d = 2 compare over the fleet's dense
 //! load mirror, ziggurat service sampling and completion scheduling in
 //! one branch-predictable loop, with departures carried as bare `u32`
-//! server indices (no per-event enum dispatch). Every other
+//! server indices through a dedicated slab calendar whose
+//! bring-forward ring serves the common near-future schedule+pop pair
+//! out of a few L1 words (no per-event enum dispatch). Every other
 //! configuration takes the generic event loop. The two loops consume
 //! every RNG stream in the same order and resolve ties by the same
 //! insertion sequence, so they are metric-identical byte for byte —
@@ -305,8 +307,8 @@ impl<Sch: EventScheduler<ClusterEvent> + 'static> ClusterSim<Sch> {
     /// sampling and completion scheduling together — no per-event enum
     /// dispatch (without churn the only events are departures, carried
     /// as **bare `u32` server indices** through a dedicated slab
-    /// calendar whose 24-byte slots pack ~2.7 entries per cache line,
-    /// versus 40 bytes with the full event enum), and the clock and
+    /// calendar whose bring-forward ring serves the common near-future
+    /// schedule+pop pair from a few L1 words), and the clock and
     /// arrival cursor live in registers instead of round-tripping
     /// through `self` between events. Every RNG stream is consumed in
     /// exactly the generic loop's order and ties resolve by the same
@@ -317,10 +319,19 @@ impl<Sch: EventScheduler<ClusterEvent> + 'static> ClusterSim<Sch> {
     fn run_fused_loop(&mut self) {
         debug_assert!(self.spec.churn.is_none());
         debug_assert!(self.events.is_empty(), "fused runs start unscheduled");
+        /// Arrival times pre-sampled per refill. Arrivals chain off
+        /// their own stream only, so a block is bitwise the scalar
+        /// sequence; the size just keeps the thinning loop hot (the
+        /// non-stationary processes re-enter a sinusoid/envelope loop
+        /// per request otherwise) without outrunning the latency the
+        /// drain loop can observe.
+        const ARRIVAL_BLOCK: usize = 64;
         let requests = self.spec.requests;
         let mut departures: CalendarQueue<u32> = CalendarQueue::new();
         let mut now = self.now;
         let mut next_arrival = self.next_arrival;
+        let mut block: Vec<Time> = Vec::new();
+        let mut block_pos = 0usize;
         while let Some(t_arr) = next_arrival {
             // Scheduled departures strictly before the next arrival go
             // first; the arrival wins exact ties.
@@ -338,7 +349,15 @@ impl<Sch: EventScheduler<ClusterEvent> + 'static> ClusterSim<Sch> {
                 departures.schedule(now + service, target as u32);
             }
             next_arrival = if self.arrived < requests {
-                Some(self.arrivals.next_after(now))
+                if block_pos == block.len() {
+                    // Refill: `now` is the last consumed arrival, so the
+                    // block chains exactly where the scalar stream was.
+                    let n = ((requests - self.arrived) as usize).min(ARRIVAL_BLOCK);
+                    self.arrivals.fill_after(now, n, &mut block);
+                    block_pos = 0;
+                }
+                block_pos += 1;
+                Some(block[block_pos - 1])
             } else {
                 None
             };

@@ -33,19 +33,47 @@
 //!   gaps at the *head* of
 //!   the schedule (Brown's sampling idea: the event density just ahead
 //!   of the clock is what bounds the per-pop scan, not the full span,
-//!   which exponential service tails stretch by orders of magnitude).
+//!   which exponential service tails stretch by orders of magnitude);
+//! * a **bounded-horizon bring-forward ring** sits in front of the
+//!   wheel: the next `RING_REFILL` upcoming entries are brought
+//!   forward from the wheel **in one bulk pass** (whole bucket chains
+//!   unlinked in occupancy order; singleton chains extend the ring
+//!   directly, multi-entry chains pay one small sort) into a sorted
+//!   ring of `(time, arena slot)` pairs, ascending, minimum at the
+//!   front. Every pop is then an unconditional `O(1)` front take — the
+//!   per-pop bucket scan, chain unlink and occupancy bookkeeping are
+//!   paid once per refill, not once per event. Schedules compare
+//!   against the ring's horizon (its back entry): inside it they
+//!   insert into the ring by binary search (a handful of L1 writes, no
+//!   bucket chains), spilling the ring's farthest entry when it
+//!   overflows `RING_MAX`;
+//! * schedules at or past the horizon — the common case, simulators
+//!   schedule at `now + dt` — and ring spills park on a **bulk-commit
+//!   buffer** instead of touching bucket chains: the anchor check,
+//!   bucket-index math, chain link, occupancy-bitmask update and grow
+//!   check are deferred and paid in one tight batch loop per ring
+//!   refill, so the per-schedule fast path is an arena write plus a
+//!   `Vec` push.
 //!
 //! Determinism: identical to [`EventQueue`](crate::EventQueue) — pops
 //! are ordered by `(time, insertion sequence)`. Bucket indexing is a
 //! monotone function of time, so bucket order refines time order, equal
-//! times share a bucket, and the in-bucket scan breaks ties by sequence
-//! number (list order within a bucket is irrelevant: the scan always
-//! selects the `(time, seq)` minimum). The scheduler-equivalence
-//! property tests drive both implementations through random schedules
-//! (tie storms and far-future ladder events included) and require
-//! identical output streams.
+//! times share a bucket, and the refill sort breaks ties by sequence
+//! number (list order within a bucket is irrelevant: a refill takes
+//! whole chains and sorts them by `(time, seq)`). The ring preserves
+//! the invariant that every wheel-side entry is `(time, seq)`-greater
+//! than the ring's back: refills only run on an empty ring, a schedule
+//! strictly inside the horizon lands in the ring (an exact tie at the
+//! horizon carries a larger seq and goes to the wheel), and equal times
+//! always share a bucket, so the ring's front is always the global
+//! minimum and the buffering is invisible in the output stream. The
+//! scheduler-equivalence property tests drive both implementations
+//! through random schedules (tie storms, window-edge events and
+//! far-future ladder events included) and require identical output
+//! streams.
 
 use crate::events::{EventScheduler, Time};
+use std::collections::VecDeque;
 
 /// Smallest bucket count the wheel ever uses.
 const MIN_BUCKETS: usize = 16;
@@ -71,6 +99,17 @@ const HEAD_SAMPLE: usize = 32;
 /// `nb·w ≈ 2 × (population × head gap)` — the same span the classic
 /// dense geometry covered, so the overflow ladder turns no faster).
 const WIDTH_PER_GAP: f64 = 0.25;
+/// How many upcoming entries one bulk refill brings forward from the
+/// wheel into the ring. Large enough to amortise the occupancy scan and
+/// chain unlinks over many pops, small enough that the refill sort and
+/// the binary-searched inside-horizon inserts stay a few L1 lines (the
+/// full ring is ≤ [`RING_MAX`] × 16 bytes).
+const RING_REFILL: usize = 8;
+/// Ring occupancy beyond which an inside-horizon insert spills the
+/// ring's farthest entry back to the wheel instead of growing the ring
+/// (bounds the memmove an insert can pay; refills only run on an empty
+/// ring, so chain-take overshoot past this cap is transient).
+const RING_MAX: usize = 16;
 /// Null link of the intrusive lists (bucket chains and the free list).
 const NIL: u32 = u32::MAX;
 
@@ -139,18 +178,22 @@ pub struct CalendarQueue<E> {
     /// refreshed periodically, not on every window advance — the
     /// quickselect behind it would otherwise show up in profiles).
     rebuilds_since_estimate: u32,
-    /// Cached location of the wheel's minimum `(time, seq)` entry, so
-    /// repeated head inspections (the arrival-merge's bounded pops)
-    /// don't re-scan the head bucket. Lazily recomputed after a
-    /// removal; updated in O(1) on insert. `head_prev` is the entry's
-    /// predecessor in its bucket chain (`NIL` = it is the chain head),
-    /// making the eventual unlink O(1) too.
-    head_valid: bool,
-    head_time: Time,
-    head_seq: u64,
-    head_bucket: usize,
-    head_slot: u32,
-    head_prev: u32,
+    /// Bring-forward ring: `(time, arena slot)` of the next upcoming
+    /// entries, sorted by `(time, seq)` **ascending** — the minimum is
+    /// the front, so every pop is an `O(1)` front take. Refilled in
+    /// bulk from the wheel when empty; every wheel-side entry is
+    /// `(time, seq)`-greater than the ring's back.
+    ring: VecDeque<(Time, u32)>,
+    /// Refill scratch (`(time, seq, slot)` sort buffer), reused so
+    /// refills don't allocate.
+    ring_scratch: Vec<(Time, u64, u32)>,
+    /// Bulk-commit buffer: allocated slots scheduled at or past the
+    /// ring's horizon, awaiting their wheel insert. The per-schedule
+    /// wheel work — anchor check, bucket-index math, chain link,
+    /// occupancy-bitmask update, grow check — is deferred and paid in
+    /// one tight batch loop per ring refill, off the per-event path.
+    /// Entries here count toward `len` but not `wheel_len`.
+    pending: Vec<(Time, u32)>,
 }
 
 impl<E> Default for CalendarQueue<E> {
@@ -172,12 +215,9 @@ impl<E> Default for CalendarQueue<E> {
             scratch: Vec::new(),
             scratch_times: Vec::new(),
             rebuilds_since_estimate: 0,
-            head_valid: false,
-            head_time: 0.0,
-            head_seq: 0,
-            head_bucket: 0,
-            head_slot: NIL,
-            head_prev: NIL,
+            ring: VecDeque::new(),
+            ring_scratch: Vec::new(),
+            pending: Vec::new(),
         }
     }
 }
@@ -234,37 +274,173 @@ impl<E: Copy> CalendarQueue<E> {
         self.free_head = idx;
     }
 
+    /// Inserts an allocated slot into the bring-forward ring at its
+    /// sorted position — the inside-horizon schedule path. Among equal
+    /// times the new entry carries the largest sequence number ever
+    /// issued, so a binary search for the first strictly-later time
+    /// lands it *after* its older equal-time peers — exactly
+    /// `(time, seq)` ascending. Overflow past [`RING_MAX`] spills the
+    /// ring's farthest entry back to the wheel.
+    #[inline]
+    fn ring_insert(&mut self, time: Time, idx: u32) {
+        let pos = self.ring.partition_point(|&(t, _)| t <= time);
+        self.ring.insert(pos, (time, idx));
+        if self.ring.len() > RING_MAX {
+            // The spilled entry was the ring's `(time, seq)` maximum, so
+            // parking it on the bulk-commit buffer keeps the wheel-side
+            // invariant relative to the new back.
+            let spill = self.ring.pop_back().expect("ring is non-empty");
+            self.pending.push((spill.0, spill.1));
+        }
+    }
+
+    /// Pops the ring's minimum `(time, seq)` entry — the front of the
+    /// ascending buffer — releasing its arena slot.
+    #[inline]
+    fn take_ring(&mut self) -> (Time, E) {
+        let (time, idx) = self.ring.pop_front().expect("ring is non-empty");
+        let event = self.arena[idx as usize].event;
+        self.release(idx);
+        self.len -= 1;
+        (time, event)
+    }
+
+    /// Commits an allocated slot to the wheel proper: anchors the
+    /// geometry on first contact, re-anchors via the overflow ladder on
+    /// a before-window insert, and triggers a grow rebuild when the
+    /// wheel population outruns the bucket count.
+    #[inline]
+    fn commit_to_wheel(&mut self, idx: u32, time: Time) {
+        if !self.anchored {
+            self.anchored = true;
+            self.wheel_start = time;
+            self.cursor = 0;
+        }
+        if time < self.wheel_start {
+            // An insert before the window (arbitrary schedules only —
+            // simulators schedule at `now + dt`): re-anchor around it.
+            self.arena[idx as usize].next = self.overflow_head;
+            self.overflow_head = idx;
+            self.rebuild();
+        } else {
+            self.slot(idx);
+            let wheel_population = self.len - self.ring.len() - self.pending.len();
+            if wheel_population > GROW_FACTOR * self.heads.len() && self.heads.len() < MAX_BUCKETS {
+                self.rebuild();
+            }
+        }
+    }
+
+    /// Drains the bulk-commit buffer into the wheel — the batched half
+    /// of the deferred per-schedule wheel work. The common case (the
+    /// geometry is anchored and the entry lands at or past the window
+    /// start) runs an inlined chain-link loop with the grow check
+    /// hoisted out entirely: one batch-level check after the drain
+    /// replaces one per schedule. Entries are taken from the back, so a
+    /// re-anchor or grow rebuild triggered mid-flush simply sees the
+    /// not-yet-committed remainder still on the buffer (the rebuild
+    /// skips them, like ring entries) and the loop finishes against the
+    /// new geometry.
+    fn flush_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        while let Some(&(time, idx)) = self.pending.last() {
+            if !self.anchored || time < self.wheel_start {
+                // Rare: first contact or a before-window insert
+                // (arbitrary schedules only) — take the full path,
+                // which may re-anchor and rebuild.
+                self.pending.pop();
+                self.commit_to_wheel(idx, time);
+                continue;
+            }
+            self.pending.pop();
+            let b = self.bucket_index(time);
+            if b < self.heads.len() {
+                self.arena[idx as usize].next = self.heads[b];
+                self.heads[b] = idx;
+                self.occupancy[b >> 6] |= 1u64 << (b & 63);
+                self.wheel_len += 1;
+                self.cursor = self.cursor.min(b);
+            } else {
+                self.arena[idx as usize].next = self.overflow_head;
+                self.overflow_head = idx;
+            }
+        }
+        let wheel_population = self.len - self.ring.len();
+        if wheel_population > GROW_FACTOR * self.heads.len() && self.heads.len() < MAX_BUCKETS {
+            self.rebuild();
+        }
+    }
+
+    /// Brings the next upcoming entries forward from the wheel into the
+    /// empty ring, in one bulk pass: the bulk-commit buffer is flushed
+    /// first, then whole bucket chains are unlinked in occupancy order
+    /// until [`RING_REFILL`] entries are collected (multi-entry chains
+    /// sort by `(time, seq)` among themselves), and the per-pop cost
+    /// collapses to a front take. Taking whole chains keeps the ring
+    /// invariant at bucket granularity: everything left on the wheel
+    /// sits in a strictly later bucket (equal times always share a
+    /// bucket), hence is strictly `(time, seq)`-greater than the ring's
+    /// back. Advances the window over the overflow ladder if the wheel
+    /// is drained. Requires `len > 0`.
+    fn refill_ring(&mut self) {
+        debug_assert!(self.ring.is_empty());
+        self.flush_pending();
+        let mut taken = 0usize;
+        while taken == 0 {
+            let mut cursor = self.cursor;
+            while taken < RING_REFILL {
+                let Some(b) = self.next_nonempty(cursor) else {
+                    break;
+                };
+                // Unlink the whole chain. Bucket order refines time
+                // order, so appended buckets extend the ring in order;
+                // only multi-entry chains (rare under the sparse
+                // geometry) pay a sort to restore `(time, seq)` order
+                // among themselves.
+                let head = self.heads[b];
+                if self.arena[head as usize].next == NIL {
+                    self.ring.push_back((self.arena[head as usize].time, head));
+                    taken += 1;
+                } else {
+                    let batch = &mut self.ring_scratch;
+                    batch.clear();
+                    let mut idx = head;
+                    while idx != NIL {
+                        let s = &self.arena[idx as usize];
+                        batch.push((s.time, s.seq, idx));
+                        idx = s.next;
+                    }
+                    batch.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                    taken += batch.len();
+                    let batch = std::mem::take(&mut self.ring_scratch);
+                    self.ring.extend(batch.iter().map(|&(t, _, idx)| (t, idx)));
+                    self.ring_scratch = batch;
+                }
+                self.heads[b] = NIL;
+                self.occupancy[b >> 6] &= !(1u64 << (b & 63));
+                cursor = b + 1;
+            }
+            self.cursor = cursor.min(self.heads.len());
+            if taken == 0 {
+                // Wheel drained; advance the window over the overflow
+                // ladder (re-estimating the width as the population
+                // evolves).
+                debug_assert!(self.wheel_len == 0 && self.overflow_head != NIL);
+                self.rebuild();
+            }
+        }
+        self.wheel_len -= taken;
+    }
+
     /// Links an allocated slot into the wheel or the overflow ladder.
     /// The slot's time must be `≥ wheel_start`.
     #[inline]
     fn slot(&mut self, idx: u32) {
-        let (time, seq) = {
-            let s = &self.arena[idx as usize];
-            (s.time, s.seq)
-        };
+        let time = self.arena[idx as usize].time;
         let b = self.bucket_index(time);
         if b < self.heads.len() {
-            // Bucket order refines time order, so an insert into an
-            // earlier bucket — or a smaller `(time, seq)` into the head
-            // bucket — is the new wheel minimum; anything else leaves
-            // the cached head untouched (except that an insert at the
-            // head bucket's chain head becomes the cached entry's new
-            // predecessor when the cached entry led the chain).
-            if self.head_valid {
-                if b < self.head_bucket
-                    || (b == self.head_bucket
-                        && (time < self.head_time
-                            || (time == self.head_time && seq < self.head_seq)))
-                {
-                    self.head_time = time;
-                    self.head_seq = seq;
-                    self.head_bucket = b;
-                    self.head_slot = idx;
-                    self.head_prev = NIL;
-                } else if b == self.head_bucket && self.head_prev == NIL {
-                    self.head_prev = idx;
-                }
-            }
             self.arena[idx as usize].next = self.heads[b];
             self.heads[b] = idx;
             self.occupancy[b >> 6] |= 1u64 << (b & 63);
@@ -276,58 +452,6 @@ impl<E: Copy> CalendarQueue<E> {
             self.arena[idx as usize].next = self.overflow_head;
             self.overflow_head = idx;
         }
-    }
-
-    /// Ensures the head cache points at the wheel's minimum entry,
-    /// advancing the window over the overflow ladder if the wheel is
-    /// empty. Requires `len > 0`.
-    #[inline]
-    fn ensure_head(&mut self) {
-        while !self.head_valid {
-            if let Some(b) = self.next_nonempty(self.cursor) {
-                self.cursor = b;
-                let (best, best_prev) = self.min_in_bucket(b);
-                let s = &self.arena[best as usize];
-                self.head_time = s.time;
-                self.head_seq = s.seq;
-                self.head_bucket = b;
-                self.head_slot = best;
-                self.head_prev = best_prev;
-                self.head_valid = true;
-            } else {
-                // Wheel drained; advance the window over the overflow
-                // ladder (re-estimating the width as the population
-                // evolves).
-                debug_assert!(self.wheel_len == 0 && self.overflow_head != NIL);
-                self.rebuild();
-            }
-        }
-    }
-
-    /// Unlinks and releases the cached head entry (bookkeeping
-    /// included), returning its `(time, event)`.
-    #[inline]
-    fn take_head(&mut self) -> (Time, E) {
-        debug_assert!(self.head_valid);
-        let idx = self.head_slot;
-        let (time, event, next) = {
-            let s = &self.arena[idx as usize];
-            (s.time, s.event, s.next)
-        };
-        if self.head_prev == NIL {
-            let b = self.head_bucket;
-            self.heads[b] = next;
-            if next == NIL {
-                self.occupancy[b >> 6] &= !(1u64 << (b & 63));
-            }
-        } else {
-            self.arena[self.head_prev as usize].next = next;
-        }
-        self.release(idx);
-        self.wheel_len -= 1;
-        self.len -= 1;
-        self.head_valid = false;
-        (time, event)
     }
 
     /// First non-empty bucket at or after `from`, via the occupancy
@@ -414,8 +538,13 @@ impl<E: Copy> CalendarQueue<E> {
         self.overflow_head = NIL;
         self.wheel_len = 0;
         self.cursor = 0;
-        self.head_valid = false;
-        debug_assert_eq!(entries.len(), self.len);
+        // Ring and bulk-commit-buffer entries live in the arena but on
+        // neither the buckets nor the ladder — a rebuild never touches
+        // them (mid-flush rebuilds recommit the remainder afterwards).
+        debug_assert_eq!(
+            entries.len(),
+            self.len - self.ring.len() - self.pending.len()
+        );
         if entries.is_empty() {
             self.anchored = false;
             self.scratch = entries;
@@ -499,23 +628,16 @@ impl<E: Copy> EventScheduler<E> for CalendarQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.len += 1;
-        if !self.anchored {
-            self.anchored = true;
-            self.wheel_start = time;
-            self.cursor = 0;
-        }
         let idx = self.alloc(time, seq, event);
-        if time < self.wheel_start {
-            // An insert before the window (arbitrary schedules only —
-            // simulators schedule at `now + dt`): re-anchor around it.
-            self.arena[idx as usize].next = self.overflow_head;
-            self.overflow_head = idx;
-            self.rebuild();
-        } else {
-            self.slot(idx);
-            if self.len > GROW_FACTOR * self.heads.len() && self.heads.len() < MAX_BUCKETS {
-                self.rebuild();
-            }
+        match self.ring.back() {
+            // Strictly inside the buffered horizon: bring forward. An
+            // exact tie at the horizon goes to the wheel side — the new
+            // entry carries the larger seq, so it pops after the ring's
+            // back anyway.
+            Some(&(horizon, _)) if time < horizon => self.ring_insert(time, idx),
+            // At or past the horizon: park on the bulk-commit buffer;
+            // the wheel insert is paid in a batch at the next refill.
+            _ => self.pending.push((time, idx)),
         }
     }
 
@@ -523,39 +645,53 @@ impl<E: Copy> EventScheduler<E> for CalendarQueue<E> {
         if self.len == 0 {
             return None;
         }
-        self.ensure_head();
-        Some(self.take_head())
+        if self.ring.is_empty() {
+            self.refill_ring();
+        }
+        Some(self.take_ring())
     }
 
     fn pop_if_before(&mut self, bound: Time) -> Option<(Time, E)> {
         if self.len == 0 {
             return None;
         }
-        self.ensure_head();
-        if self.head_time >= bound {
+        if self.ring.is_empty() {
+            self.refill_ring();
+        }
+        let &(t, _) = self.ring.front().expect("ring was just refilled");
+        if t >= bound {
             return None;
         }
-        Some(self.take_head())
+        Some(self.take_ring())
     }
 
     fn peek(&self) -> Option<Time> {
         if self.len == 0 {
             return None;
         }
-        if self.head_valid {
-            return Some(self.head_time);
+        // The ring's front is the global minimum whenever the ring is
+        // non-empty (every wheel-side entry is greater than its back).
+        if let Some(&(t, _)) = self.ring.front() {
+            return Some(t);
         }
+        let mut min: Option<Time> = None;
         if let Some(b) = self.next_nonempty(self.cursor) {
             let (best, _) = self.min_in_bucket(b);
-            return Some(self.arena[best as usize].time);
+            min = Some(self.arena[best as usize].time);
+        } else {
+            // Everything wheel-side rides the overflow ladder.
+            let mut idx = self.overflow_head;
+            while idx != NIL {
+                let t = self.arena[idx as usize].time;
+                min = Some(min.map_or(t, |m: Time| m.min(t)));
+                idx = self.arena[idx as usize].next;
+            }
         }
-        // Everything pending rides the overflow ladder.
-        let mut idx = self.overflow_head;
-        let mut min: Option<Time> = None;
-        while idx != NIL {
-            let t = self.arena[idx as usize].time;
+        // Not-yet-committed entries on the bulk-commit buffer can hold
+        // the minimum too (`peek` takes `&self`, so it scans instead of
+        // flushing; the buffer is at most a refill's worth of entries).
+        for &(t, _) in &self.pending {
             min = Some(min.map_or(t, |m: Time| m.min(t)));
-            idx = self.arena[idx as usize].next;
         }
         min
     }
@@ -637,9 +773,13 @@ mod tests {
             let t = ((i * 2_654_435_761) % 1_000) as f64 * 0.25;
             q.schedule(t, i);
         }
-        assert!(q.heads.len() > MIN_BUCKETS, "wheel must have grown");
         assert_eq!(q.len(), n as usize);
-        let popped = drain(&mut q);
+        // Wheel inserts are bulk-committed at the first refill, so the
+        // grow shows up once popping starts.
+        let first = q.pop().expect("queue is non-empty");
+        assert!(q.heads.len() > MIN_BUCKETS, "wheel must have grown");
+        let mut popped = vec![first];
+        popped.extend(drain(&mut q));
         assert_eq!(popped.len(), n as usize);
         for w in popped.windows(2) {
             assert!(
@@ -648,16 +788,18 @@ mod tests {
             );
         }
         // Shrinks happen at rebuild points (window advances / grows),
-        // so drive a second small phase with spread-out times: its
-        // window advances must shrink the wheel back down.
+        // so drive a second, much smaller phase with spread-out times
+        // (large enough that the bring-forward ring overflows into the
+        // wheel): its window advances must shrink the wheel back down.
         let peak = q.heads.len();
-        for i in 0..64u64 {
+        let m = 128u64;
+        for i in 0..m {
             q.schedule(1e6 + (i * 97) as f64, i);
         }
         let tail = drain(&mut q);
-        assert_eq!(tail.len(), 64);
+        assert_eq!(tail.len(), m as usize);
         assert!(
-            q.heads.len() < peak && q.heads.len() <= 64 * BUCKETS_PER_EVENT,
+            q.heads.len() < peak && q.heads.len() <= m as usize * BUCKETS_PER_EVENT,
             "wheel must shrink at window advances: peak {peak}, now {}",
             q.heads.len()
         );

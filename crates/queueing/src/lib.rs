@@ -36,12 +36,14 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod board;
 pub mod calendar;
 pub mod events;
 pub mod router;
 pub mod server;
 pub mod system;
 
+pub use board::SlotBoard;
 pub use calendar::CalendarQueue;
 pub use events::{EventQueue, EventScheduler};
 pub use router::RoutingPolicy;

@@ -72,6 +72,7 @@ impl RouterBuilder {
             engine,
             spec: self.spec,
             seed: self.seed,
+            d2: matches!(self.spec, PlacementSpec::DChoice { d: 2 }),
             next_stream: Arc::new(AtomicU64::new(1)),
         }
     }
@@ -103,6 +104,10 @@ pub struct RouterHandle {
     engine: PlacementEngine,
     spec: PlacementSpec,
     seed: u64,
+    /// Whether the spec is `DChoice { d: 2 }` — cached so `route`
+    /// dispatches straight to the unrolled `place_d2` without
+    /// re-matching the spec per request (the dominant embedding).
+    d2: bool,
     /// Next RNG stream index for clones (shared across the clone tree).
     next_stream: Arc<AtomicU64>,
 }
@@ -138,6 +143,7 @@ impl Clone for RouterHandle {
             engine,
             spec: self.spec,
             seed: self.seed,
+            d2: self.d2,
             next_stream: Arc::clone(&self.next_stream),
         }
     }
@@ -153,7 +159,32 @@ impl Router for RouterHandle {
         if self.reader.refresh() {
             self.engine.rebuild(self.reader.snapshot().membership());
         }
-        ServerId(self.engine.place(self.reader.snapshot(), key))
+        let snap = self.reader.snapshot();
+        // Dominant-policy dispatch: the cached flag sends d = 2 straight
+        // to the unrolled compare instead of re-matching the spec (and
+        // re-deciding key use) on every request.
+        ServerId(if self.d2 {
+            self.engine.place_d2(snap)
+        } else {
+            self.engine.place(snap, key)
+        })
+    }
+
+    fn route_many(&mut self, keys: &[u64], out: &mut Vec<ServerId>) {
+        // One epoch check per batch, not per key: a publish landing
+        // mid-batch is picked up on the next call — the same staleness
+        // window a per-key check has at batch-sized request rates.
+        if self.reader.refresh() {
+            self.engine.rebuild(self.reader.snapshot().membership());
+        }
+        let snap = self.reader.snapshot();
+        out.clear();
+        out.reserve(keys.len());
+        if self.d2 {
+            out.extend(keys.iter().map(|_| ServerId(self.engine.place_d2(snap))));
+        } else {
+            out.extend(keys.iter().map(|&k| ServerId(self.engine.place(snap, k))));
+        }
     }
 }
 

@@ -36,6 +36,7 @@
 //! unconsumed candidate block, which was drawn against the old alias
 //! table).
 
+use crate::kernel::{self, ScanScratch};
 use crate::spec::PlacementSpec;
 use crate::view::{LoadView, Membership};
 use bnb_core::choice::MAX_D;
@@ -64,6 +65,13 @@ pub struct PlacementEngine {
     /// Alive server slots, in creation order; every derived structure
     /// indexes into this.
     alive: Vec<usize>,
+    /// Whether `alive[i] == i` for every member — true until the first
+    /// departure. The d-choice hot path then skips the token → slot
+    /// indirection entirely, cutting one dependent load off the
+    /// token → slot → queue chain every candidate evaluation sits on.
+    alive_identity: bool,
+    /// Gather scratch of the batched scan kernel (`d > 2`).
+    scratch: ScanScratch,
     /// `DChoice`: alias table over alive speeds.
     alias: Option<AliasTable>,
     /// Ring policies: membership ring over alive servers' stable ids,
@@ -127,6 +135,8 @@ impl PlacementEngine {
             spec,
             seed,
             alive: Vec::new(),
+            alive_identity: false,
+            scratch: ScanScratch::new(),
             alias: None,
             ring: None,
             rdv: None,
@@ -159,6 +169,7 @@ impl PlacementEngine {
         self.alive.clear();
         self.alive
             .extend(membership.members().iter().map(|m| m.slot));
+        self.alive_identity = self.alive.iter().enumerate().all(|(i, &s)| i == s);
         self.cand_pos = self.cand_buf.len();
         match self.spec {
             PlacementSpec::DChoice { d } => {
@@ -230,15 +241,19 @@ impl PlacementEngine {
                 }
                 let pos = self.cand_pos;
                 self.cand_pos += d;
-                // Algorithm 1 over the candidate *set*: smallest post-join
-                // normalised queue, capacity tie-break towards the faster
-                // server, residual ties uniform (reservoir).
-                reservoir_argmin(
-                    &self.cand_buf[pos..pos + d],
-                    &mut self.tie_rng,
-                    |t| self.alive[t],
-                    |s| placement_key(view, s),
-                )
+                // Algorithm 1 over the candidate *set* through the
+                // batched scan kernel: chunked gather from the dense
+                // mirror, then the same dedup + reservoir argmin
+                // (smallest post-join normalised queue, capacity
+                // tie-break, residual ties uniform — bit-identical RNG
+                // draws to the scalar scan it replaced).
+                let tokens = &self.cand_buf[pos..pos + d];
+                if self.alive_identity {
+                    kernel::gather(view, tokens, |t| t, &mut self.scratch);
+                } else {
+                    kernel::gather(view, tokens, |t| self.alive[t], &mut self.scratch);
+                }
+                kernel::argmin_algo1(tokens, &self.scratch, &mut self.tie_rng)
             }
             PlacementSpec::ConsistentHash { .. } => {
                 let ring = self.ring.as_ref().expect("ring built for ConsistentHash");
@@ -313,19 +328,28 @@ impl PlacementEngine {
         let pos = self.cand_pos;
         self.cand_pos += 2;
         let (a, b) = (self.cand_buf[pos], self.cand_buf[pos + 1]);
-        let sa = self.alive[a];
+        // On an unchurned fleet the token *is* the slot: skip the alive
+        // indirection and shorten the token → slot → queue load chain
+        // by a level (the common case — every no-churn scenario).
+        let (sa, sb) = if self.alive_identity {
+            (a, b)
+        } else {
+            (self.alive[a], self.alive[b])
+        };
         if a == b {
             return sa;
         }
-        let sb = self.alive[b];
         // Algorithm 1's key, written out directly instead of through the
         // `(Load, u64)` tuple `Ord`: smallest post-join normalised load
         // `(q+1)/speed` by exact cross-multiplication, capacity
         // tie-break towards the faster server, residual ties uniform —
         // the identical order `placement_key` induces, with two fewer
         // data-dependent branches per request.
-        let (qa, ca) = view.load(sa);
-        let (qb, cb) = view.load(sb);
+        let ((qa, ca), (qb, cb)) = if let Some((queues, speeds)) = view.dense() {
+            ((queues[sa], speeds[sa]), (queues[sb], speeds[sb]))
+        } else {
+            (view.load(sa), view.load(sb))
+        };
         let lhs = (qa + 1) as u128 * cb as u128;
         let rhs = (qb + 1) as u128 * ca as u128;
         if lhs != rhs {
@@ -340,16 +364,6 @@ impl PlacementEngine {
             sa
         }
     }
-}
-
-/// Ordering key of Algorithm 1's allocation step: post-join normalised
-/// load first (exact rational), then *larger* capacity preferred (hence
-/// the inverted speed component) — read from the view's dense load
-/// mirror.
-#[inline]
-fn placement_key(view: &impl LoadView, server: usize) -> (bnb_core::Load, u64) {
-    let (q, s) = view.load(server);
-    (bnb_core::Load::new(q + 1, s), u64::MAX - s)
 }
 
 /// Reservoir-tied argmin over a candidate token prefix, skipping

@@ -62,11 +62,13 @@
 
 pub mod builder;
 pub mod engine;
+pub mod kernel;
 pub mod spec;
 pub mod view;
 
 pub use builder::{RouterBuilder, RouterHandle};
 pub use engine::PlacementEngine;
+pub use kernel::ScanScratch;
 pub use spec::PlacementSpec;
 pub use view::{FleetReader, FleetSnapshot, FleetView, LoadView, Member, Membership, ServerId};
 

@@ -140,6 +140,18 @@ pub trait LoadView {
     fn queue_len(&self, slot: usize) -> u64 {
         self.load(slot).0
     }
+
+    /// The mirror as plain structure-of-arrays slices
+    /// `(queue_lens, speeds)`, when the implementation can expose them.
+    /// Single-threaded mirrors (the simulator's fleet) return `Some`,
+    /// and the batched scan kernel (`crate::kernel`) gathers candidates
+    /// straight out of the slices in a chunked loop; concurrent mirrors
+    /// whose counters are atomics return `None` (the default) and take
+    /// the per-slot [`LoadView::load`] path instead.
+    #[inline]
+    fn dense(&self) -> Option<(&[u64], &[u64])> {
+        None
+    }
 }
 
 /// One published epoch of fleet state: an immutable membership plus a
@@ -302,16 +314,21 @@ pub struct FleetReader {
 impl FleetReader {
     /// Advances to the newest published epoch; returns whether the
     /// epoch changed (the signal to rebuild placement structures).
-    /// Never blocks: the fast path is one relaxed check of the
-    /// successor pointer.
+    /// Never blocks: the fast path — no new epoch, i.e. every `route`
+    /// call in steady state — is a single acquire load of the successor
+    /// pointer. A lagging reader walks the chain by reference and
+    /// clones one `Arc` at the end, instead of paying a clone + drop
+    /// per intermediate epoch it skips.
     #[inline]
     pub fn refresh(&mut self) -> bool {
-        let mut advanced = false;
-        while let Some(next) = self.node.next.get() {
-            self.node = Arc::clone(next);
-            advanced = true;
+        let Some(mut newest) = self.node.next.get() else {
+            return false;
+        };
+        while let Some(next) = newest.next.get() {
+            newest = next;
         }
-        advanced
+        self.node = Arc::clone(newest);
+        true
     }
 
     /// The snapshot this reader currently serves from.
