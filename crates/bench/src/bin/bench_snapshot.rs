@@ -31,6 +31,7 @@ use bnb_cluster::{find_scenario, ClusterSim};
 use bnb_core::prelude::*;
 use bnb_distributions::Xoshiro256PlusPlus;
 use bnb_router::{LoadView, Membership, PlacementSpec, Router, RouterBuilder};
+use bnb_telemetry::Registry;
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -223,6 +224,70 @@ fn measure_cluster(cell_name: &'static str, requests: u64, budget: Duration) -> 
         elapsed,
         req_per_sec: best,
         baseline_req_per_sec: cluster_baseline_for(cell_name),
+    }
+}
+
+/// Telemetry overhead and scheduler internals of the `two_class` cell,
+/// measured in one invocation.
+struct TelemetryBlock {
+    /// Best telemetry-off run (same estimator as the grid cells).
+    off_req_per_sec: f64,
+    /// Best telemetry-on run (spans + scheduler counters + traces).
+    on_req_per_sec: f64,
+    /// Scheduler-internals counters from the telemetry-on run — these
+    /// are deterministic in `(scenario, seed)`, unlike the timings.
+    ring_refills: u64,
+    ring_spills: u64,
+    pending_drained: u64,
+    rebuilds: u64,
+}
+
+/// Times the `two_class` scenario with telemetry off and fully on,
+/// strictly interleaved (off, on, off, on, …) inside one budget so
+/// both sides sample the same neighbour-load weather, best run each —
+/// the overhead ratio then tracks the instrumentation, not the host.
+/// Also harvests the scheduler-internals counters from the final
+/// telemetry-on run.
+fn measure_telemetry(requests: u64, budget: Duration) -> TelemetryBlock {
+    let scenario = find_scenario("two-class")
+        .unwrap_or_else(|| unreachable!("two-class scenario missing from registry"));
+    let registry = Registry::enabled();
+    let run = |enable: bool| {
+        let spec = (scenario.build)(bnb_bench::BENCH_SEED, requests);
+        let mut sim = ClusterSim::new(spec, bnb_bench::BENCH_SEED);
+        if enable {
+            sim.enable_telemetry(&registry);
+        }
+        let start = Instant::now();
+        let metrics = sim.run();
+        let elapsed = start.elapsed();
+        assert_eq!(
+            metrics.completed + metrics.dropped + metrics.orphaned,
+            requests,
+            "telemetry bench lost requests"
+        );
+        (requests as f64 / elapsed.as_secs_f64(), sim)
+    };
+    run(false);
+    run(true);
+    let start = Instant::now();
+    let (mut best_off, _) = run(false);
+    let (mut best_on, mut last_on) = run(true);
+    while start.elapsed() < budget {
+        let (off, _) = run(false);
+        best_off = best_off.max(off);
+        let (on, sim) = run(true);
+        best_on = best_on.max(on);
+        last_on = sim;
+    }
+    let snap = last_on.telemetry_snapshot();
+    TelemetryBlock {
+        off_req_per_sec: best_off,
+        on_req_per_sec: best_on,
+        ring_refills: snap.counter("calendar.ring_refills").unwrap_or(0),
+        ring_spills: snap.counter("calendar.ring_spills").unwrap_or(0),
+        pending_drained: snap.counter("calendar.pending_drained").unwrap_or(0),
+        rebuilds: snap.counter("calendar.rebuilds").unwrap_or(0),
     }
 }
 
@@ -447,13 +512,13 @@ fn render_json(cells: &[Cell], mode: &str) -> String {
     out
 }
 
-fn render_cluster_json(cells: &[ClusterCell], mode: &str) -> String {
+fn render_cluster_json(cells: &[ClusterCell], telemetry: &TelemetryBlock, mode: &str) -> String {
     let generated = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape_free(mode)));
     out.push_str(&format!("  \"generated_unix_secs\": {generated},\n"));
     out.push_str(&format!("  \"seed\": {},\n", bnb_bench::BENCH_SEED));
@@ -462,6 +527,24 @@ fn render_cluster_json(cells: &[ClusterCell], mode: &str) -> String {
         "  \"baseline_note\": \"{CLUSTER_BASELINE_NOTE}\",\n"
     ));
     out.push_str(&format!("  \"diurnal_note\": \"{DIURNAL_NOTE}\",\n"));
+    // Scheduler internals (deterministic counters) plus the measured
+    // cost of turning telemetry on, interleaved in this same invocation
+    // (see `measure_telemetry`).
+    out.push_str(&format!(
+        "  \"telemetry\": {{\"scenario\": \"two_class\", \
+         \"ring_refills\": {}, \"ring_spills\": {}, \
+         \"pending_drained\": {}, \"rebuilds\": {}, \
+         \"req_per_sec_telemetry_off\": {:.4e}, \
+         \"req_per_sec_telemetry_on\": {:.4e}, \
+         \"on_over_off_ratio\": {:.3}}},\n",
+        telemetry.ring_refills,
+        telemetry.ring_spills,
+        telemetry.pending_drained,
+        telemetry.rebuilds,
+        telemetry.off_req_per_sec,
+        telemetry.on_req_per_sec,
+        telemetry.on_req_per_sec / telemetry.off_req_per_sec,
+    ));
     out.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let baseline = c
@@ -675,6 +758,21 @@ fn main() -> ExitCode {
         cluster_cells.push(cell);
     }
 
+    // Telemetry overhead on the two_class cell: off and on interleaved
+    // in one budget, plus the deterministic scheduler-internals
+    // counters for the snapshot's metadata block.
+    let telemetry = measure_telemetry(cluster_requests, cluster_budget);
+    println!(
+        "cluster/telemetry two_class     off {:>10.3e} req/s, on {:>10.3e} req/s ({:.3}x); \
+         {} ring spills, {} pending drained, {} rebuilds",
+        telemetry.off_req_per_sec,
+        telemetry.on_req_per_sec,
+        telemetry.on_req_per_sec / telemetry.off_req_per_sec,
+        telemetry.ring_spills,
+        telemetry.pending_drained,
+        telemetry.rebuilds,
+    );
+
     // The router contention grid: the same fleet shape, routed through
     // 1-32 cloned handles over one epoch-published view, next to the
     // bare in-simulator placement path measured in the same window.
@@ -723,6 +821,21 @@ fn main() -> ExitCode {
                 }
             }
         }
+        // The telemetry-overhead gate: sampled spans and plain counters
+        // must stay within 10% of the telemetry-off rate, measured
+        // interleaved in this same invocation so both sides saw the
+        // same host weather. A breach means instrumentation crept onto
+        // the per-event path (an unsampled timer, an allocation), which
+        // no amount of shared-runner noise produces at best-of-N.
+        const TELEMETRY_OVERHEAD_FLOOR: f64 = 0.9;
+        if telemetry.on_req_per_sec < TELEMETRY_OVERHEAD_FLOOR * telemetry.off_req_per_sec {
+            eprintln!(
+                "FLOOR VIOLATION: telemetry-on two_class measured {:.3e} req/s, below \
+                 {TELEMETRY_OVERHEAD_FLOOR} x its interleaved telemetry-off rate {:.3e}",
+                telemetry.on_req_per_sec, telemetry.off_req_per_sec
+            );
+            failed = true;
+        }
         if let Some(single) = router_cells.iter().find(|c| c.threads == 1) {
             let min = ratio * sim_path;
             if single.routes_per_sec < min {
@@ -752,7 +865,10 @@ fn main() -> ExitCode {
     };
     for (path, json) in [
         (&out_path, render_json(&cells, mode)),
-        (&cluster_out_path, render_cluster_json(&cluster_cells, mode)),
+        (
+            &cluster_out_path,
+            render_cluster_json(&cluster_cells, &telemetry, mode),
+        ),
         (
             &router_out_path,
             render_router_json(&router_cells, sim_path, mode),

@@ -27,23 +27,28 @@ use bnb_distributions::{AliasTable, ExponentialBlock, WeightedSampler, Xoshiro25
 use bnb_queueing::board::SlotBoard;
 use bnb_queueing::calendar::CalendarQueue;
 use bnb_queueing::events::{EventQueue, EventScheduler};
-use std::time::Instant;
+use bnb_telemetry::Registry;
 
 fn smoke() -> bool {
     std::env::args().any(|a| a == "--smoke")
 }
 
 fn time<F: FnMut() -> u64>(label: &str, mut f: F) {
-    // Warm once, then take the best of 5 (2 in smoke mode).
+    // Warm once, then take the best of 5 (2 in smoke mode). Each run is
+    // one `bnb-telemetry` span sample (shift 0 = sample every entry, no
+    // trace buffer); the span's exact running minimum is the best-of-N
+    // estimate, the same convention this harness has always used.
     f();
     let runs = if smoke() { 2 } else { 5 };
-    let mut best = f64::INFINITY;
+    let registry = Registry::with_sampling(0, 0);
+    let mut span = registry.span("hotprof.cell", 0);
     let mut ops = 0u64;
     for _ in 0..runs {
-        let start = Instant::now();
+        let token = span.enter();
         ops = f();
-        best = best.min(start.elapsed().as_secs_f64());
+        span.exit(token);
     }
+    let best = span.min_ns() as f64 / 1e9;
     println!(
         "{label:<34} {:>8.1} ns/op  ({:.3e} op/s)",
         best / ops as f64 * 1e9,

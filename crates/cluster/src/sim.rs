@@ -38,13 +38,17 @@ use crate::arrivals::{ArrivalProcess, ArrivalSampler};
 use crate::fleet::Fleet;
 use crate::metrics::ClusterMetrics;
 use crate::placement::PlacementSpec;
+use crate::telemetry::SimTelemetry;
 use bnb_core::CapacityVector;
 use bnb_distributions::{derive_seed, ExponentialBlock, Xoshiro256PlusPlus};
 use bnb_hashring::hash::mix64;
 use bnb_queueing::calendar::CalendarQueue;
 use bnb_queueing::events::{EventScheduler, Time};
 use bnb_queueing::server::Admission;
+use bnb_queueing::CalendarStats;
 use bnb_router::PlacementEngine;
+use bnb_stats::Mergeable;
+use bnb_telemetry::{MetricsSnapshot, Registry};
 use std::any::TypeId;
 
 /// Stream id of the arrival-time RNG (gaps + thinning acceptances).
@@ -130,6 +134,14 @@ pub struct ClusterSim<Sch: EventScheduler<ClusterEvent> = CalendarQueue<ClusterE
     latencies: Vec<f64>,
     /// Metrics of the finished run (computed once; reruns return it).
     result: Option<ClusterMetrics>,
+    /// Per-component spans (inert unless [`ClusterSim::enable_telemetry`]
+    /// switched them on). A separate field so the drive loops can time
+    /// one component while borrowing the router/fleet disjointly.
+    tele: SimTelemetry,
+    /// Scheduler-internals stats harvested from drained departure
+    /// calendars (the fused loop's local wheel folds in here; the
+    /// generic scheduler's stats are read live at snapshot time).
+    sched_stats: CalendarStats,
 }
 
 impl ClusterSim {
@@ -193,8 +205,36 @@ impl<Sch: EventScheduler<ClusterEvent> + 'static> ClusterSim<Sch> {
             leaves: 0,
             latencies: Vec::new(),
             result: None,
+            tele: SimTelemetry::disabled(),
+            sched_stats: CalendarStats::new(),
             spec,
         }
+    }
+
+    /// Switches the per-component spans on (or reconfigures them) from
+    /// a [`Registry`]. Call before [`ClusterSim::run`]. Telemetry is
+    /// **schedule-invisible**: it draws no RNG values and schedules no
+    /// events, so the metrics of a telemetry-on run are bitwise those
+    /// of a telemetry-off run — the differential tests pin it.
+    pub fn enable_telemetry(&mut self, registry: &Registry) {
+        self.tele = SimTelemetry::from_registry(registry);
+    }
+
+    /// Harvests everything this run observed — span latency
+    /// distributions and trace events, scheduler-internals counters
+    /// (ring refills/spills, bulk-commit drains, rebuilds, occupancy at
+    /// rebuild), and arrival-thinning counts — into one exportable
+    /// snapshot. Meaningful after [`ClusterSim::run`]; the
+    /// scheduler-internals counters are live (always on) even when the
+    /// spans were never enabled.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> MetricsSnapshot {
+        let mut sched = self.sched_stats.clone();
+        if let Some(stats) = self.events.calendar_stats() {
+            sched.merge_from(stats);
+        }
+        self.tele
+            .harvest(&sched, self.arrivals.thinning_counts(), self.arrived)
     }
 
     /// Runs the full request budget and drains the queues; returns the
@@ -343,17 +383,24 @@ impl<Sch: EventScheduler<ClusterEvent> + 'static> ClusterSim<Sch> {
             self.arrived += 1;
             // Key-oblivious placement: the d = 2 fast path over the
             // dense (queue_len, speed) mirror.
+            let tp = self.tele.place.enter();
             let target = self.router.place_d2(&self.fleet);
-            if self.fleet.try_join(target, now) == Admission::StartedService {
+            let admission = self.fleet.try_join(target, now);
+            self.tele.place.exit(tp);
+            if admission == Admission::StartedService {
+                let ts = self.tele.schedule.enter();
                 let service = self.service.next() * self.fleet.inv_speed_of(target);
                 departures.schedule(now + service, target as u32);
+                self.tele.schedule.exit(ts);
             }
             next_arrival = if self.arrived < requests {
                 if block_pos == block.len() {
                     // Refill: `now` is the last consumed arrival, so the
                     // block chains exactly where the scalar stream was.
                     let n = ((requests - self.arrived) as usize).min(ARRIVAL_BLOCK);
+                    let ta = self.tele.arrival.enter();
                     self.arrivals.fill_after(now, n, &mut block);
+                    self.tele.arrival.exit(ta);
                     block_pos = 0;
                 }
                 block_pos += 1;
@@ -369,6 +416,9 @@ impl<Sch: EventScheduler<ClusterEvent> + 'static> ClusterSim<Sch> {
         }
         self.now = now;
         self.next_arrival = None;
+        // The local departure wheel dies with this loop; fold its
+        // internals counters into the run's stats first.
+        self.sched_stats.merge_from(departures.stats());
     }
 
     /// Departure handling of the fused loop: no staleness check (churn
@@ -376,11 +426,15 @@ impl<Sch: EventScheduler<ClusterEvent> + 'static> ClusterSim<Sch> {
     /// loop's `is_alive` test is identically true there).
     #[inline]
     fn fused_depart(&mut self, departures: &mut CalendarQueue<u32>, server: usize, now: Time) {
+        let td = self.tele.depart.enter();
         let (latency, more) = self.fleet.depart(server, now);
         self.latencies.push(latency);
+        self.tele.depart.exit(td);
         if more {
+            let ts = self.tele.schedule.enter();
             let service = self.service.next() * self.fleet.inv_speed_of(server);
             departures.schedule(now + service, server as u32);
+            self.tele.schedule.exit(ts);
         }
     }
 
@@ -391,8 +445,10 @@ impl<Sch: EventScheduler<ClusterEvent> + 'static> ClusterSim<Sch> {
                 // Stale departures (the server left since this was
                 // scheduled) are dropped on the floor.
                 if self.fleet.server(server).is_alive() {
+                    let td = self.tele.depart.enter();
                     let (latency, more) = self.fleet.depart(server, self.now);
                     self.latencies.push(latency);
+                    self.tele.depart.exit(td);
                     if more {
                         self.schedule_departure(server);
                     }
@@ -407,17 +463,23 @@ impl<Sch: EventScheduler<ClusterEvent> + 'static> ClusterSim<Sch> {
         self.arrived += 1;
         // Counter-hashed request key: deterministic, uniform over u64 —
         // only computed for the key-driven (ring) policies.
+        let tp = self.tele.place.enter();
         let key = if self.router.needs_key() {
             mix64(self.key_seed ^ self.arrived.wrapping_mul(0x9E37_79B9_7F4A_7C15))
         } else {
             0
         };
         let target = self.router.place(&self.fleet, key);
-        if self.fleet.try_join(target, self.now) == Admission::StartedService {
+        let admission = self.fleet.try_join(target, self.now);
+        self.tele.place.exit(tp);
+        if admission == Admission::StartedService {
             self.schedule_departure(target);
         }
         self.next_arrival = if self.arrived < self.spec.requests {
-            Some(self.arrivals.next_after(self.now))
+            let ta = self.tele.arrival.enter();
+            let next = self.arrivals.next_after(self.now);
+            self.tele.arrival.exit(ta);
+            Some(next)
         } else {
             None
         };
@@ -428,9 +490,11 @@ impl<Sch: EventScheduler<ClusterEvent> + 'static> ClusterSim<Sch> {
         // Exp(1) work at rate `speed` ⇒ Exp(speed) service time. The
         // precomputed reciprocal (not a per-event divide) is shared
         // with the fused loop so both produce bit-identical times.
+        let ts = self.tele.schedule.enter();
         let service = self.service.next() * self.fleet.inv_speed_of(server);
         self.events
             .schedule(self.now + service, ClusterEvent::Departure { server });
+        self.tele.schedule.exit(ts);
     }
 
     fn handle_churn_tick(&mut self) {

@@ -18,6 +18,7 @@ use bnb_cluster::{
 use bnb_core::prelude::*;
 use bnb_hashring::hash::mix64;
 use bnb_queueing::EventQueue;
+use bnb_telemetry::Registry;
 
 /// Drives `m` placements into a fleet that never serves anything:
 /// the cluster-side equivalent of throwing `m` balls.
@@ -206,6 +207,72 @@ fn fused_loop_replays_the_generic_loop_on_every_scenario() {
             render(&fused),
             render(&generic),
             "{}: rendered output must be byte-identical",
+            scenario.id
+        );
+    }
+}
+
+#[test]
+fn telemetry_is_schedule_invisible_on_every_scenario() {
+    // The telemetry differential: enabling spans, tracing and the
+    // scheduler-internals counters must not move a single byte of any
+    // scenario's metrics on any drive loop. Telemetry draws zero RNG
+    // values and schedules zero events, so fused, generic and heap
+    // runs with a fully enabled registry must replay the plain runs
+    // exactly — and still agree with each other.
+    for scenario in registry() {
+        let requests = (scenario.default_requests / SMOKE_DIVISOR).min(5_000);
+        let seed = 0x7E1E;
+        let registry_on = Registry::with_sampling(0, 1 << 14); // sample everything
+        let fused_off = {
+            let spec = (scenario.build)(seed, requests);
+            ClusterSim::new(spec, seed).run()
+        };
+        let (fused_on, fused_snap) = {
+            let spec = (scenario.build)(seed, requests);
+            let mut sim = ClusterSim::new(spec, seed);
+            sim.enable_telemetry(&registry_on);
+            let m = sim.run();
+            (m, sim.telemetry_snapshot())
+        };
+        assert_eq!(
+            fused_off, fused_on,
+            "{}: telemetry perturbed the fused loop",
+            scenario.id
+        );
+        // The enabled run must actually have observed the traffic —
+        // otherwise this test is vacuous.
+        assert_eq!(
+            fused_snap.counter("sim.arrived"),
+            Some(requests),
+            "{}: telemetry snapshot missed arrivals",
+            scenario.id
+        );
+        assert!(
+            fused_snap.counter("sim.place.calls").unwrap_or(0) >= requests,
+            "{}: place span saw fewer calls than requests",
+            scenario.id
+        );
+        let generic_on = {
+            let spec = (scenario.build)(seed, requests);
+            let mut sim = ClusterSim::new(spec, seed);
+            sim.enable_telemetry(&registry_on);
+            sim.run_generic()
+        };
+        assert_eq!(
+            fused_off, generic_on,
+            "{}: telemetry perturbed the generic loop",
+            scenario.id
+        );
+        let heap_on = {
+            let spec = (scenario.build)(seed, requests);
+            let mut sim = ClusterSim::<EventQueue<ClusterEvent>>::with_scheduler(spec, seed);
+            sim.enable_telemetry(&registry_on);
+            sim.run_generic()
+        };
+        assert_eq!(
+            fused_off, heap_on,
+            "{}: telemetry perturbed the heap-driven loop",
             scenario.id
         );
     }

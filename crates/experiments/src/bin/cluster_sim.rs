@@ -18,8 +18,9 @@
 //! deterministic, regardless of thread count.
 
 use bnb_cluster::{find_scenario, registry, ClusterSim, Scenario, SMOKE_DIVISOR};
-use bnb_experiments::sweep_scenario;
+use bnb_experiments::sweep_scenario_with_telemetry;
 use bnb_stats::svg::render_svg;
+use bnb_telemetry::{render_chrome_trace, render_prometheus, MetricsSnapshot, Registry};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -31,10 +32,33 @@ struct Args {
     smoke: bool,
     list: bool,
     out: Option<PathBuf>,
+    /// `--telemetry-out BASE`: run with spans enabled and write
+    /// `BASE-<scenario>.trace.json` + `BASE-<scenario>.prom`.
+    telemetry_out: Option<PathBuf>,
     /// `cluster-sim sweep …`: replica/d-sweep mode.
     sweep: bool,
+    /// `sweep --telemetry`: merge per-replica snapshots, write them
+    /// next to the sweep artifacts (or print when `--out` is absent).
+    telemetry: bool,
     replicas: u64,
     d_sweep: Vec<usize>,
+}
+
+/// Writes `base-<id>.trace.json` (chrome://tracing) and
+/// `base-<id>.prom` (Prometheus text) for one harvested snapshot.
+fn write_telemetry(
+    base: &std::path::Path,
+    id: &str,
+    snap: &MetricsSnapshot,
+) -> std::io::Result<()> {
+    if let Some(dir) = base.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let stem = format!("{}-{id}", base.display());
+    std::fs::write(format!("{stem}.trace.json"), render_chrome_trace(snap))?;
+    std::fs::write(format!("{stem}.prom"), render_prometheus(snap))
 }
 
 /// `--help` is a successful outcome, not a parse error: it must print
@@ -66,10 +90,14 @@ fn usage() -> String {
          \x20  --seed N           run seed (default 42)\n\
          \x20  --out DIR          write cluster-<scenario>.{csv,dat,svg,txt}\n\
          \x20                     under DIR\n\
+         \x20  --telemetry-out B  enable telemetry; write B-<scenario>.trace.json\n\
+         \x20                     (chrome://tracing) and B-<scenario>.prom\n\
          \n\
          Sweep options:\n\
          \x20  --replicas R       independent replicas per point (default 8)\n\
          \x20  --d-sweep LIST     comma-separated d grid (default 1,2,3,4,8)\n\
+         \x20  --telemetry        merge per-replica telemetry; written under\n\
+         \x20                     --out DIR, printed otherwise\n\
          \n\
          Scenarios:\n",
     );
@@ -87,7 +115,9 @@ fn parse_args() -> ParseOutcome {
         smoke: false,
         list: false,
         out: None,
+        telemetry_out: None,
         sweep: false,
+        telemetry: false,
         replicas: 8,
         d_sweep: vec![1, 2, 3, 4, 8],
     };
@@ -162,6 +192,13 @@ fn parse_args() -> ParseOutcome {
                 };
                 args.out = Some(PathBuf::from(dir));
             }
+            "--telemetry" if args.sweep => args.telemetry = true,
+            "--telemetry-out" if !args.sweep => {
+                let Some(base) = iter.next() else {
+                    return err("--telemetry-out needs a path base".into());
+                };
+                args.telemetry_out = Some(PathBuf::from(base));
+            }
             other => {
                 return err(format!("unknown option '{other}'\n\n{}", usage()));
             }
@@ -185,8 +222,16 @@ fn run_sweeps(args: &Args) -> ExitCode {
             scenario.default_requests
         });
         let n_servers = (scenario.build)(args.seed, requests).speeds.n();
+        let registry = args.telemetry.then(Registry::enabled);
         let start = Instant::now();
-        let sweep = sweep_scenario(scenario, &args.d_sweep, args.replicas, requests, args.seed);
+        let (sweep, telemetry) = sweep_scenario_with_telemetry(
+            scenario,
+            &args.d_sweep,
+            args.replicas,
+            requests,
+            args.seed,
+            registry.as_ref(),
+        );
         let elapsed = start.elapsed();
         println!(
             "== sweep {} ({}; {} replicas x {} requests per d, seed {})",
@@ -224,6 +269,22 @@ fn run_sweeps(args: &Args) -> ExitCode {
                     eprintln!("failed to write {}: {e}", sweep.scenario);
                     return ExitCode::FAILURE;
                 }
+            }
+        }
+        if let Some(snap) = &telemetry {
+            if let Some(dir) = &args.out {
+                let base = dir.join("telemetry");
+                if let Err(e) = write_telemetry(&base, sweep.scenario, snap) {
+                    eprintln!("failed to write telemetry for {}: {e}", sweep.scenario);
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "   wrote {}-{}.{{trace.json,prom}}\n",
+                    base.display(),
+                    sweep.scenario
+                );
+            } else {
+                print!("{}", render_prometheus(snap));
             }
         }
     }
@@ -266,6 +327,9 @@ fn main() -> ExitCode {
         let spec = (scenario.build)(args.seed, requests);
         let placement = spec.placement.name();
         let mut sim = ClusterSim::new(spec, args.seed);
+        if args.telemetry_out.is_some() {
+            sim.enable_telemetry(&Registry::enabled());
+        }
         let start = Instant::now();
         let metrics = sim.run();
         let elapsed = start.elapsed();
@@ -281,6 +345,18 @@ fn main() -> ExitCode {
             elapsed,
             metrics.requests as f64 / elapsed.as_secs_f64()
         );
+        if let Some(base) = &args.telemetry_out {
+            let snap = sim.telemetry_snapshot();
+            if let Err(e) = write_telemetry(base, scenario.id, &snap) {
+                eprintln!("failed to write telemetry for {}: {e}", scenario.id);
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "   telemetry: {}-{}.{{trace.json,prom}}\n",
+                base.display(),
+                scenario.id
+            );
+        }
         if let Some(dir) = &args.out {
             let id = format!("cluster-{}", scenario.id);
             let set = metrics.to_series_set(&id, scenario.title);

@@ -14,7 +14,8 @@
 
 use bnb_cluster::{ClusterSim, ReplicaAccumulator, Scenario};
 use bnb_distributions::derive_seed;
-use bnb_stats::{merge_ordered, Series, SeriesSet, TextTable};
+use bnb_stats::{merge_ordered, Mergeable, Series, SeriesSet, TextTable};
+use bnb_telemetry::{MetricsSnapshot, Registry};
 use rayon::prelude::*;
 
 /// Experiment-id namespace of the sweep (keeps sweep seeds disjoint
@@ -76,10 +77,36 @@ pub fn sweep_scenario(
     requests: u64,
     master: u64,
 ) -> ScenarioSweep {
+    sweep_scenario_with_telemetry(scenario, ds, replicas, requests, master, None).0
+}
+
+/// [`sweep_scenario`] with optional telemetry: when `registry` is
+/// `Some`, every replica runs with the simulator spans and
+/// scheduler-internals counters enabled, and the per-replica
+/// [`MetricsSnapshot`]s are merged **in replica order** (then in grid
+/// order across `d` cells) into one sweep-wide snapshot. Telemetry is
+/// schedule-invisible, so the `ScenarioSweep` half of the return is
+/// bitwise identical to a `None` run; the snapshot's counter values
+/// are deterministic too, while its span histograms hold wall-clock
+/// nanoseconds and are not.
+///
+/// # Panics
+/// Panics if `replicas == 0`, `ds` is empty, or the scenario spec is
+/// invalid at some `d`.
+#[must_use]
+pub fn sweep_scenario_with_telemetry(
+    scenario: &'static Scenario,
+    ds: &[usize],
+    replicas: u64,
+    requests: u64,
+    master: u64,
+    registry: Option<&Registry>,
+) -> (ScenarioSweep, Option<MetricsSnapshot>) {
     assert!(replicas > 0, "need at least one replica");
     assert!(!ds.is_empty(), "need at least one d");
     let mut points = Vec::with_capacity(ds.len());
     let mut placement = "";
+    let mut telemetry: Option<MetricsSnapshot> = registry.map(|_| MetricsSnapshot::new());
     let d_varies = (scenario.build)(master, requests).placement.has_d();
     for &d in ds {
         let id = cell_id(scenario, d);
@@ -87,35 +114,48 @@ pub fn sweep_scenario(
         // One accumulator per replica, merged in replica order: the
         // rayon shim preserves input order in `collect`, so the merge
         // sequence (and thus every last ulp) is schedule-independent.
-        let shards: Vec<ReplicaAccumulator> = reps
+        let shards: Vec<(ReplicaAccumulator, Option<MetricsSnapshot>)> = reps
             .into_par_iter()
             .map(|rep| {
                 let seed = derive_seed(master, id, rep);
                 let mut spec = (scenario.build)(seed, requests);
                 spec.placement = spec.placement.with_d(d);
-                let metrics = ClusterSim::new(spec, seed).run();
+                let mut sim = ClusterSim::new(spec, seed);
+                if let Some(reg) = registry {
+                    sim.enable_telemetry(reg);
+                }
+                let metrics = sim.run();
                 let mut acc = ReplicaAccumulator::new();
                 acc.push(&metrics);
-                acc
+                (acc, registry.map(|_| sim.telemetry_snapshot()))
             })
             .collect();
         if placement.is_empty() {
             let spec = (scenario.build)(master, requests);
             placement = spec.placement.with_d(d).name();
         }
+        let (accs, snaps): (Vec<_>, Vec<_>) = shards.into_iter().unzip();
+        if let Some(total) = telemetry.as_mut() {
+            if let Some(merged) = merge_ordered(snaps.into_iter().flatten()) {
+                total.merge_from(&merged);
+            }
+        }
         points.push(SweepPoint {
             d,
-            acc: merge_ordered(shards).expect("replicas > 0"),
+            acc: merge_ordered(accs).expect("replicas > 0"),
         });
     }
-    ScenarioSweep {
-        scenario: scenario.id,
-        placement,
-        d_varies,
-        requests,
-        replicas,
-        points,
-    }
+    (
+        ScenarioSweep {
+            scenario: scenario.id,
+            placement,
+            d_varies,
+            requests,
+            replicas,
+            points,
+        },
+        telemetry,
+    )
 }
 
 impl ScenarioSweep {

@@ -12,6 +12,7 @@
 //! a single popped `(time, payload)` pair, which the scheduler
 //! equivalence property tests pin.
 
+use crate::stats::CalendarStats;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -80,6 +81,14 @@ pub trait EventScheduler<E> {
     /// Whether no events are pending.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The scheduler's internals telemetry, when it keeps any (the
+    /// [`CalendarQueue`](crate::CalendarQueue) does; the reference heap
+    /// answers `None`). Lets harness code harvest mechanism counters
+    /// through the trait without knowing the concrete scheduler.
+    fn calendar_stats(&self) -> Option<&CalendarStats> {
+        None
     }
 }
 

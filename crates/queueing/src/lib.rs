@@ -25,6 +25,10 @@
 //!   counting,
 //! * [`router`] — routing policies (JSQ(d) with the paper's capacity
 //!   tie-break, least-work, random),
+//! * [`stats`] — always-on scheduler-internals telemetry: the
+//!   [`CalendarStats`] block behind the calendar's amortised-O(1)
+//!   claim (ring refills/spills, bulk-commit drains, rebuilds,
+//!   occupancy-at-rebuild distributions),
 //! * [`system`] — the simulator: arrivals, departures, metrics.
 //!
 //! The test-suite verifies textbook laws (M/M/1 mean queue length,
@@ -41,6 +45,7 @@ pub mod calendar;
 pub mod events;
 pub mod router;
 pub mod server;
+pub mod stats;
 pub mod system;
 
 pub use board::SlotBoard;
@@ -48,4 +53,5 @@ pub use calendar::CalendarQueue;
 pub use events::{EventQueue, EventScheduler};
 pub use router::RoutingPolicy;
 pub use server::{Admission, Server};
+pub use stats::CalendarStats;
 pub use system::{QueueMetrics, QueueSystem, SystemConfig};

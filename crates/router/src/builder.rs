@@ -4,8 +4,10 @@
 
 use crate::engine::PlacementEngine;
 use crate::spec::PlacementSpec;
+use crate::telemetry::{RouterCounters, TID_REFRESH, TID_ROUTE};
 use crate::view::{FleetReader, FleetSnapshot, FleetView, Membership, ServerId};
 use crate::Router;
+use bnb_telemetry::{MetricsSnapshot, Registry, Span};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -28,13 +30,19 @@ use std::sync::Arc;
 pub struct RouterBuilder {
     spec: PlacementSpec,
     seed: u64,
+    registry: Registry,
 }
 
 impl RouterBuilder {
-    /// Starts a builder for the given policy (seed 0 until overridden).
+    /// Starts a builder for the given policy (seed 0 until overridden,
+    /// telemetry off).
     #[must_use]
     pub fn new(spec: PlacementSpec) -> Self {
-        RouterBuilder { spec, seed: 0 }
+        RouterBuilder {
+            spec,
+            seed: 0,
+            registry: Registry::disabled(),
+        }
     }
 
     /// Sets the root seed every derived RNG stream and hash structure
@@ -42,6 +50,18 @@ impl RouterBuilder {
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Opts the built routers into telemetry: handles time `route`
+    /// (sampled) and epoch refreshes (unsampled) against `registry`,
+    /// and [`RouterBuilder::build`] attaches shared
+    /// [`RouterCounters`] to the fleet so every `record_join` /
+    /// `record_depart` is counted. A disabled registry (the default)
+    /// leaves one predicted branch per route and nothing else.
+    #[must_use]
+    pub fn telemetry(mut self, registry: &Registry) -> Self {
+        self.registry = *registry;
         self
     }
 
@@ -55,7 +75,11 @@ impl RouterBuilder {
     /// [`PlacementEngine::new`]).
     #[must_use]
     pub fn build(self, speeds: &[u64]) -> (FleetView, RouterHandle) {
-        let view = FleetView::new(Membership::from_speeds(speeds));
+        let counters = self
+            .registry
+            .is_enabled()
+            .then(|| Arc::new(RouterCounters::new()));
+        let view = FleetView::with_counters(Membership::from_speeds(speeds), counters);
         let handle = self.attach(&view);
         (view, handle)
     }
@@ -74,6 +98,11 @@ impl RouterBuilder {
             seed: self.seed,
             d2: matches!(self.spec, PlacementSpec::DChoice { d: 2 }),
             next_stream: Arc::new(AtomicU64::new(1)),
+            route_span: self.registry.span("router.route", TID_ROUTE),
+            refresh_span: self
+                .registry
+                .span_unsampled("router.epoch_refresh", TID_REFRESH),
+            registry: self.registry,
         }
     }
 
@@ -110,6 +139,15 @@ pub struct RouterHandle {
     d2: bool,
     /// Next RNG stream index for clones (shared across the clone tree).
     next_stream: Arc<AtomicU64>,
+    /// Sampled timer over the full route path (refresh check +
+    /// placement); inert when the builder's registry was disabled.
+    route_span: Span,
+    /// Unsampled timer entered only when a published epoch forces a
+    /// placement-structure rebuild: calls = refresh count, histogram =
+    /// rebuild latency.
+    refresh_span: Span,
+    /// The builder's registry, kept so clones mint their own spans.
+    registry: Registry,
 }
 
 impl RouterHandle {
@@ -125,6 +163,26 @@ impl RouterHandle {
     #[must_use]
     pub fn spec(&self) -> PlacementSpec {
         self.spec
+    }
+
+    /// Harvests this handle's telemetry — the route-latency and
+    /// epoch-refresh spans, the current epoch, and (when the fleet
+    /// carries [`RouterCounters`]) the fleet-wide join/depart totals —
+    /// into one [`MetricsSnapshot`]. The join/depart totals are
+    /// **fleet-wide** (shared across clones): when merging snapshots
+    /// from several handles with
+    /// [`Mergeable`](bnb_telemetry::Mergeable), which sums per name,
+    /// include them from one handle only.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        snap.add_counter("router.epoch", self.reader.snapshot().epoch());
+        snap.add_span(&self.route_span);
+        snap.add_span(&self.refresh_span);
+        if let Some(counters) = self.reader.snapshot().counters() {
+            counters.record_into(&mut snap);
+        }
+        snap
     }
 }
 
@@ -145,6 +203,12 @@ impl Clone for RouterHandle {
             seed: self.seed,
             d2: self.d2,
             next_stream: Arc::clone(&self.next_stream),
+            // Fresh spans, not copies: each clone times its own thread.
+            route_span: self.registry.span("router.route", TID_ROUTE),
+            refresh_span: self
+                .registry
+                .span_unsampled("router.epoch_refresh", TID_REFRESH),
+            registry: self.registry,
         }
     }
 }
@@ -156,18 +220,23 @@ impl Router for RouterHandle {
 
     #[inline]
     fn route(&mut self, key: u64) -> ServerId {
+        let token = self.route_span.enter();
         if self.reader.refresh() {
+            let refresh = self.refresh_span.enter();
             self.engine.rebuild(self.reader.snapshot().membership());
+            self.refresh_span.exit(refresh);
         }
         let snap = self.reader.snapshot();
         // Dominant-policy dispatch: the cached flag sends d = 2 straight
         // to the unrolled compare instead of re-matching the spec (and
         // re-deciding key use) on every request.
-        ServerId(if self.d2 {
+        let target = ServerId(if self.d2 {
             self.engine.place_d2(snap)
         } else {
             self.engine.place(snap, key)
-        })
+        });
+        self.route_span.exit(token);
+        target
     }
 
     fn route_many(&mut self, keys: &[u64], out: &mut Vec<ServerId>) {
@@ -175,7 +244,9 @@ impl Router for RouterHandle {
         // mid-batch is picked up on the next call — the same staleness
         // window a per-key check has at batch-sized request rates.
         if self.reader.refresh() {
+            let refresh = self.refresh_span.enter();
             self.engine.rebuild(self.reader.snapshot().membership());
+            self.refresh_span.exit(refresh);
         }
         let snap = self.reader.snapshot();
         out.clear();
@@ -246,6 +317,46 @@ mod tests {
         }
         assert!(saw_new, "the joiner must own some arcs");
         assert_eq!(handle.snapshot().epoch(), 1);
+    }
+
+    #[test]
+    fn telemetry_counts_routes_refreshes_and_rmws() {
+        let reg = Registry::with_sampling(0, 0);
+        let (mut view, mut handle) = RouterBuilder::new(PlacementSpec::DChoice { d: 2 })
+            .seed(7)
+            .telemetry(&reg)
+            .build(&[1, 1, 8, 8]);
+        for _ in 0..100 {
+            let t = handle.route(0);
+            handle.snapshot().record_join(t);
+            handle.snapshot().record_depart(t);
+        }
+        // Publish a fresh epoch (same membership) — exactly one refresh
+        // on the next route.
+        let members = view.snapshot().membership().members().to_vec();
+        view.publish(Membership::new(members));
+        let _ = handle.route(0);
+        let snap = handle.telemetry_snapshot();
+        assert_eq!(snap.counter("router.route.calls"), Some(101));
+        assert_eq!(snap.counter("router.epoch_refresh.calls"), Some(1));
+        assert_eq!(snap.counter("router.record_join"), Some(100));
+        assert_eq!(snap.counter("router.record_depart"), Some(100));
+        assert_eq!(snap.counter("router.epoch"), Some(1));
+        assert!(snap.histogram("router.route.ns").is_some());
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_routing() {
+        // A telemetry-on handle must draw the identical placement
+        // stream as a telemetry-off handle over the same fleet state.
+        let plain = RouterBuilder::new(PlacementSpec::DChoice { d: 2 }).seed(7);
+        let reg = Registry::with_sampling(0, 64);
+        let instrumented = plain.telemetry(&reg);
+        let (_va, mut a) = plain.build(&[1, 1, 8, 8]);
+        let (_vb, mut b) = instrumented.build(&[1, 1, 8, 8]);
+        for _ in 0..512 {
+            assert_eq!(a.route(0), b.route(0));
+        }
     }
 
     #[test]

@@ -24,6 +24,13 @@
 //!   its own fleet mirror, which is how simulation and serving share
 //!   one placement code path byte for byte.
 //!
+//! Telemetry is opt-in ([`RouterBuilder::telemetry`]): each handle
+//! times `route` (sampled) and epoch refreshes (unsampled), and the
+//! fleet carries shared [`RouterCounters`] over every `record_join` /
+//! `record_depart` — all `bnb-telemetry` instruments, one predicted
+//! branch per route when off. Harvest with
+//! [`RouterHandle::telemetry_snapshot`].
+//!
 //! ## Embedding the router
 //!
 //! ```
@@ -64,12 +71,14 @@ pub mod builder;
 pub mod engine;
 pub mod kernel;
 pub mod spec;
+pub mod telemetry;
 pub mod view;
 
 pub use builder::{RouterBuilder, RouterHandle};
 pub use engine::PlacementEngine;
 pub use kernel::ScanScratch;
 pub use spec::PlacementSpec;
+pub use telemetry::RouterCounters;
 pub use view::{FleetReader, FleetSnapshot, FleetView, LoadView, Member, Membership, ServerId};
 
 /// The routing interface a serving thread programs against: hand in a

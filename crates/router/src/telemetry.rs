@@ -1,0 +1,56 @@
+//! Router telemetry: opt-in counters and spans for the concurrent
+//! data plane.
+//!
+//! Instrumentation is wired in three places, all inert by default:
+//!
+//! * **Load-mirror RMWs** — a [`RouterCounters`] attached to a
+//!   [`FleetView`](crate::FleetView) counts every
+//!   [`record_join`](crate::FleetSnapshot::record_join) /
+//!   [`record_depart`](crate::FleetSnapshot::record_depart) across all
+//!   threads and epochs (the counters survive epoch publishes because
+//!   every snapshot shares the same `Arc`).
+//! * **Route latency** — each [`RouterHandle`](crate::RouterHandle)
+//!   owns a sampled `router.route` span timing the full route path
+//!   (refresh check + placement).
+//! * **Epoch refreshes** — an unsampled `router.epoch_refresh` span
+//!   entered only when a refresh actually rebuilds placement
+//!   structures, so its call count is the refresh count and its
+//!   histogram the rebuild latency.
+//!
+//! Enable via [`RouterBuilder::telemetry`](crate::RouterBuilder::telemetry);
+//! harvest with
+//! [`RouterHandle::telemetry_snapshot`](crate::RouterHandle::telemetry_snapshot).
+
+use bnb_telemetry::{Counter, MetricsSnapshot};
+
+/// Chrome://tracing track ids for the router spans (the cluster
+/// simulator occupies 1–4).
+pub(crate) const TID_ROUTE: u32 = 5;
+pub(crate) const TID_REFRESH: u32 = 6;
+
+/// Relaxed-atomic counters of the load-mirror read-modify-writes,
+/// shared by every epoch snapshot of one fleet (and so by every thread
+/// holding one). All increments are `Relaxed` — they observe, never
+/// order.
+#[derive(Debug, Default)]
+pub struct RouterCounters {
+    /// `record_join` calls across all threads and epochs.
+    pub joins: Counter,
+    /// `record_depart` calls across all threads and epochs.
+    pub departs: Counter,
+}
+
+impl RouterCounters {
+    /// Fresh zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        RouterCounters::default()
+    }
+
+    /// Records both counters into `snap` as `router.record_join` and
+    /// `router.record_depart`.
+    pub fn record_into(&self, snap: &mut MetricsSnapshot) {
+        snap.add_counter("router.record_join", self.joins.get());
+        snap.add_counter("router.record_depart", self.departs.get());
+    }
+}

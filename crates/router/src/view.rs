@@ -14,6 +14,7 @@
 //! under concurrency in exactly the way load-stale routing literature
 //! assumes, never corrupt.
 
+use crate::telemetry::RouterCounters;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -165,11 +166,14 @@ pub struct FleetSnapshot {
     queues: Vec<AtomicU64>,
     /// Speed per slot (0 for dead slots, which placement never reads).
     speeds: Vec<u64>,
+    /// Opt-in telemetry counters, shared across every epoch of one
+    /// fleet (`None` — the default — skips the counting entirely).
+    counters: Option<Arc<RouterCounters>>,
 }
 
 impl FleetSnapshot {
     /// The first epoch: all queues empty.
-    fn first(membership: Membership) -> Self {
+    fn first(membership: Membership, counters: Option<Arc<RouterCounters>>) -> Self {
         let n_slots = membership.n_slots();
         let mut speeds = vec![0u64; n_slots];
         for m in membership.members() {
@@ -180,6 +184,7 @@ impl FleetSnapshot {
             membership,
             queues: (0..n_slots).map(|_| AtomicU64::new(0)).collect(),
             speeds,
+            counters,
         }
     }
 
@@ -202,6 +207,7 @@ impl FleetSnapshot {
             membership,
             queues,
             speeds,
+            counters: prev.counters.clone(),
         }
     }
 
@@ -223,6 +229,9 @@ impl FleetSnapshot {
     #[inline]
     pub fn record_join(&self, server: ServerId) {
         self.queues[server.0].fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = &self.counters {
+            c.joins.incr();
+        }
     }
 
     /// Records a request completing on `server`. Saturates at zero: a
@@ -232,6 +241,16 @@ impl FleetSnapshot {
     pub fn record_depart(&self, server: ServerId) {
         let _ = self.queues[server.0]
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |q| q.checked_sub(1));
+        if let Some(c) = &self.counters {
+            c.departs.incr();
+        }
+    }
+
+    /// The telemetry counters this fleet shares across epochs, when
+    /// enabled (see [`FleetView::with_counters`]).
+    #[must_use]
+    pub fn counters(&self) -> Option<&Arc<RouterCounters>> {
+        self.counters.as_ref()
     }
 }
 
@@ -265,12 +284,20 @@ pub struct FleetView {
 }
 
 impl FleetView {
-    /// Publishes epoch 0 for an initial membership.
+    /// Publishes epoch 0 for an initial membership, telemetry off.
     #[must_use]
     pub fn new(membership: Membership) -> Self {
+        FleetView::with_counters(membership, None)
+    }
+
+    /// Publishes epoch 0 with opt-in RMW counters: every epoch this
+    /// view ever publishes shares `counters`, so join/depart totals
+    /// survive churn. `None` is byte-for-byte [`FleetView::new`].
+    #[must_use]
+    pub fn with_counters(membership: Membership, counters: Option<Arc<RouterCounters>>) -> Self {
         FleetView {
             tail: Arc::new(EpochNode {
-                snap: FleetSnapshot::first(membership),
+                snap: FleetSnapshot::first(membership, counters),
                 next: OnceLock::new(),
             }),
         }

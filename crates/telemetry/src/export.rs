@@ -1,0 +1,187 @@
+//! Export renderers: chrome://tracing JSON and Prometheus text
+//! exposition, both hand-rolled (no serde in the workspace).
+
+use std::fmt::Write as _;
+
+use crate::instruments::Log2Histogram;
+use crate::snapshot::MetricsSnapshot;
+
+/// Renders nanoseconds as the fractional microseconds chrome://tracing
+/// expects in `ts`/`dur`.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// JSON-escapes a metric/span name (the names are ASCII identifiers in
+/// practice; quotes and backslashes are escaped defensively).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a snapshot's trace events as a chrome://tracing-compatible
+/// JSON array of complete events (`"ph": "X"`). Open the file at
+/// `chrome://tracing` or <https://ui.perfetto.dev>. Counters ride along
+/// as a final metadata event so the numbers travel with the trace.
+#[must_use]
+pub fn render_chrome_trace(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for ev in snapshot.traces() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "  {{\"name\": {}, \"cat\": \"bnb\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": 0, \"tid\": {}}}",
+            json_str(ev.name),
+            us(ev.ts_ns),
+            us(ev.dur_ns),
+            ev.tid
+        );
+    }
+    if !snapshot.counters().is_empty() {
+        if !first {
+            out.push_str(",\n");
+        }
+        out.push_str(
+            "  {\"name\": \"counters\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"args\": {",
+        );
+        for (i, (name, v)) in snapshot.counters().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {}", json_str(name), v);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// A Prometheus-legal metric name: `[a-zA-Z0-9_:]` with everything
+/// else folded to `_`, prefixed to avoid a leading digit.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("bnb_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn render_prom_histogram(out: &mut String, name: &str, hist: &Log2Histogram) {
+    let n = prom_name(name);
+    let _ = writeln!(out, "# TYPE {n} histogram");
+    let top = hist.max_bucket().unwrap_or(0);
+    let mut cum = 0u64;
+    for i in 0..=top {
+        cum += hist.buckets()[i];
+        let (_, hi) = Log2Histogram::bucket_bounds(i);
+        let _ = writeln!(out, "{n}_bucket{{le=\"{hi}\"}} {cum}");
+    }
+    let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", hist.count());
+    let _ = writeln!(out, "{n}_sum {}", hist.sum());
+    let _ = writeln!(out, "{n}_count {}", hist.count());
+}
+
+/// Renders a snapshot in the Prometheus text exposition format:
+/// counters as `counter` metrics, log₂ histograms as cumulative
+/// `histogram` metrics with power-of-two `le` boundaries.
+#[must_use]
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in snapshot.counters() {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, hist) in snapshot.histograms() {
+        render_prom_histogram(&mut out, name, hist);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let reg = Registry::with_sampling(0, 8);
+        let mut span = reg.span("fused.place", 1);
+        for _ in 0..3 {
+            let t = span.enter();
+            span.exit(t);
+        }
+        let mut snap = MetricsSnapshot::new();
+        snap.add_counter("calendar.ring_spills", 42);
+        snap.add_span(&span);
+        snap
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed() {
+        let json = render_chrome_trace(&sample_snapshot());
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 3);
+        assert!(json.contains("\"name\": \"fused.place\""));
+        assert!(json.contains("\"calendar.ring_spills\": 42"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_trace_renders_empty_array() {
+        let json = render_chrome_trace(&MetricsSnapshot::new());
+        assert_eq!(json, "[\n\n]\n");
+    }
+
+    #[test]
+    fn prometheus_counters_and_histograms() {
+        let text = render_prometheus(&sample_snapshot());
+        assert!(text.contains("# TYPE bnb_calendar_ring_spills counter"));
+        assert!(text.contains("bnb_calendar_ring_spills 42"));
+        assert!(text.contains("# TYPE bnb_fused_place_ns histogram"));
+        assert!(text.contains("bnb_fused_place_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("bnb_fused_place_ns_count 3"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let mut h = Log2Histogram::new();
+        h.record(1); // bucket 0, le="1"
+        h.record(2); // bucket 1, le="3"
+        h.record(2);
+        let mut snap = MetricsSnapshot::new();
+        snap.add_histogram("x", &h);
+        let text = render_prometheus(&snap);
+        assert!(text.contains("bnb_x_bucket{le=\"1\"} 1"));
+        assert!(text.contains("bnb_x_bucket{le=\"3\"} 3"));
+        assert!(text.contains("bnb_x_bucket{le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(prom_name("fused.place-d2"), "bnb_fused_place_d2");
+    }
+}

@@ -1,0 +1,146 @@
+//! The [`Registry`]: the per-run switchboard that decides whether
+//! spans record, at what sampling rate, and against which time epoch.
+
+use std::time::Instant;
+
+use crate::span::Span;
+
+/// Default 1-in-N sampling exponent: sample every 64th occurrence.
+pub const DEFAULT_SAMPLE_SHIFT: u32 = 6;
+
+/// Default bounded trace-buffer capacity per span.
+pub const DEFAULT_TRACE_CAP: usize = 4096;
+
+/// Creates [`Span`]s that share one configuration (enabled flag,
+/// sampling rate, trace capacity) and one time epoch, so every span's
+/// `ts` lines up on the same chrome://tracing timeline.
+///
+/// A disabled registry hands out disabled spans: they record nothing
+/// and allocate nothing after construction (unit-tested), so
+/// instrumented components can hold their spans unconditionally.
+#[derive(Debug, Clone, Copy)]
+pub struct Registry {
+    enabled: bool,
+    sample_shift: u32,
+    trace_cap: usize,
+    epoch: Instant,
+}
+
+impl Registry {
+    /// A registry whose spans never record — the default state of every
+    /// instrumented component.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Registry {
+            enabled: false,
+            sample_shift: 0,
+            trace_cap: 0,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A recording registry with the default sampling rate
+    /// (1-in-2^[`DEFAULT_SAMPLE_SHIFT`]) and trace capacity.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Registry::with_sampling(DEFAULT_SAMPLE_SHIFT, DEFAULT_TRACE_CAP)
+    }
+
+    /// A recording registry sampling every 2^`sample_shift`-th span
+    /// occurrence, buffering at most `trace_cap` trace events per span.
+    /// `sample_shift = 0` times every occurrence (what micro-benchmarks
+    /// want); `trace_cap = 0` keeps histograms but no event log.
+    #[must_use]
+    pub fn with_sampling(sample_shift: u32, trace_cap: usize) -> Self {
+        Registry {
+            enabled: true,
+            sample_shift,
+            trace_cap,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Whether spans created by this registry record.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The instant all trace timestamps are relative to.
+    #[must_use]
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// A new span named `name` on chrome://tracing track `tid`,
+    /// inheriting this registry's configuration.
+    #[must_use]
+    pub fn span(&self, name: &'static str, tid: u32) -> Span {
+        Span::new(
+            name,
+            self.enabled,
+            self.sample_shift,
+            self.trace_cap,
+            tid,
+            self.epoch,
+        )
+    }
+
+    /// A span that times **every** occurrence regardless of the
+    /// registry's sampling rate — for coarse once-per-phase spans
+    /// (epoch refreshes, rebuilds) where sampling would lose the
+    /// interesting tail.
+    #[must_use]
+    pub fn span_unsampled(&self, name: &'static str, tid: u32) -> Span {
+        Span::new(name, self.enabled, 0, self.trace_cap, tid, self.epoch)
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_spans_record_nothing() {
+        let reg = Registry::disabled();
+        let mut s = reg.span("x", 0);
+        for _ in 0..100 {
+            let t = s.enter();
+            s.exit(t);
+        }
+        assert_eq!(s.samples(), 0);
+        assert_eq!(s.entered(), 0);
+        assert!(s.trace().is_empty());
+    }
+
+    #[test]
+    fn enabled_registry_spans_share_epoch() {
+        let reg = Registry::with_sampling(0, 8);
+        let mut a = reg.span("a", 0);
+        let mut b = reg.span("b", 1);
+        let ta = a.enter();
+        a.exit(ta);
+        let tb = b.enter();
+        b.exit(tb);
+        // b entered after a finished, on the same epoch, so its trace
+        // timestamp cannot precede a's.
+        assert!(b.trace()[0].ts_ns >= a.trace()[0].ts_ns);
+    }
+
+    #[test]
+    fn unsampled_span_times_every_occurrence() {
+        let reg = Registry::with_sampling(6, 8);
+        let mut s = reg.span_unsampled("x", 0);
+        for _ in 0..5 {
+            let t = s.enter();
+            s.exit(t);
+        }
+        assert_eq!(s.samples(), 5);
+    }
+}

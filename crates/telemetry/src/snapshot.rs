@@ -1,0 +1,171 @@
+//! [`MetricsSnapshot`]: the harvested, export-ready form of a run's
+//! telemetry — named counters, named histograms, and the merged trace
+//! event log.
+
+use bnb_stats::Mergeable;
+
+use crate::instruments::Log2Histogram;
+use crate::span::{Span, TraceEvent};
+
+/// Everything one run (or one sweep replica) observed, keyed by metric
+/// name. Components harvest their plain-word stats into a snapshot at
+/// end of run; sharded sweeps merge per-replica snapshots in replica
+/// order through [`Mergeable`], matching every other accumulator in
+/// the workspace.
+///
+/// Names keep **insertion order** — harvest code inserts in a fixed
+/// order, so merged output is deterministic without sorting.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    counters: Vec<(String, u64)>,
+    histograms: Vec<(String, Log2Histogram)>,
+    traces: Vec<TraceEvent>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsSnapshot::default()
+    }
+
+    /// Adds `value` to counter `name`, creating it at the end of the
+    /// order if new.
+    pub fn add_counter(&mut self, name: &str, value: u64) {
+        if let Some((_, v)) = self.counters.iter_mut().find(|(n, _)| n == name) {
+            *v += value;
+        } else {
+            self.counters.push((name.to_owned(), value));
+        }
+    }
+
+    /// Merges `hist` into histogram `name`, creating it if new.
+    pub fn add_histogram(&mut self, name: &str, hist: &Log2Histogram) {
+        if let Some((_, h)) = self.histograms.iter_mut().find(|(n, _)| n == name) {
+            h.merge_from(hist);
+        } else {
+            self.histograms.push((name.to_owned(), hist.clone()));
+        }
+    }
+
+    /// Harvests a [`Span`]: its call count as `<name>.calls`, its
+    /// sampled-latency distribution as histogram `<name>.ns`, dropped
+    /// trace events as `<name>.trace_dropped` (when any), and its
+    /// buffered trace events. No-op for spans that never recorded.
+    pub fn add_span(&mut self, span: &Span) {
+        if span.entered() == 0 && span.samples() == 0 {
+            return;
+        }
+        self.add_counter(&format!("{}.calls", span.name()), span.entered());
+        self.add_histogram(&format!("{}.ns", span.name()), span.histogram());
+        if span.dropped() > 0 {
+            self.add_counter(&format!("{}.trace_dropped", span.name()), span.dropped());
+        }
+        self.traces.extend_from_slice(span.trace());
+    }
+
+    /// The named counters, in insertion order.
+    #[must_use]
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.counters
+    }
+
+    /// The named histograms, in insertion order.
+    #[must_use]
+    pub fn histograms(&self) -> &[(String, Log2Histogram)] {
+        &self.histograms
+    }
+
+    /// The merged trace event log.
+    #[must_use]
+    pub fn traces(&self) -> &[TraceEvent] {
+        &self.traces
+    }
+
+    /// Looks up a counter by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Log2Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Whether the snapshot holds no metrics and no traces.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty() && self.traces.is_empty()
+    }
+}
+
+impl Mergeable for MetricsSnapshot {
+    fn merge_from(&mut self, other: &Self) {
+        for (name, v) in &other.counters {
+            self.add_counter(name, *v);
+        }
+        for (name, h) in &other.histograms {
+            self.add_histogram(name, h);
+        }
+        self.traces.extend_from_slice(&other.traces);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_by_name() {
+        let mut s = MetricsSnapshot::new();
+        s.add_counter("a", 1);
+        s.add_counter("b", 10);
+        s.add_counter("a", 2);
+        assert_eq!(s.counter("a"), Some(3));
+        assert_eq!(s.counter("b"), Some(10));
+        assert_eq!(s.counters().len(), 2);
+    }
+
+    #[test]
+    fn merge_preserves_first_insertion_order() {
+        let mut a = MetricsSnapshot::new();
+        a.add_counter("x", 1);
+        let mut b = MetricsSnapshot::new();
+        b.add_counter("y", 2);
+        b.add_counter("x", 4);
+        a.merge_from(&b);
+        assert_eq!(a.counters()[0], ("x".to_owned(), 5));
+        assert_eq!(a.counters()[1], ("y".to_owned(), 2));
+    }
+
+    #[test]
+    fn histograms_merge_by_name() {
+        let mut h1 = Log2Histogram::new();
+        h1.record(5);
+        let mut h2 = Log2Histogram::new();
+        h2.record(500);
+        let mut a = MetricsSnapshot::new();
+        a.add_histogram("lat", &h1);
+        let mut b = MetricsSnapshot::new();
+        b.add_histogram("lat", &h2);
+        a.merge_from(&b);
+        assert_eq!(a.histogram("lat").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn empty_merge_is_identity() {
+        let mut a = MetricsSnapshot::new();
+        a.add_counter("x", 7);
+        let before = a.counters().to_vec();
+        a.merge_from(&MetricsSnapshot::new());
+        assert_eq!(a.counters(), &before[..]);
+    }
+}

@@ -1,0 +1,281 @@
+//! Sampled wall-clock spans: 1-in-N `Instant` timing with a
+//! branch-predicted disabled fast path, a log₂ latency histogram, and
+//! a bounded chrome://tracing event buffer.
+
+use std::time::Instant;
+
+use crate::instruments::Log2Histogram;
+
+/// One completed span occurrence, in the shape chrome://tracing's
+/// "complete event" (`"ph": "X"`) wants: a start offset and a duration,
+/// both in nanoseconds relative to the owning [`crate::Registry`]'s
+/// epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (the chrome://tracing `name` field).
+    pub name: &'static str,
+    /// Start of the occurrence, ns since the registry epoch.
+    pub ts_ns: u64,
+    /// Duration of the occurrence in ns.
+    pub dur_ns: u64,
+    /// Track the event renders on (chrome://tracing `tid`).
+    pub tid: u32,
+}
+
+/// The in-flight half of a span occurrence. Returned by
+/// [`Span::enter`]; hand it back to [`Span::exit`]. `None` inside means
+/// the occurrence was skipped (telemetry off, or not sampled) and exit
+/// is free.
+#[must_use = "a span token must be passed back to Span::exit"]
+#[derive(Debug)]
+pub struct SpanToken(Option<Instant>);
+
+impl SpanToken {
+    /// A token that records nothing on exit.
+    #[inline]
+    pub const fn empty() -> Self {
+        SpanToken(None)
+    }
+}
+
+/// A sampled wall-clock timer around one component of a hot loop.
+///
+/// - **Disabled** (`Registry::disabled`, the default in the simulator):
+///   [`Span::enter`] is one predicted branch; no clock read, no
+///   counter, no allocation — the ~95 ns request budget is untouched.
+/// - **Enabled**: every N-th entry (N a power of two) reads
+///   `Instant::now()` twice and records the elapsed ns into a
+///   [`Log2Histogram`], exact `min`/`max`/`sum`, and (while capacity
+///   lasts) a [`TraceEvent`] buffer; overflow is counted, not grown, so
+///   a long run cannot allocate unboundedly.
+///
+/// Spans deliberately record **wall-clock only**: they never touch the
+/// simulation RNG streams or the event calendar, so telemetry cannot
+/// perturb simulated schedules.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    enabled: bool,
+    /// Sample when `tick & mask == 0`; `mask = N - 1`.
+    mask: u32,
+    tick: u32,
+    tid: u32,
+    epoch: Instant,
+    hist: Log2Histogram,
+    entered: u64,
+    min_ns: u64,
+    max_ns: u64,
+    trace: Vec<TraceEvent>,
+    trace_cap: usize,
+    dropped: u64,
+}
+
+impl Span {
+    pub(crate) fn new(
+        name: &'static str,
+        enabled: bool,
+        sample_shift: u32,
+        trace_cap: usize,
+        tid: u32,
+        epoch: Instant,
+    ) -> Self {
+        Span {
+            name,
+            enabled,
+            mask: (1u32 << sample_shift.min(31)) - 1,
+            tick: 0,
+            tid,
+            epoch,
+            hist: Log2Histogram::new(),
+            entered: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            // Disabled spans never push, so capacity 0 keeps the
+            // "allocates nothing after construction" contract; enabled
+            // spans pre-size the buffer once, up front.
+            trace: if enabled && trace_cap > 0 {
+                Vec::with_capacity(trace_cap)
+            } else {
+                Vec::new()
+            },
+            trace_cap: if enabled { trace_cap } else { 0 },
+            dropped: 0,
+        }
+    }
+
+    /// A span that never records — what every instrumented component
+    /// starts with until telemetry is switched on.
+    #[must_use]
+    pub fn disabled(name: &'static str) -> Self {
+        Span::new(name, false, 0, 0, 0, Instant::now())
+    }
+
+    /// Begins an occurrence. The disabled fast path is a single
+    /// predicted branch.
+    #[inline]
+    pub fn enter(&mut self) -> SpanToken {
+        if !self.enabled {
+            return SpanToken(None);
+        }
+        let t = self.tick;
+        self.tick = t.wrapping_add(1);
+        self.entered += 1;
+        if t & self.mask != 0 {
+            return SpanToken(None);
+        }
+        SpanToken(Some(Instant::now()))
+    }
+
+    /// Ends an occurrence begun by [`Span::enter`]. Free for skipped
+    /// tokens.
+    #[inline]
+    pub fn exit(&mut self, token: SpanToken) {
+        let Some(start) = token.0 else { return };
+        let dur_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.record_ns(start, dur_ns);
+    }
+
+    #[inline(never)]
+    fn record_ns(&mut self, start: Instant, dur_ns: u64) {
+        self.hist.record(dur_ns);
+        self.min_ns = self.min_ns.min(dur_ns);
+        self.max_ns = self.max_ns.max(dur_ns);
+        if self.trace.len() < self.trace_cap {
+            let ts_ns =
+                u64::try_from(start.duration_since(self.epoch).as_nanos()).unwrap_or(u64::MAX);
+            self.trace.push(TraceEvent {
+                name: self.name,
+                ts_ns,
+                dur_ns,
+                tid: self.tid,
+            });
+        } else if self.trace_cap > 0 {
+            self.dropped += 1;
+        }
+    }
+
+    /// The span's name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Whether this span records anything at all.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Total [`Span::enter`] calls while enabled, sampled or not.
+    #[must_use]
+    pub fn entered(&self) -> u64 {
+        self.entered
+    }
+
+    /// Number of occurrences actually timed (the sampled subset).
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// The fastest timed occurrence in ns (`u64::MAX` before the first
+    /// sample) — the best-of-N estimator micro-benchmarks want.
+    #[must_use]
+    pub fn min_ns(&self) -> u64 {
+        self.min_ns
+    }
+
+    /// The slowest timed occurrence in ns (0 before the first sample).
+    #[must_use]
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Sum of timed occurrence durations in ns.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.hist.sum()
+    }
+
+    /// The latency distribution of timed occurrences, in ns.
+    #[must_use]
+    pub fn histogram(&self) -> &Log2Histogram {
+        &self.hist
+    }
+
+    /// Trace events dropped after the bounded buffer filled.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The buffered trace events.
+    #[must_use]
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(n: u64) -> u64 {
+        let mut x = 1u64;
+        for i in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        x
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let mut s = Span::disabled("noop");
+        for _ in 0..1000 {
+            let t = s.enter();
+            std::hint::black_box(spin(10));
+            s.exit(t);
+        }
+        assert_eq!(s.entered(), 0);
+        assert_eq!(s.samples(), 0);
+        assert!(s.trace().is_empty());
+        assert_eq!(s.trace.capacity(), 0, "no allocation after construction");
+    }
+
+    #[test]
+    fn enabled_span_samples_one_in_n() {
+        let epoch = Instant::now();
+        let mut s = Span::new("work", true, 3, 16, 0, epoch); // 1-in-8
+        for _ in 0..64 {
+            let t = s.enter();
+            std::hint::black_box(spin(50));
+            s.exit(t);
+        }
+        assert_eq!(s.entered(), 64);
+        assert_eq!(s.samples(), 8);
+        assert_eq!(s.trace().len(), 8);
+        assert!(s.min_ns() <= s.max_ns());
+        assert!(s.total_ns() >= s.min_ns() * s.samples());
+    }
+
+    #[test]
+    fn trace_buffer_is_bounded() {
+        let epoch = Instant::now();
+        let mut s = Span::new("work", true, 0, 4, 0, epoch); // sample all, cap 4
+        for _ in 0..10 {
+            let t = s.enter();
+            s.exit(t);
+        }
+        assert_eq!(s.samples(), 10);
+        assert_eq!(s.trace().len(), 4);
+        assert_eq!(s.dropped(), 6);
+        assert_eq!(s.trace.capacity(), 4, "bounded buffer never grows");
+    }
+
+    #[test]
+    fn empty_token_is_free() {
+        let mut s = Span::new("work", true, 0, 4, 0, Instant::now());
+        s.exit(SpanToken::empty());
+        assert_eq!(s.samples(), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the telemetry instruments: histogram merge
+//! algebra, quantile agreement with the exact selector in `bnb-stats`,
+//! and the disabled-registry zero-footprint contract.
+
+use bnb_stats::{quantile_select, Mergeable};
+use bnb_telemetry::{Log2Histogram, MetricsSnapshot, Registry};
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> Log2Histogram {
+    let mut h = Log2Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..(1 << 40), 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Histogram merge is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c),
+    /// bitwise (all state is integer counts).
+    #[test]
+    fn log2_merge_is_associative(
+        a in samples(), b in samples(), c in samples(),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge_from(&hb);
+        left.merge_from(&hc);
+        let mut bc = hb.clone();
+        bc.merge_from(&hc);
+        let mut right = ha.clone();
+        right.merge_from(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Histogram merge is commutative: a ⊕ b == b ⊕ a.
+    #[test]
+    fn log2_merge_is_commutative(a in samples(), b in samples()) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge_from(&hb);
+        let mut ba = hb.clone();
+        ba.merge_from(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merging equals recording the concatenation (split invariance).
+    #[test]
+    fn log2_merge_is_split_invariant(values in samples(), split in 0usize..200) {
+        let split = split.min(values.len());
+        let mut sharded = hist_of(&values[..split]);
+        sharded.merge_from(&hist_of(&values[split..]));
+        prop_assert_eq!(sharded, hist_of(&values));
+    }
+
+    /// At rank-aligned levels, the histogram's quantile estimate lands
+    /// in the same log2 bucket as `bnb_stats::quantile_select`'s exact
+    /// answer, i.e. agrees within one bucket width.
+    #[test]
+    fn quantile_agrees_with_exact_selector(
+        values in prop::collection::vec(0u64..(1 << 40), 1..200),
+        k in 0usize..200,
+    ) {
+        let n = values.len();
+        let k = k.min(n - 1);
+        #[allow(clippy::cast_precision_loss)]
+        let q = if n == 1 { 0.5 } else { k as f64 / (n - 1) as f64 };
+        let hist = hist_of(&values);
+        let est = hist.quantile(q);
+        #[allow(clippy::cast_precision_loss)]
+        let mut floats: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        let exact = quantile_select(&mut floats, q).unwrap();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let exact_u = exact.round() as u64;
+        let bucket = Log2Histogram::bucket_index(exact_u);
+        prop_assert_eq!(
+            Log2Histogram::bucket_index(est), bucket,
+            "estimate {} vs exact {}", est, exact
+        );
+        let (lo, hi) = Log2Histogram::bucket_bounds(bucket);
+        prop_assert!(est >= exact_u && est - exact_u <= hi - lo);
+    }
+
+    /// Histogram quantiles are monotone in the level.
+    #[test]
+    fn quantiles_are_monotone(
+        values in samples(), q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0,
+    ) {
+        let hist = hist_of(&values);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(hist.quantile(lo) <= hist.quantile(hi));
+    }
+
+    /// Snapshot merge through the shared Mergeable machinery is
+    /// order-insensitive for counter totals and histogram counts.
+    #[test]
+    fn snapshot_merge_totals_commute(xs in samples(), ys in samples()) {
+        let shard = |vals: &[u64]| {
+            let mut s = MetricsSnapshot::new();
+            s.add_counter("events", vals.len() as u64);
+            s.add_histogram("occupancy", &hist_of(vals));
+            s
+        };
+        let mut ab = shard(&xs);
+        ab.merge_from(&shard(&ys));
+        let mut ba = shard(&ys);
+        ba.merge_from(&shard(&xs));
+        prop_assert_eq!(ab.counter("events"), ba.counter("events"));
+        prop_assert_eq!(
+            ab.histogram("occupancy").unwrap(),
+            ba.histogram("occupancy").unwrap()
+        );
+    }
+}
+
+/// A disabled registry's spans record nothing — no samples, no trace
+/// events, no counter motion — and hold no heap capacity after
+/// construction, so "telemetry off" costs one predicted branch.
+#[test]
+fn disabled_registry_is_inert() {
+    let reg = Registry::disabled();
+    assert!(!reg.is_enabled());
+    let mut span = reg.span("hot.loop", 0);
+    for _ in 0..10_000 {
+        let t = span.enter();
+        span.exit(t);
+    }
+    assert_eq!(span.entered(), 0);
+    assert_eq!(span.samples(), 0);
+    assert_eq!(span.min_ns(), u64::MAX);
+    assert_eq!(span.total_ns(), 0);
+    assert!(span.trace().is_empty());
+    assert_eq!(span.dropped(), 0);
+    let mut snap = MetricsSnapshot::new();
+    snap.add_span(&span);
+    assert!(snap.is_empty(), "harvesting an inert span adds nothing");
+}

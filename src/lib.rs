@@ -21,6 +21,8 @@
 //!   traffic served end to end through `bnb-router` placement, with
 //!   churn; drives the `cluster-sim` CLI.
 //! * [`stats`] — summaries, histograms, series, chi-square, CSV/tables.
+//! * [`telemetry`] — zero-overhead-when-off counters, log₂ histograms,
+//!   sampled spans, chrome://tracing and Prometheus export.
 //! * [`experiments`] — runners for all 18 paper figures and the `repro`
 //!   CLI.
 //!
@@ -51,6 +53,7 @@ pub use bnb_hashring as hashring;
 pub use bnb_queueing as queueing;
 pub use bnb_router as router;
 pub use bnb_stats as stats;
+pub use bnb_telemetry as telemetry;
 
 /// One-stop namespace over the whole workspace: the core model's
 /// prelude plus the queueing, hash-ring and cluster entry points, which
