@@ -27,6 +27,7 @@ use bnb_distributions::{AliasTable, ExponentialBlock, WeightedSampler, Xoshiro25
 use bnb_queueing::board::SlotBoard;
 use bnb_queueing::calendar::CalendarQueue;
 use bnb_queueing::events::{EventQueue, EventScheduler};
+use bnb_queueing::lazy::LazyBoard;
 use bnb_telemetry::Registry;
 
 fn smoke() -> bool {
@@ -91,6 +92,18 @@ fn main() {
         for _ in 0..n {
             let (t, s) = q.pop().unwrap();
             q.schedule(t + exp.next(), s);
+        }
+        n
+    });
+    time("lazy hold(64) sched+pop", || {
+        let mut q = LazyBoard::with_slots(64);
+        for i in 0..64u32 {
+            q.schedule(i, exp.next());
+        }
+        let n = 2_000_000 / scale;
+        for _ in 0..n {
+            let (t, s) = q.pop().unwrap();
+            q.schedule(s, t + exp.next());
         }
         n
     });

@@ -313,6 +313,29 @@ impl Fleet {
         (now - admitted, s.queue > 0)
     }
 
+    /// Serves one job start-to-finish on an **idle** server in a single
+    /// step: the fused loop's next-free bypass, where the departure is
+    /// provably the next event so the job arrives, serves and departs
+    /// with no observer in between. Counter state afterwards is exactly
+    /// [`Fleet::try_join`] then [`Fleet::depart`] composed — the queue
+    /// (and its dense mirror) nets to zero, the peak queue is at least
+    /// one, one more completion, and the admission FIFO push/pop
+    /// cancels — so the returned sojourn latency is the service time
+    /// itself.
+    ///
+    /// # Panics
+    /// Panics if the server is not alive. Debug-asserts the server is
+    /// idle — callers must have checked the queue mirror.
+    #[inline]
+    pub fn serve_one_now(&mut self, i: usize, admitted: Time, departed: Time) -> Time {
+        let s = &mut self.servers[i];
+        assert!(s.alive, "routed a request to a departed server");
+        debug_assert_eq!(s.queue, 0, "next-free bypass requires an idle server");
+        s.max_queue = s.max_queue.max(1);
+        s.completed += 1;
+        departed - admitted
+    }
+
     /// Server `i` leaves the cluster at `now`: its backlog (queued jobs
     /// and the one in service) is orphaned and returned, and it stops
     /// receiving traffic for good — slots are never revived, so pending
@@ -397,6 +420,35 @@ mod tests {
         assert!((lat2 - 3.0).abs() < 1e-12, "second job waited 2.0→5.0");
         assert!(!more2);
         assert_eq!(fleet.server(0).completed(), 2);
+    }
+
+    #[test]
+    fn serve_one_now_is_join_then_depart_composed() {
+        let mut a = Fleet::new(&[2, 3], Some(4));
+        let mut b = a.clone();
+        // Path A: the composed pair on an idle server.
+        assert_eq!(a.try_join(1, 1.0), Admission::StartedService);
+        let (lat_a, more) = a.depart(1, 2.5);
+        assert!(!more);
+        // Path B: the fused bypass in one step.
+        let lat_b = b.serve_one_now(1, 1.0, 2.5);
+        assert_eq!(lat_a.to_bits(), lat_b.to_bits());
+        assert_eq!(a.server(1).completed(), b.server(1).completed());
+        assert_eq!(a.server(1).max_queue(), b.server(1).max_queue());
+        assert_eq!(a.server(1).queue_len(), 0);
+        assert_eq!(b.server(1).queue_len(), 0);
+        assert_eq!(LoadView::load(&a, 1), LoadView::load(&b, 1));
+        // A later real join still sees the idle state on both.
+        assert_eq!(a.try_join(1, 3.0), Admission::StartedService);
+        assert_eq!(b.try_join(1, 3.0), Admission::StartedService);
+    }
+
+    #[test]
+    #[should_panic(expected = "departed server")]
+    fn serve_one_now_rejects_dead_servers() {
+        let mut fleet = Fleet::new(&[1, 1], None);
+        fleet.deactivate(0, 0.0);
+        let _ = fleet.serve_one_now(0, 1.0, 2.0);
     }
 
     #[test]

@@ -10,14 +10,19 @@
 //! arrival merging, the unrolled d = 2 compare over the fleet's dense
 //! load mirror, ziggurat service sampling and completion scheduling in
 //! one branch-predictable loop, with departures carried as bare `u32`
-//! server indices through a dedicated slab calendar whose
-//! bring-forward ring serves the common near-future schedule+pop pair
-//! out of a few L1 words (no per-event enum dispatch). Every other
-//! configuration takes the generic event loop. The two loops consume
-//! every RNG stream in the same order and resolve ties by the same
-//! insertion sequence, so they are metric-identical byte for byte —
-//! [`ClusterSim::run_generic`] exposes the generic loop precisely so
-//! the differential tests can prove that.
+//! server indices through a slot-keyed
+//! [`bnb_queueing::LazyBoard`] — the fleet holds at most
+//! one pending departure per server, so a schedule is two array stores
+//! and a pop validates a candidate-ring entry against the
+//! authoritative per-slot array (no per-event enum dispatch, no heap
+//! or wheel maintenance). A **next-free bypass** on top serves a
+//! request landing on an idle server inline whenever its departure is
+//! provably the next event, skipping the scheduler entirely. Every
+//! other configuration takes the generic event loop. The two loops
+//! consume every RNG stream in the same per-stream order and resolve
+//! ties by the same insertion sequence, so they are metric-identical
+//! byte for byte — [`ClusterSim::run_generic`] exposes the generic
+//! loop precisely so the differential tests can prove that.
 //!
 //! ## Determinism contract
 //!
@@ -45,8 +50,8 @@ use bnb_hashring::hash::mix64;
 use bnb_queueing::calendar::CalendarQueue;
 use bnb_queueing::events::{EventScheduler, Time};
 use bnb_queueing::server::Admission;
-use bnb_queueing::CalendarStats;
-use bnb_router::PlacementEngine;
+use bnb_queueing::{CalendarStats, LazyBoard, LazyStats};
+use bnb_router::{LoadView, PlacementEngine};
 use bnb_stats::Mergeable;
 use bnb_telemetry::{MetricsSnapshot, Registry};
 use std::any::TypeId;
@@ -139,9 +144,17 @@ pub struct ClusterSim<Sch: EventScheduler<ClusterEvent> = CalendarQueue<ClusterE
     /// one component while borrowing the router/fleet disjointly.
     tele: SimTelemetry,
     /// Scheduler-internals stats harvested from drained departure
-    /// calendars (the fused loop's local wheel folds in here; the
-    /// generic scheduler's stats are read live at snapshot time).
+    /// calendars (the generic scheduler's stats are read live at
+    /// snapshot time; this field folds in any calendar that dies
+    /// before then).
     sched_stats: CalendarStats,
+    /// Lazy-deletion internals folded out of the fused loop's local
+    /// departure board when it drains (see [`bnb_queueing::LazyBoard`]).
+    lazy_stats: LazyStats,
+    /// Fused-loop requests served inline by the next-free bypass: the
+    /// request landed on an idle server and its departure was provably
+    /// the next event, so it never entered the scheduler at all.
+    next_free_bypasses: u64,
 }
 
 impl ClusterSim {
@@ -207,6 +220,8 @@ impl<Sch: EventScheduler<ClusterEvent> + 'static> ClusterSim<Sch> {
             result: None,
             tele: SimTelemetry::disabled(),
             sched_stats: CalendarStats::new(),
+            lazy_stats: LazyStats::new(),
+            next_free_bypasses: 0,
             spec,
         }
     }
@@ -233,8 +248,17 @@ impl<Sch: EventScheduler<ClusterEvent> + 'static> ClusterSim<Sch> {
         if let Some(stats) = self.events.calendar_stats() {
             sched.merge_from(stats);
         }
-        self.tele
-            .harvest(&sched, self.arrivals.thinning_counts(), self.arrived)
+        let mut lazy = self.lazy_stats.clone();
+        if let Some(stats) = self.events.lazy_stats() {
+            lazy.merge_from(stats);
+        }
+        self.tele.harvest(
+            &sched,
+            &lazy,
+            self.next_free_bypasses,
+            self.arrivals.thinning_counts(),
+            self.arrived,
+        )
     }
 
     /// Runs the full request budget and drains the queues; returns the
@@ -345,17 +369,36 @@ impl<Sch: EventScheduler<ClusterEvent> + 'static> ClusterSim<Sch> {
     /// One branch-predictable loop keeps arrival merging, the unrolled
     /// d = 2 compare over the fleet's dense load mirror, service
     /// sampling and completion scheduling together — no per-event enum
-    /// dispatch (without churn the only events are departures, carried
-    /// as **bare `u32` server indices** through a dedicated slab
-    /// calendar whose bring-forward ring serves the common near-future
-    /// schedule+pop pair from a few L1 words), and the clock and
-    /// arrival cursor live in registers instead of round-tripping
-    /// through `self` between events. Every RNG stream is consumed in
-    /// exactly the generic loop's order and ties resolve by the same
-    /// insertion sequence (one departure scheduled per job served, in
-    /// the same order), so the metrics are bitwise those of
-    /// [`ClusterSim::run_generic`] — the fused differential test pins
-    /// that cell by cell.
+    /// dispatch. Without churn the only events are departures, and the
+    /// fleet holds **at most one pending departure per server**, so
+    /// they are carried as bare `u32` slot indices through a
+    /// slot-keyed [`LazyBoard`]: a schedule is one authoritative-array
+    /// store plus an unsorted bag append, a pop argmin-scans the
+    /// cursor's bag and validates the winner against the authoritative
+    /// per-slot entry, and the clock, arrival cursor and the board's
+    /// front time all live in registers instead of round-tripping
+    /// through `self` between events.
+    ///
+    /// On top of the board sits the **next-free bypass**: when a
+    /// request lands on an idle server and its departure time is
+    /// provably the next event — strictly before the next arrival
+    /// (arrivals win ties, so a tie disqualifies) and strictly below
+    /// the board's front time (mirrored exactly in the `dep_bound`
+    /// register) — the job is served start-to-finish inline
+    /// ([`Fleet::serve_one_now`]) and its departure never enters the
+    /// scheduler at all. Both strict comparisons make the trace
+    /// position unambiguous: the departure would have popped before
+    /// every pending event, and the server's queue goes 0 → 1 → 0 with
+    /// no observer in between, so every counter and the latency-push
+    /// order are exactly the generic loop's.
+    ///
+    /// Every RNG stream is consumed in exactly the generic loop's
+    /// per-stream order (the next arrival is drawn one step earlier
+    /// relative to the service stream, but the streams are
+    /// independently seeded, so each stream's draw sequence is
+    /// unchanged) and ties resolve by the same insertion sequence, so
+    /// the metrics are bitwise those of [`ClusterSim::run_generic`] —
+    /// the fused differential test pins that cell by cell.
     fn run_fused_loop(&mut self) {
         debug_assert!(self.spec.churn.is_none());
         debug_assert!(self.events.is_empty(), "fused runs start unscheduled");
@@ -367,36 +410,35 @@ impl<Sch: EventScheduler<ClusterEvent> + 'static> ClusterSim<Sch> {
         /// drain loop can observe.
         const ARRIVAL_BLOCK: usize = 64;
         let requests = self.spec.requests;
-        let mut departures: CalendarQueue<u32> = CalendarQueue::new();
+        let mut departures = LazyBoard::with_slots(self.fleet.n_slots());
         let mut now = self.now;
         let mut next_arrival = self.next_arrival;
         let mut block: Vec<Time> = Vec::new();
         let mut block_pos = 0usize;
+        // The board's front time, mirrored into a register: `schedule`
+        // can only lower it (`min` below), a pop invalidates it, and
+        // `min_time_bound` is exact, so the mirror always equals the
+        // next departure time (`INFINITY` for an empty board). The
+        // per-arrival drain probe and the bypass test then cost one
+        // f64 compare each instead of a board call.
+        let mut dep_bound = f64::INFINITY;
         while let Some(t_arr) = next_arrival {
             // Scheduled departures strictly before the next arrival go
             // first; the arrival wins exact ties.
-            while let Some((time, server)) = departures.pop_if_before(t_arr) {
+            while dep_bound < t_arr {
+                let (time, server) = departures.pop().expect("front at dep_bound");
                 now = time;
                 self.fused_depart(&mut departures, server as usize, now);
+                dep_bound = departures.min_time_bound().unwrap_or(f64::INFINITY);
             }
             now = t_arr;
             self.arrived += 1;
-            // Key-oblivious placement: the d = 2 fast path over the
-            // dense (queue_len, speed) mirror.
-            let tp = self.tele.place.enter();
-            let target = self.router.place_d2(&self.fleet);
-            let admission = self.fleet.try_join(target, now);
-            self.tele.place.exit(tp);
-            if admission == Admission::StartedService {
-                let ts = self.tele.schedule.enter();
-                let service = self.service.next() * self.fleet.inv_speed_of(target);
-                departures.schedule(now + service, target as u32);
-                self.tele.schedule.exit(ts);
-            }
+            // The next arrival is drawn *before* placement so the
+            // bypass test below can compare against it. The refill
+            // chains off `now` — the arrival just consumed — exactly
+            // where the scalar stream was.
             next_arrival = if self.arrived < requests {
                 if block_pos == block.len() {
-                    // Refill: `now` is the last consumed arrival, so the
-                    // block chains exactly where the scalar stream was.
                     let n = ((requests - self.arrived) as usize).min(ARRIVAL_BLOCK);
                     let ta = self.tele.arrival.enter();
                     self.arrivals.fill_after(now, n, &mut block);
@@ -408,24 +450,60 @@ impl<Sch: EventScheduler<ClusterEvent> + 'static> ClusterSim<Sch> {
             } else {
                 None
             };
+            // Key-oblivious placement: the d = 2 fast path over the
+            // dense (queue_len, speed) mirror.
+            let tp = self.tele.place.enter();
+            let target = self.router.place_d2(&self.fleet);
+            if LoadView::load(&self.fleet, target).0 != 0 {
+                // Busy target: the request queues (or drops); no
+                // departure to schedule either way.
+                let admission = self.fleet.try_join(target, now);
+                debug_assert_ne!(admission, Admission::StartedService);
+                self.tele.place.exit(tp);
+                continue;
+            }
+            self.tele.place.exit(tp);
+            // Idle target: service starts now (an idle queue always
+            // admits), so draw the service time and decide where the
+            // departure goes.
+            let ts = self.tele.schedule.enter();
+            let service = self.service.next() * self.fleet.inv_speed_of(target);
+            let t_dep = now + service;
+            let is_next = next_arrival.is_none_or(|t| t_dep < t) && t_dep < dep_bound;
+            if is_next {
+                // Next-free bypass: serve inline, skip the scheduler.
+                self.next_free_bypasses += 1;
+                self.tele.schedule.exit(ts);
+                let td = self.tele.depart.enter();
+                let latency = self.fleet.serve_one_now(target, now, t_dep);
+                self.latencies.push(latency);
+                self.tele.depart.exit(td);
+                now = t_dep;
+            } else {
+                let admission = self.fleet.try_join(target, now);
+                debug_assert_eq!(admission, Admission::StartedService);
+                departures.schedule(target as u32, t_dep);
+                dep_bound = dep_bound.min(t_dep);
+                self.tele.schedule.exit(ts);
+            }
         }
         // Budget offered; drain the queues.
-        while let Some((time, server)) = EventScheduler::pop(&mut departures) {
+        while let Some((time, server)) = departures.pop() {
             now = time;
             self.fused_depart(&mut departures, server as usize, now);
         }
         self.now = now;
         self.next_arrival = None;
-        // The local departure wheel dies with this loop; fold its
+        // The local departure board dies with this loop; fold its
         // internals counters into the run's stats first.
-        self.sched_stats.merge_from(departures.stats());
+        self.lazy_stats.merge_from(departures.stats());
     }
 
     /// Departure handling of the fused loop: no staleness check (churn
     /// is excluded, so every scheduled departure is live — the generic
     /// loop's `is_alive` test is identically true there).
     #[inline]
-    fn fused_depart(&mut self, departures: &mut CalendarQueue<u32>, server: usize, now: Time) {
+    fn fused_depart(&mut self, departures: &mut LazyBoard, server: usize, now: Time) {
         let td = self.tele.depart.enter();
         let (latency, more) = self.fleet.depart(server, now);
         self.latencies.push(latency);
@@ -433,7 +511,7 @@ impl<Sch: EventScheduler<ClusterEvent> + 'static> ClusterSim<Sch> {
         if more {
             let ts = self.tele.schedule.enter();
             let service = self.service.next() * self.fleet.inv_speed_of(server);
-            departures.schedule(now + service, server as u32);
+            departures.schedule(server as u32, now + service);
             self.tele.schedule.exit(ts);
         }
     }

@@ -13,7 +13,7 @@
 //! differential tests run the fused, generic and heap loops with
 //! telemetry enabled and require bitwise-identical metrics.
 
-use bnb_queueing::CalendarStats;
+use bnb_queueing::{CalendarStats, LazyStats};
 use bnb_telemetry::{MetricsSnapshot, Registry, Span};
 
 /// Chrome://tracing track ids, one per instrumented component.
@@ -65,20 +65,25 @@ impl SimTelemetry {
         self.registry.is_enabled()
     }
 
-    /// Harvests the spans plus the scheduler-internals and thinning
-    /// counters into one snapshot.
+    /// Harvests the spans plus the scheduler-internals (calendar and
+    /// lazy-board), next-free-bypass and thinning counters into one
+    /// snapshot.
     pub(crate) fn harvest(
         &self,
         sched: &CalendarStats,
+        lazy: &LazyStats,
+        next_free_bypasses: u64,
         thinning: (u64, u64, u64),
         arrived: u64,
     ) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot::new();
         snap.add_counter("sim.arrived", arrived);
+        snap.add_counter("sim.next_free_bypass", next_free_bypasses);
         for span in [&self.arrival, &self.place, &self.schedule, &self.depart] {
             snap.add_span(span);
         }
         sched.record_into(&mut snap);
+        lazy.record_into(&mut snap);
         let (accepted, rejected, squeeze) = thinning;
         snap.add_counter("arrivals.thinning_accepted", accepted);
         snap.add_counter("arrivals.thinning_rejected", rejected);

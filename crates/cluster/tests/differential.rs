@@ -253,6 +253,33 @@ fn telemetry_is_schedule_invisible_on_every_scenario() {
             "{}: place span saw fewer calls than requests",
             scenario.id
         );
+        // The lazy-board counters are always harvested; on scenarios
+        // that take the fused fast path (d-choice d=2, no churn) the
+        // slot-keyed departure path must actually have fired — every
+        // served request either bypassed the scheduler or went through
+        // the board's ring/rebuild machinery.
+        assert!(
+            fused_snap.counter("lazy.ring_inserts").is_some()
+                && fused_snap.counter("sim.next_free_bypass").is_some(),
+            "{}: lazy scheduler counters missing from the snapshot",
+            scenario.id
+        );
+        let spec_probe = (scenario.build)(seed, requests);
+        let fused_eligible = spec_probe.churn.is_none()
+            && matches!(
+                spec_probe.placement,
+                bnb_cluster::PlacementSpec::DChoice { d: 2 }
+            );
+        if fused_eligible {
+            let lazy_activity = fused_snap.counter("lazy.ring_inserts").unwrap_or(0)
+                + fused_snap.counter("lazy.rebuild_scans").unwrap_or(0)
+                + fused_snap.counter("sim.next_free_bypass").unwrap_or(0);
+            assert!(
+                lazy_activity > 0,
+                "{}: fused run never exercised the lazy departure path",
+                scenario.id
+            );
+        }
         let generic_on = {
             let spec = (scenario.build)(seed, requests);
             let mut sim = ClusterSim::new(spec, seed);

@@ -44,11 +44,16 @@
 //! compare rounds per operation *lose* to the calendar wheel's ~O(1)
 //! bucket hit by roughly its tree depth — ~75 ns vs ~45 ns per
 //! schedule+pop pair on the bench host (`hotprof`'s `board hold(64)`
-//! vs `calendar hold(64)` cells). The cluster drive loops therefore
-//! stay on [`CalendarQueue`](crate::CalendarQueue); the board is kept
-//! as a correct, allocation-free alternative for genuinely slot-keyed
-//! embeddings (and as the comparison point that documents *why* the
-//! calendar won), not as the serving scheduler.
+//! vs `calendar hold(64)` cells) — because it pays the full tournament
+//! **eagerly on every schedule and every pop**. The
+//! [`LazyBoard`](crate::LazyBoard) exploits the same slot-keyed
+//! invariant lazily (two stores per schedule, candidate-ring
+//! validation per pop) and beats both; the cluster's fused drive loop
+//! runs on it. The tournament board is kept as the **naive eager
+//! baseline** of the scheduler-comparison bench — the measured answer
+//! to "why lazy deletion?" — and as a correct, allocation-free
+//! alternative for embeddings that want strict per-operation bounds
+//! with no rebuild scans.
 
 use crate::events::Time;
 

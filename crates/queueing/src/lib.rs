@@ -19,7 +19,14 @@
 //!   richer simulators such as `bnb-cluster` reuse it,
 //! * [`calendar`] — the [`CalendarQueue`]: a bucketed timing wheel with
 //!   dynamic bucket-width resizing and an overflow ladder, the amortised
-//!   O(1) default scheduler of the simulators,
+//!   O(1) general-purpose scheduler of the simulators,
+//! * [`lazy`] — the [`LazyBoard`]: slot-keyed lazy deletion for the
+//!   at-most-one-event-per-slot workload (O(1) overwrite schedules, a
+//!   stale-tolerant candidate ring validated on pop) — the cluster's
+//!   fused-loop departure scheduler,
+//! * [`board`] — the [`SlotBoard`]: the eager tournament-tree
+//!   alternative over the same slot-keyed workload, kept as the naive
+//!   baseline the lazy board is benched against,
 //! * [`server`] — heterogeneous-speed server state with time-integrated
 //!   queue-length accounting and optional finite queues with drop
 //!   counting,
@@ -43,6 +50,7 @@
 pub mod board;
 pub mod calendar;
 pub mod events;
+pub mod lazy;
 pub mod router;
 pub mod server;
 pub mod stats;
@@ -51,7 +59,8 @@ pub mod system;
 pub use board::SlotBoard;
 pub use calendar::CalendarQueue;
 pub use events::{EventQueue, EventScheduler};
+pub use lazy::LazyBoard;
 pub use router::RoutingPolicy;
 pub use server::{Admission, Server};
-pub use stats::CalendarStats;
+pub use stats::{CalendarStats, LazyStats};
 pub use system::{QueueMetrics, QueueSystem, SystemConfig};

@@ -1,10 +1,16 @@
 //! Scheduler-internals telemetry: the always-on [`CalendarStats`]
-//! block every [`CalendarQueue`](crate::CalendarQueue) maintains.
+//! block every [`CalendarQueue`](crate::CalendarQueue) maintains, and
+//! the [`LazyStats`] block every [`LazyBoard`](crate::LazyBoard)
+//! maintains.
 //!
-//! The counters live on the **amortised** paths only — ring refills,
-//! spills, bulk-commit drains, rebuilds — never on the per-event
-//! schedule/pop fast path, so they are plain `u64` increments paid once
-//! per batch: cheap enough to keep on unconditionally (no registry
+//! The calendar counters live on the **amortised** paths only — ring
+//! refills, spills, bulk-commit drains, rebuilds — never on the
+//! per-event schedule/pop fast path, so they are plain `u64` increments
+//! paid once per batch. The lazy-board counters additionally sit on the
+//! *deviation* branches of its hot path (an overwrite, a stale
+//! discard), which the dominant one-pending-per-slot workload never
+//! takes — so the common schedule/pop pair still pays nothing. Both
+//! blocks are cheap enough to keep on unconditionally (no registry
 //! gate), and entirely wall-clock/RNG-free, so they cannot perturb a
 //! simulated schedule.
 
@@ -72,9 +78,92 @@ impl Mergeable for CalendarStats {
     }
 }
 
+/// Internals counters of one [`LazyBoard`](crate::LazyBoard): the
+/// mechanism fingerprint of slot-keyed lazy deletion. Overwrites
+/// measure how much delete work lazy deletion deferred; stale pops and
+/// ring drops count where the superseded candidates were finally
+/// collected (on bag contact or at a lap refill); rebuild scans and
+/// slots scanned price the geometry re-derivations. Harvest with
+/// [`LazyStats::record_into`], or merge shards through [`Mergeable`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LazyStats {
+    /// Schedules that replaced a still-pending entry for the same slot
+    /// — the O(1) lazy reschedule that a heap would pay a
+    /// delete-and-reinsert for.
+    pub overwrites: u64,
+    /// Bag candidates swept at pop time because an overwrite (or the
+    /// slot's earlier pop) had invalidated them — the deferred
+    /// deletions, finally collected on contact.
+    pub stale_pops: u64,
+    /// Candidates indexed by schedules — one bag or overflow append
+    /// each; never a sorted insert.
+    pub ring_inserts: u64,
+    /// Candidates found superseded while parked in the overflow vector
+    /// and dropped during a lap refill, never reaching a bag.
+    pub ring_drops: u64,
+    /// Geometry rebuilds: the bag shift re-derived from the live
+    /// population's head spread after a bag outgrew its cap.
+    pub rebuild_scans: u64,
+    /// Slots examined across all geometry rebuilds (each rebuild scans
+    /// the full authoritative array once).
+    pub slots_scanned: u64,
+}
+
+impl LazyStats {
+    /// A zeroed stats block.
+    #[must_use]
+    pub fn new() -> Self {
+        LazyStats::default()
+    }
+
+    /// Harvests this block into a [`MetricsSnapshot`] under `lazy.*`
+    /// metric names.
+    pub fn record_into(&self, snapshot: &mut MetricsSnapshot) {
+        snapshot.add_counter("lazy.overwrites", self.overwrites);
+        snapshot.add_counter("lazy.stale_pops", self.stale_pops);
+        snapshot.add_counter("lazy.ring_inserts", self.ring_inserts);
+        snapshot.add_counter("lazy.ring_drops", self.ring_drops);
+        snapshot.add_counter("lazy.rebuild_scans", self.rebuild_scans);
+        snapshot.add_counter("lazy.slots_scanned", self.slots_scanned);
+    }
+}
+
+impl Mergeable for LazyStats {
+    fn merge_from(&mut self, other: &Self) {
+        self.overwrites += other.overwrites;
+        self.stale_pops += other.stale_pops;
+        self.ring_inserts += other.ring_inserts;
+        self.ring_drops += other.ring_drops;
+        self.rebuild_scans += other.rebuild_scans;
+        self.slots_scanned += other.slots_scanned;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lazy_merge_and_record_cover_every_field() {
+        let mut a = LazyStats::new();
+        a.overwrites = 3;
+        a.stale_pops = 2;
+        a.slots_scanned = 64;
+        let mut b = LazyStats::new();
+        b.overwrites = 1;
+        b.ring_drops = 5;
+        b.rebuild_scans = 7;
+        b.ring_inserts = 9;
+        a.merge_from(&b);
+        let mut snap = MetricsSnapshot::new();
+        a.record_into(&mut snap);
+        assert_eq!(snap.counter("lazy.overwrites"), Some(4));
+        assert_eq!(snap.counter("lazy.stale_pops"), Some(2));
+        assert_eq!(snap.counter("lazy.ring_inserts"), Some(9));
+        assert_eq!(snap.counter("lazy.ring_drops"), Some(5));
+        assert_eq!(snap.counter("lazy.rebuild_scans"), Some(7));
+        assert_eq!(snap.counter("lazy.slots_scanned"), Some(64));
+    }
 
     #[test]
     fn merge_sums_counters() {
