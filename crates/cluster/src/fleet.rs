@@ -48,9 +48,12 @@ impl ClusterServer {
             max_queue: 0,
             completed: 0,
             dropped: 0,
-            // Pre-size the admission FIFO to the queue bound (clamped)
-            // so the steady state never grows it.
-            in_flight: VecDeque::with_capacity(queue_capacity.map_or(16, |c| c.min(1024)) as usize),
+            // Pre-size the admission FIFO a few slots deep (clamped well
+            // below the queue bound): a giant fleet at n ≥ 1e5 slots
+            // cannot afford capacity×n upfront, and a FIFO that does run
+            // deep amortises its one-time growth in the first few
+            // thousand events.
+            in_flight: VecDeque::with_capacity(queue_capacity.map_or(8, |c| c.min(8)) as usize),
             id,
             alive: true,
         }

@@ -53,13 +53,53 @@ impl ClusterMetrics {
     #[must_use]
     pub fn collect(
         fleet: &Fleet,
-        mut latencies: Vec<f64>,
+        latencies: Vec<f64>,
         requests: u64,
         orphaned: u64,
         joins: u64,
         leaves: u64,
         horizon: Time,
     ) -> Self {
+        Self::from_parts(
+            fleet.servers().iter().map(|s| s.completed()).collect(),
+            fleet.servers().iter().map(|s| s.max_queue()).collect(),
+            fleet.servers().iter().map(|s| s.speed()).collect(),
+            latencies,
+            requests,
+            fleet.total_dropped(),
+            orphaned,
+            joins,
+            leaves,
+            horizon,
+        )
+    }
+
+    /// Assembles the metrics from raw per-slot arrays instead of a
+    /// drained [`Fleet`] — the constructor the sharded simulator uses
+    /// after merging its per-shard reports (shards own their own slot
+    /// records, not `Fleet`s). [`ClusterMetrics::collect`] delegates
+    /// here, so the two paths share every floating-point operation in
+    /// the same order: identical inputs render bitwise-identical
+    /// metrics regardless of which engine produced them.
+    ///
+    /// # Panics
+    /// Panics if the per-slot arrays disagree on length.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        per_server_completed: Vec<u64>,
+        per_server_max_queue: Vec<u64>,
+        per_server_speed: Vec<u64>,
+        mut latencies: Vec<f64>,
+        requests: u64,
+        dropped: u64,
+        orphaned: u64,
+        joins: u64,
+        leaves: u64,
+        horizon: Time,
+    ) -> Self {
+        assert_eq!(per_server_completed.len(), per_server_speed.len());
+        assert_eq!(per_server_max_queue.len(), per_server_speed.len());
         let (latency, latency_mean) = if latencies.is_empty() {
             ([0.0; 4], 0.0)
         } else {
@@ -73,31 +113,26 @@ impl ClusterMetrics {
             let q = quantiles_select(&mut latencies, &[0.50, 0.90, 0.99]).expect("non-empty");
             ([q[0], q[1], q[2], max], sum / latencies.len() as f64)
         };
-        let max_normalized_queue = fleet
-            .servers()
+        let max_normalized_queue = per_server_max_queue
             .iter()
-            .map(|s| s.max_queue() as f64 / s.speed() as f64)
+            .zip(&per_server_speed)
+            .map(|(&m, &s)| m as f64 / s as f64)
             .fold(0.0f64, f64::max);
         ClusterMetrics {
             requests,
-            completed: fleet.total_completed(),
-            dropped: fleet.total_dropped(),
+            completed: per_server_completed.iter().sum(),
+            dropped,
             orphaned,
             joins,
             leaves,
             horizon,
             latency,
             latency_mean,
-            max_queue_len: fleet
-                .servers()
-                .iter()
-                .map(|s| s.max_queue())
-                .max()
-                .unwrap_or(0),
+            max_queue_len: per_server_max_queue.iter().copied().max().unwrap_or(0),
             max_normalized_queue,
-            per_server_completed: fleet.servers().iter().map(|s| s.completed()).collect(),
-            per_server_max_queue: fleet.servers().iter().map(|s| s.max_queue()).collect(),
-            per_server_speed: fleet.servers().iter().map(|s| s.speed()).collect(),
+            per_server_completed,
+            per_server_max_queue,
+            per_server_speed,
         }
     }
 

@@ -153,6 +153,22 @@ fn churny_p2p(_seed: u64, requests: u64) -> ClusterSpec {
     }
 }
 
+fn giant(_seed: u64, requests: u64) -> ClusterSpec {
+    // The sharded-scale workload: 131072 servers — far past what the
+    // serial per-event loop enjoys, and the fleet the `--workers`
+    // space-sharded engine exists for. Same two-class shape as
+    // `two-class`, a thousand times wider.
+    let speeds = CapacityVector::two_class(65_536, 1, 65_536, 8);
+    ClusterSpec {
+        arrivals: poisson(0.9, &speeds),
+        speeds,
+        placement: PlacementSpec::DChoice { d: 2 },
+        queue_capacity: Some(64),
+        churn: None,
+        requests,
+    }
+}
+
 fn successor_baseline(_seed: u64, requests: u64) -> ClusterSpec {
     // Load-oblivious consistent hashing on the same fleet as
     // `two-class`: the Θ(log n / log log n)-style pile-ups to beat.
@@ -220,6 +236,12 @@ pub fn registry() -> &'static [Scenario] {
             build: churny_p2p,
         },
         Scenario {
+            id: "giant",
+            title: "Giant fleet (65536 x 1 + 65536 x 8), Poisson rho=0.9, d-choice (sharded scale)",
+            default_requests: 4_000_000,
+            build: giant,
+        },
+        Scenario {
             id: "successor",
             title: "Baseline: load-oblivious consistent-hash successor placement",
             default_requests: 100_000,
@@ -264,7 +286,7 @@ mod tests {
             assert!(spec.requests > 0, "{}", s.id);
             // Every scenario must be constructible into a simulator
             // without panicking (catches capacity/rate mismatches).
-            let _ = crate::ClusterSim::new(spec, 7);
+            let _ = crate::SimBuilder::new(spec).seed(7).build();
         }
     }
 

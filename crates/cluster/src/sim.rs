@@ -57,11 +57,14 @@ use bnb_telemetry::{MetricsSnapshot, Registry};
 use std::any::TypeId;
 
 /// Stream id of the arrival-time RNG (gaps + thinning acceptances).
-const ARRIVAL_STREAM: u64 = 0x6172_7276; // "arrv"
+/// Shared with the sharded engine: both derive the arrival stream as
+/// `derive_seed(seed, ARRIVAL_STREAM, 0)` so the offered traffic is a
+/// function of the seed alone, not of which engine replays it.
+pub(crate) const ARRIVAL_STREAM: u64 = 0x6172_7276; // "arrv"
 /// Stream id of the Exp(1) service-variate RNG.
-const SERVICE_STREAM: u64 = 0x7372_7663; // "srvc"
+pub(crate) const SERVICE_STREAM: u64 = 0x7372_7663; // "srvc"
 /// Stream id of the churn victim-selection RNG.
-const CHURN_STREAM: u64 = 0x6368_726E; // "chrn"
+pub(crate) const CHURN_STREAM: u64 = 0x6368_726E; // "chrn"
 
 /// Periodic churn: every `interval` time units (starting at `start`),
 /// one random alive server leaves and a fresh server of the same speed
@@ -165,6 +168,11 @@ impl ClusterSim {
     /// parameters, invalid arrival process, non-positive churn interval,
     /// or an unbounded-queue spec whose arrival rate reaches the fleet's
     /// service capacity (the run could not drain).
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct through bnb_cluster::SimBuilder — the one surface that also \
+                carries the scheduler choice, telemetry registry and worker count"
+    )]
     #[must_use]
     pub fn new(spec: ClusterSpec, seed: u64) -> Self {
         Self::with_scheduler(spec, seed)
@@ -231,7 +239,18 @@ impl<Sch: EventScheduler<ClusterEvent> + 'static> ClusterSim<Sch> {
     /// **schedule-invisible**: it draws no RNG values and schedules no
     /// events, so the metrics of a telemetry-on run are bitwise those
     /// of a telemetry-off run — the differential tests pin it.
+    #[deprecated(
+        since = "0.1.0",
+        note = "pass the registry to bnb_cluster::SimBuilder::telemetry instead"
+    )]
     pub fn enable_telemetry(&mut self, registry: &Registry) {
+        self.set_telemetry(registry);
+    }
+
+    /// The non-deprecated internal form of
+    /// [`ClusterSim::enable_telemetry`] that [`crate::SimBuilder`]
+    /// configures through.
+    pub(crate) fn set_telemetry(&mut self, registry: &Registry) {
         self.tele = SimTelemetry::from_registry(registry);
     }
 
@@ -301,6 +320,11 @@ impl<Sch: EventScheduler<ClusterEvent> + 'static> ClusterSim<Sch> {
     /// when the spec is eligible for the fused fast path — the
     /// differential oracle proving the fused loop changes no metric.
     /// Same caching semantics as [`ClusterSim::run`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "only differential oracle tests need the generic loop pinned; \
+                everything else should run through bnb_cluster::SimBuilder"
+    )]
     pub fn run_generic(&mut self) -> ClusterMetrics {
         if let Some(result) = &self.result {
             return result.clone();
@@ -613,6 +637,8 @@ impl<Sch: EventScheduler<ClusterEvent> + 'static> ClusterSim<Sch> {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated shims are this module's test subject.
+    #![allow(deprecated)]
     use super::*;
     use bnb_queueing::events::EventQueue;
 

@@ -84,15 +84,14 @@ impl Mergeable for ReplicaAccumulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::SimBuilder;
     use crate::scenario::find_scenario;
-    use crate::ClusterSim;
     use bnb_distributions::derive_seed;
 
     fn replica_metrics(rep: u64) -> ClusterMetrics {
         let sc = find_scenario("two-class").unwrap();
         let seed = derive_seed(7, 0x5EE9, rep);
-        let spec = (sc.build)(seed, 3_000);
-        ClusterSim::new(spec, seed).run()
+        SimBuilder::scenario(sc, 3_000).seed(seed).build().run()
     }
 
     #[test]

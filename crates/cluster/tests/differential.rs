@@ -12,6 +12,10 @@
 //!    byte-identical metrics (the `EventScheduler` determinism
 //!    contract, end to end).
 
+// These oracles deliberately pin the deprecated `ClusterSim` shims:
+// they must keep producing exactly what `SimBuilder` produces.
+#![allow(deprecated)]
+
 use bnb_cluster::{
     registry, ClusterEvent, ClusterSim, Fleet, PlacementEngine, PlacementSpec, SMOKE_DIVISOR,
 };

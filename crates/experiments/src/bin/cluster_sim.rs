@@ -17,8 +17,8 @@
 //! `bnb-stats`' mergeable accumulators — output is equally
 //! deterministic, regardless of thread count.
 
-use bnb_cluster::{find_scenario, registry, ClusterSim, Scenario, SMOKE_DIVISOR};
-use bnb_experiments::sweep_scenario_with_telemetry;
+use bnb_cluster::{find_scenario, registry, Scenario, SimBuilder, SMOKE_DIVISOR};
+use bnb_experiments::sweep_scenario_with_options;
 use bnb_stats::svg::render_svg;
 use bnb_telemetry::{render_chrome_trace, render_prometheus, MetricsSnapshot, Registry};
 use std::path::PathBuf;
@@ -32,14 +32,19 @@ struct Args {
     smoke: bool,
     list: bool,
     out: Option<PathBuf>,
-    /// `--telemetry-out BASE`: run with spans enabled and write
-    /// `BASE-<scenario>.trace.json` + `BASE-<scenario>.prom`.
+    /// `--telemetry-out BASE` (run mode, back-compat): run with spans
+    /// enabled and write `BASE-<scenario>.trace.json` +
+    /// `BASE-<scenario>.prom`.
     telemetry_out: Option<PathBuf>,
     /// `cluster-sim sweep …`: replica/d-sweep mode.
     sweep: bool,
-    /// `sweep --telemetry`: merge per-replica snapshots, write them
-    /// next to the sweep artifacts (or print when `--out` is absent).
+    /// `--telemetry` (both modes): harvest snapshots and write them as
+    /// `telemetry-<scenario>.{trace.json,prom}` under `--out DIR` (or
+    /// print Prometheus text when `--out` is absent).
     telemetry: bool,
+    /// `--workers W` (both modes): run on the space-sharded parallel
+    /// engine with `W` worker threads instead of the serial engine.
+    workers: Option<usize>,
     replicas: u64,
     d_sweep: Vec<usize>,
 }
@@ -90,14 +95,19 @@ fn usage() -> String {
          \x20  --seed N           run seed (default 42)\n\
          \x20  --out DIR          write cluster-<scenario>.{csv,dat,svg,txt}\n\
          \x20                     under DIR\n\
-         \x20  --telemetry-out B  enable telemetry; write B-<scenario>.trace.json\n\
-         \x20                     (chrome://tracing) and B-<scenario>.prom\n\
+         \x20  --workers W        run on the space-sharded parallel engine\n\
+         \x20                     with W worker threads; artifacts are\n\
+         \x20                     byte-identical under any W\n\
+         \x20  --telemetry        harvest telemetry; written as\n\
+         \x20                     telemetry-<scenario>.{trace.json,prom} under\n\
+         \x20                     --out DIR, printed otherwise\n\
+         \x20  --telemetry-out B  (run mode, back-compat) enable telemetry;\n\
+         \x20                     write B-<scenario>.trace.json and\n\
+         \x20                     B-<scenario>.prom\n\
          \n\
          Sweep options:\n\
          \x20  --replicas R       independent replicas per point (default 8)\n\
          \x20  --d-sweep LIST     comma-separated d grid (default 1,2,3,4,8)\n\
-         \x20  --telemetry        merge per-replica telemetry; written under\n\
-         \x20                     --out DIR, printed otherwise\n\
          \n\
          Scenarios:\n",
     );
@@ -118,6 +128,7 @@ fn parse_args() -> ParseOutcome {
         telemetry_out: None,
         sweep: false,
         telemetry: false,
+        workers: None,
         replicas: 8,
         d_sweep: vec![1, 2, 3, 4, 8],
     };
@@ -192,7 +203,17 @@ fn parse_args() -> ParseOutcome {
                 };
                 args.out = Some(PathBuf::from(dir));
             }
-            "--telemetry" if args.sweep => args.telemetry = true,
+            "--telemetry" => args.telemetry = true,
+            "--workers" => {
+                let Some(v) = iter.next() else {
+                    return err("--workers needs a value".into());
+                };
+                match v.parse::<usize>() {
+                    Ok(0) => return err("--workers must be positive".into()),
+                    Ok(w) => args.workers = Some(w),
+                    Err(e) => return err(format!("bad --workers {v}: {e}")),
+                }
+            }
             "--telemetry-out" if !args.sweep => {
                 let Some(base) = iter.next() else {
                     return err("--telemetry-out needs a path base".into());
@@ -224,13 +245,14 @@ fn run_sweeps(args: &Args) -> ExitCode {
         let n_servers = (scenario.build)(args.seed, requests).speeds.n();
         let registry = args.telemetry.then(Registry::enabled);
         let start = Instant::now();
-        let (sweep, telemetry) = sweep_scenario_with_telemetry(
+        let (sweep, telemetry) = sweep_scenario_with_options(
             scenario,
             &args.d_sweep,
             args.replicas,
             requests,
             args.seed,
             registry.as_ref(),
+            args.workers,
         );
         let elapsed = start.elapsed();
         println!(
@@ -326,10 +348,15 @@ fn main() -> ExitCode {
         });
         let spec = (scenario.build)(args.seed, requests);
         let placement = spec.placement.name();
-        let mut sim = ClusterSim::new(spec, args.seed);
-        if args.telemetry_out.is_some() {
-            sim.enable_telemetry(&Registry::enabled());
+        let registry = (args.telemetry || args.telemetry_out.is_some()).then(Registry::enabled);
+        let mut builder = SimBuilder::new(spec).seed(args.seed);
+        if let Some(reg) = &registry {
+            builder = builder.telemetry(reg);
         }
+        if let Some(w) = args.workers {
+            builder = builder.workers(w);
+        }
+        let mut sim = builder.build();
         let start = Instant::now();
         let metrics = sim.run();
         let elapsed = start.elapsed();
@@ -340,8 +367,12 @@ fn main() -> ExitCode {
         println!("{}", metrics.render_table());
         // Wall-clock is the only non-deterministic line; keep it clearly
         // separated from the metrics block above.
+        let engine = match args.workers {
+            Some(w) => format!("sharded x{w}"),
+            None => "serial".into(),
+        };
         println!(
-            "   [{placement}; {:.2?} wall, {:.3e} req/s]\n",
+            "   [{placement}; {engine}; {:.2?} wall, {:.3e} req/s]\n",
             elapsed,
             metrics.requests as f64 / elapsed.as_secs_f64()
         );
@@ -356,6 +387,25 @@ fn main() -> ExitCode {
                 base.display(),
                 scenario.id
             );
+        }
+        if args.telemetry {
+            let snap = sim.telemetry_snapshot();
+            if let Some(dir) = &args.out {
+                let base = dir.join("telemetry");
+                if let Err(e) = std::fs::create_dir_all(dir)
+                    .and_then(|()| write_telemetry(&base, scenario.id, &snap))
+                {
+                    eprintln!("failed to write telemetry for {}: {e}", scenario.id);
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "   telemetry: {}-{}.{{trace.json,prom}}\n",
+                    base.display(),
+                    scenario.id
+                );
+            } else {
+                print!("{}", render_prometheus(&snap));
+            }
         }
         if let Some(dir) = &args.out {
             let id = format!("cluster-{}", scenario.id);

@@ -12,7 +12,7 @@
 //! function of `(scenario, d-grid, replicas, requests, master seed)` —
 //! identical on 1 thread or 64.
 
-use bnb_cluster::{ClusterSim, ReplicaAccumulator, Scenario};
+use bnb_cluster::{ReplicaAccumulator, Scenario, SimBuilder};
 use bnb_distributions::derive_seed;
 use bnb_stats::{merge_ordered, Mergeable, Series, SeriesSet, TextTable};
 use bnb_telemetry::{MetricsSnapshot, Registry};
@@ -102,6 +102,33 @@ pub fn sweep_scenario_with_telemetry(
     master: u64,
     registry: Option<&Registry>,
 ) -> (ScenarioSweep, Option<MetricsSnapshot>) {
+    sweep_scenario_with_options(scenario, ds, replicas, requests, master, registry, None)
+}
+
+/// [`sweep_scenario_with_telemetry`] with an engine choice: when
+/// `workers` is `Some(w)`, every replica runs on the space-sharded
+/// parallel engine with `w` workers instead of the serial one. The
+/// sharded engine is worker-count invariant, so the `ScenarioSweep`
+/// half of the return is bitwise identical at any `w` — and identical
+/// to the serial (`None`) run as well, engine differences permitting
+/// (the sharded engine's frozen-epoch placement is a different
+/// simulator, so metrics may legitimately differ from serial; they
+/// never differ between worker counts).
+///
+/// # Panics
+/// Panics if `replicas == 0`, `ds` is empty, `workers == Some(0)`, or
+/// the scenario spec is invalid at some `d`.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_scenario_with_options(
+    scenario: &'static Scenario,
+    ds: &[usize],
+    replicas: u64,
+    requests: u64,
+    master: u64,
+    registry: Option<&Registry>,
+    workers: Option<usize>,
+) -> (ScenarioSweep, Option<MetricsSnapshot>) {
     assert!(replicas > 0, "need at least one replica");
     assert!(!ds.is_empty(), "need at least one d");
     let mut points = Vec::with_capacity(ds.len());
@@ -120,10 +147,14 @@ pub fn sweep_scenario_with_telemetry(
                 let seed = derive_seed(master, id, rep);
                 let mut spec = (scenario.build)(seed, requests);
                 spec.placement = spec.placement.with_d(d);
-                let mut sim = ClusterSim::new(spec, seed);
+                let mut builder = SimBuilder::new(spec).seed(seed);
                 if let Some(reg) = registry {
-                    sim.enable_telemetry(reg);
+                    builder = builder.telemetry(reg);
                 }
+                if let Some(w) = workers {
+                    builder = builder.workers(w);
+                }
+                let mut sim = builder.build();
                 let metrics = sim.run();
                 let mut acc = ReplicaAccumulator::new();
                 acc.push(&metrics);
@@ -249,6 +280,18 @@ mod tests {
         let d1 = sweep.points[0].acc.max_normalized_queue.mean();
         let d4 = sweep.points[1].acc.max_normalized_queue.mean();
         assert!(d4 < d1, "d=4 peak {d4} should be far below d=1 peak {d1}");
+    }
+
+    #[test]
+    fn sweep_on_the_sharded_engine_is_worker_count_invariant() {
+        let sc = find_scenario("uniform").unwrap();
+        let (a, _) = sweep_scenario_with_options(sc, &[2], 2, 2_000, 5, None, Some(1));
+        let (b, _) = sweep_scenario_with_options(sc, &[2], 2, 2_000, 5, None, Some(3));
+        assert_eq!(a.render_table(64), b.render_table(64));
+        assert_eq!(
+            a.to_series_set().to_plot_text(),
+            b.to_series_set().to_plot_text()
+        );
     }
 
     #[test]

@@ -306,6 +306,153 @@ impl PlacementEngine {
         }
     }
 
+    /// Routes a request against `view` **without touching any engine
+    /// state** — `&self`, so a frozen engine shared through an `Arc`
+    /// can serve placement from many threads at once. The caller
+    /// supplies the randomness: a short-lived `rng` per request,
+    /// consumed for candidate sampling first and residual tie-breaks
+    /// second (`DChoice`), or tie-breaks only (`HashThenProbe`); the
+    /// key-pure policies draw nothing.
+    ///
+    /// This produces a *different trace* from [`PlacementEngine::place`]
+    /// (which block pre-samples from the engine's own streams): a
+    /// stateless placement is a pure function of
+    /// `(spec, membership, key, rng state)` — independent of call
+    /// order, thread count and shard layout — which is exactly the
+    /// invariance the sharded cluster simulator's worker-count
+    /// byte-identity rests on. Selection semantics are Algorithm 1's,
+    /// unchanged: speed-proportional candidates, smallest post-join
+    /// normalised queue by exact cross-multiplication, capacity
+    /// tie-break towards the faster server, residual ties uniform.
+    ///
+    /// # Panics
+    /// Panics if the engine was built for a different policy family
+    /// than its derived structures (impossible through the public
+    /// constructors).
+    #[inline]
+    #[must_use]
+    pub fn place_stateless(
+        &self,
+        view: &impl LoadView,
+        key: u64,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> usize {
+        match self.spec {
+            PlacementSpec::DChoice { d } => {
+                let alias = self.alias.as_ref().expect("alias built for DChoice");
+                if d == 2 {
+                    let (a, b) = (alias.sample(rng), alias.sample(rng));
+                    let (sa, sb) = if self.alive_identity {
+                        (a, b)
+                    } else {
+                        (self.alive[a], self.alive[b])
+                    };
+                    if a == b {
+                        return sa;
+                    }
+                    let ((qa, ca), (qb, cb)) = if let Some((queues, speeds)) = view.dense() {
+                        ((queues[sa], speeds[sa]), (queues[sb], speeds[sb]))
+                    } else {
+                        (view.load(sa), view.load(sb))
+                    };
+                    let lhs = (qa + 1) as u128 * cb as u128;
+                    let rhs = (qb + 1) as u128 * ca as u128;
+                    if lhs != rhs {
+                        return if lhs < rhs { sa } else { sb };
+                    }
+                    if ca != cb {
+                        return if ca > cb { sa } else { sb };
+                    }
+                    return if rng.next_below(2) == 0 { sb } else { sa };
+                }
+                let mut tokens = [0usize; MAX_D];
+                for token in tokens[..d].iter_mut() {
+                    *token = alias.sample(rng);
+                }
+                self.argmin_algo1_stateless(view, &tokens[..d], rng)
+            }
+            PlacementSpec::ConsistentHash { .. } => {
+                let ring = self.ring.as_ref().expect("ring built for ConsistentHash");
+                self.alive[ring.ring().successor(key)]
+            }
+            PlacementSpec::Rendezvous => {
+                let rdv = self.rdv.as_ref().expect("scores built for Rendezvous");
+                self.alive[rdv.owner(key)]
+            }
+            PlacementSpec::HashThenProbe { d, .. } => {
+                let ring = self
+                    .ring
+                    .as_ref()
+                    .expect("ring built for HashThenProbe")
+                    .ring();
+                let mut probes = [0usize; MAX_D];
+                for (k, probe) in probes[..d].iter_mut().enumerate() {
+                    *probe = ring.successor(request_point(self.seed, key, k as u64));
+                }
+                reservoir_argmin(
+                    &probes[..d],
+                    rng,
+                    |peer| self.alive[peer],
+                    |s| view.queue_len(s),
+                )
+            }
+        }
+    }
+
+    /// Algorithm 1's dedup-prefix reservoir argmin over `d` candidate
+    /// tokens, stateless edition: the exact cross-multiplied
+    /// `(q+1)/speed` order with capacity tie-break (the order
+    /// `kernel::argmin_algo1` evaluates through its gather scratch),
+    /// but reading loads per candidate through the view and drawing
+    /// residual ties from the caller's `rng`.
+    fn argmin_algo1_stateless(
+        &self,
+        view: &impl LoadView,
+        tokens: &[usize],
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> usize {
+        let slot_of = |t: usize| {
+            if self.alive_identity {
+                t
+            } else {
+                self.alive[t]
+            }
+        };
+        let mut best = slot_of(tokens[0]);
+        let (mut best_q, mut best_c) = view.load(best);
+        let mut ties = 1u64;
+        for idx in 1..tokens.len() {
+            if tokens[..idx].contains(&tokens[idx]) {
+                continue;
+            }
+            let cand = slot_of(tokens[idx]);
+            let (q, c) = view.load(cand);
+            // cand beats best iff (q+1)/c < (best_q+1)/best_c, by exact
+            // cross-multiplication; equal ratios tie-break to the
+            // faster server; full ties go to the 1/k reservoir.
+            let lhs = (q + 1) as u128 * best_c as u128;
+            let rhs = (best_q + 1) as u128 * c as u128;
+            match lhs.cmp(&rhs).then(best_c.cmp(&c)) {
+                std::cmp::Ordering::Less => {
+                    best = cand;
+                    best_q = q;
+                    best_c = c;
+                    ties = 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    ties += 1;
+                    if rng.next_below(ties) == 0 {
+                        best = cand;
+                        best_q = q;
+                        best_c = c;
+                    }
+                }
+                std::cmp::Ordering::Greater => {}
+            }
+        }
+        best
+    }
+
     /// The unrolled `d = 2` placement of Algorithm 1 — the dominant
     /// configuration, called per request by both
     /// [`PlacementEngine::place`] and the fused cluster drive loop.
@@ -581,6 +728,94 @@ mod tests {
         }
         // The victim owned ≈ 1/10 of the keys; all (and only) those move.
         assert!(moved > 0, "the departed server's keys must move");
+    }
+
+    #[test]
+    fn place_stateless_is_pure_in_key_and_rng_state() {
+        // The stateless path must be a pure function of
+        // (spec, membership, key, rng state): any call order, any
+        // engine instance, same target — the invariance the sharded
+        // simulator's worker-count byte-identity rests on.
+        let mut fleet = two_class_fleet();
+        for i in 0..4 {
+            fleet.join(i);
+        }
+        let m = fleet.membership();
+        for spec in [
+            PlacementSpec::DChoice { d: 2 },
+            PlacementSpec::DChoice { d: 4 },
+            PlacementSpec::ConsistentHash { vnodes: 8 },
+            PlacementSpec::Rendezvous,
+            PlacementSpec::HashThenProbe { d: 3, vnodes: 8 },
+        ] {
+            let a = PlacementEngine::new(spec, &m, 7);
+            let b = PlacementEngine::new(spec, &m, 7);
+            // Forward order on `a`, reverse order on `b`.
+            let targets: Vec<usize> = (0..256u64)
+                .map(|i| {
+                    let mut rng = Xoshiro256PlusPlus::from_u64_seed(derive_seed(7, i, 0));
+                    a.place_stateless(&fleet, mix64(i), &mut rng)
+                })
+                .collect();
+            for i in (0..256u64).rev() {
+                let mut rng = Xoshiro256PlusPlus::from_u64_seed(derive_seed(7, i, 0));
+                assert_eq!(
+                    b.place_stateless(&fleet, mix64(i), &mut rng),
+                    targets[i as usize],
+                    "{}: request {i}",
+                    spec.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn place_stateless_prefers_the_emptier_normalised_queue() {
+        // Same Algorithm 1 semantics as the stateful path: with every
+        // slow server loaded, any pair containing a fast candidate
+        // must pick the fast one.
+        let mut fleet = two_class_fleet();
+        for i in 0..4 {
+            for _ in 0..5 {
+                fleet.join(i);
+            }
+        }
+        let engine = PlacementEngine::new(PlacementSpec::DChoice { d: 2 }, &fleet.membership(), 7);
+        let fast_picks = (0..400u64)
+            .filter(|&i| {
+                let mut rng = Xoshiro256PlusPlus::from_u64_seed(derive_seed(11, i, 0));
+                engine.place_stateless(&fleet, 0, &mut rng) >= 4
+            })
+            .count();
+        assert!(
+            fast_picks >= 380,
+            "idle fast servers picked only {fast_picks}/400 times"
+        );
+    }
+
+    #[test]
+    fn place_stateless_key_pure_policies_agree_with_place() {
+        // ConsistentHash and Rendezvous read only the key, so the
+        // stateless and stateful paths must agree target-for-target.
+        let fleet = two_class_fleet();
+        let m = fleet.membership();
+        for spec in [
+            PlacementSpec::ConsistentHash { vnodes: 8 },
+            PlacementSpec::Rendezvous,
+        ] {
+            let mut stateful = PlacementEngine::new(spec, &m, 42);
+            let stateless = PlacementEngine::new(spec, &m, 42);
+            let mut rng = Xoshiro256PlusPlus::from_u64_seed(0);
+            for key in 0..500u64 {
+                let k = mix64(key);
+                assert_eq!(
+                    stateless.place_stateless(&fleet, k, &mut rng),
+                    stateful.place(&fleet, k),
+                    "{}: key {key}",
+                    spec.name()
+                );
+            }
+        }
     }
 
     #[test]

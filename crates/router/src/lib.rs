@@ -79,7 +79,9 @@ pub use engine::PlacementEngine;
 pub use kernel::ScanScratch;
 pub use spec::PlacementSpec;
 pub use telemetry::RouterCounters;
-pub use view::{FleetReader, FleetSnapshot, FleetView, LoadView, Member, Membership, ServerId};
+pub use view::{
+    DenseView, FleetReader, FleetSnapshot, FleetView, LoadView, Member, Membership, ServerId,
+};
 
 /// The routing interface a serving thread programs against: hand in a
 /// request key, get back the server to dispatch to.

@@ -155,6 +155,52 @@ pub trait LoadView {
     }
 }
 
+/// A borrowed dense load mirror: plain `(queue_lens, speeds)` slices,
+/// no atomics, no interior mutability. This is the **frozen-view** form
+/// of a fleet — the sharded cluster simulator snapshots its global
+/// per-slot arrays once per epoch and routes every arrival of that
+/// epoch against the same immutable `DenseView`, so placement is a pure
+/// function of the epoch's data regardless of which worker thread
+/// evaluates it.
+///
+/// Dead slots may carry stale `(queue, speed)` words: placement only
+/// ever probes slots of the engine's alive list, so the stale words are
+/// unreachable by construction.
+#[derive(Debug, Clone, Copy)]
+pub struct DenseView<'a> {
+    queues: &'a [u64],
+    speeds: &'a [u64],
+}
+
+impl<'a> DenseView<'a> {
+    /// Wraps per-slot queue-length and speed slices (equal length,
+    /// indexed by fleet slot).
+    ///
+    /// # Panics
+    /// Panics if the slices disagree in length.
+    #[must_use]
+    pub fn new(queues: &'a [u64], speeds: &'a [u64]) -> Self {
+        assert_eq!(
+            queues.len(),
+            speeds.len(),
+            "queue and speed mirrors must cover the same slots"
+        );
+        DenseView { queues, speeds }
+    }
+}
+
+impl LoadView for DenseView<'_> {
+    #[inline]
+    fn load(&self, slot: usize) -> (u64, u64) {
+        (self.queues[slot], self.speeds[slot])
+    }
+
+    #[inline]
+    fn dense(&self) -> Option<(&[u64], &[u64])> {
+        Some((self.queues, self.speeds))
+    }
+}
+
 /// One published epoch of fleet state: an immutable membership plus a
 /// slot-indexed load mirror in relaxed atomics.
 #[derive(Debug)]
@@ -369,6 +415,25 @@ impl FleetReader {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dense_view_exposes_its_slices() {
+        let queues = [3u64, 0, 7];
+        let speeds = [1u64, 8, 2];
+        let view = DenseView::new(&queues, &speeds);
+        assert_eq!(view.load(0), (3, 1));
+        assert_eq!(view.load(2), (7, 2));
+        assert_eq!(view.queue_len(1), 0);
+        let (q, s) = view.dense().expect("plain slices are dense");
+        assert_eq!(q, &queues);
+        assert_eq!(s, &speeds);
+    }
+
+    #[test]
+    #[should_panic(expected = "same slots")]
+    fn dense_view_rejects_mismatched_mirrors() {
+        let _ = DenseView::new(&[1, 2], &[1]);
+    }
 
     fn two_member(m: &Membership, drop_slot: usize) -> Membership {
         Membership::new(

@@ -46,6 +46,16 @@ impl Mergeable for Histogram {
     }
 }
 
+/// Pairs merge componentwise: the sharded cluster simulator carries a
+/// shard's metrics report and telemetry snapshot through one
+/// [`merge_ordered`] fold instead of two parallel ones.
+impl<A: Mergeable, B: Mergeable> Mergeable for (A, B) {
+    fn merge_from(&mut self, other: &Self) {
+        self.0.merge_from(&other.0);
+        self.1.merge_from(&other.1);
+    }
+}
+
 /// Folds an iterator of accumulators into one, **in iteration order**
 /// (the fixed order that keeps sharded runs deterministic). Returns
 /// `None` on an empty iterator.
@@ -108,6 +118,22 @@ mod tests {
     #[test]
     fn merge_ordered_empty_is_none() {
         assert!(merge_ordered(Vec::<Summary>::new()).is_none());
+    }
+
+    #[test]
+    fn pairs_merge_componentwise() {
+        let shards: Vec<(Summary, Histogram)> = (0..3)
+            .map(|s| {
+                let mut sum = Summary::new();
+                sum.push(s as f64);
+                let mut h = Histogram::new(0.0, 10.0, 5);
+                h.record(s as f64);
+                (sum, h)
+            })
+            .collect();
+        let (sum, hist) = merge_ordered(shards).unwrap();
+        assert_eq!(sum.count(), 3);
+        assert_eq!(hist.total(), 3);
     }
 
     #[test]

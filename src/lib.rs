@@ -19,7 +19,9 @@
 //!   lock-free epoch-published fleet views for concurrent embedders.
 //! * [`cluster`] — the heterogeneous-cluster simulator: paper-faithful
 //!   traffic served end to end through `bnb-router` placement, with
-//!   churn; drives the `cluster-sim` CLI.
+//!   churn; serial and space-sharded parallel engines behind one
+//!   [`SimBuilder`](bnb_cluster::SimBuilder); drives the `cluster-sim`
+//!   CLI.
 //! * [`stats`] — summaries, histograms, series, chi-square, CSV/tables.
 //! * [`telemetry`] — zero-overhead-when-off counters, log₂ histograms,
 //!   sampled spans, chrome://tracing and Prometheus export.
@@ -68,13 +70,14 @@ pub use bnb_telemetry as telemetry;
 /// assert_eq!(bins.total_balls(), caps.total());
 ///
 /// let scenario = find_scenario("two-class").unwrap();
-/// let metrics = ClusterSim::new((scenario.build)(42, 2_000), 42).run();
+/// let metrics = SimBuilder::scenario(scenario, 2_000).seed(42).build().run();
 /// assert_eq!(metrics.completed + metrics.dropped, 2_000);
 /// ```
 pub mod prelude {
     pub use bnb_cluster::{
         find_scenario, ArrivalProcess, ArrivalSampler, ChurnConfig, ClusterEvent, ClusterMetrics,
-        ClusterServer, ClusterSim, ClusterSpec, Fleet, ReplicaAccumulator, Scenario,
+        ClusterServer, ClusterSim, ClusterSpec, Fleet, ReplicaAccumulator, Scenario, Scheduler,
+        ShardedClusterSim, Sim, SimBuilder,
     };
     pub use bnb_core::prelude::*;
     pub use bnb_hashring::{
